@@ -1,0 +1,28 @@
+"""Bench ABL — ablations of the model's design choices.
+
+Quantifies the paper's two novelties (multi-server queues, blocking
+correction) plus the SCV and climb-probability choices, by scoring every
+model variant against one shared set of simulation runs.  Results land in
+``benchmarks/results/ablations.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import register_result
+
+from repro.experiments import run_ablations, write_report
+
+
+def test_ablations(benchmark):
+    """The published configuration must beat both single-novelty ablations."""
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    path = write_report("ablations", result.render())
+    register_result(path)
+    by_name = {r.variant: r for r in result.rows}
+    for row in result.rows:
+        benchmark.extra_info[row.variant] = row.mean_abs_err
+    paper = by_name["paper"].mean_abs_err
+    assert paper < 0.08, f"paper-variant error {paper:.1%}"
+    assert paper < by_name["no-multiserver"].mean_abs_err
+    assert paper < by_name["naive"].mean_abs_err
+    assert paper < by_name["no-blocking-correction"].mean_abs_err

@@ -1,0 +1,36 @@
+"""Bench BUF — router-buffering sensitivity and dateline-VC torus.
+
+Quantifies the blocked-in-place abstraction the paper's model rests on:
+B=2 input buffers must track the model, B=1 must exhibit the credit-loop
+throughput collapse, and the 2-VC dateline torus must run deadlock-free
+where the VC-less simulators (correctly) deadlock.  Results land in
+``benchmarks/results/buffering.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_buffering, write_report
+
+
+def test_buffering_sensitivity(benchmark):
+    """B=2 matches the model; B=1 collapses; dateline VCs kill deadlock."""
+    result = benchmark.pedantic(run_buffering, rounds=1, iterations=1)
+    path = write_report("buffering", result.render())
+    register_result(path)
+    for row in result.rows:
+        # B=2 tracks the blocked-in-place simulator closely.
+        b2 = row.buffered[2]
+        assert math.isfinite(b2)
+        assert abs(b2 - row.event_sim_latency) / row.event_sim_latency < 0.06
+        # B=1 halves hop bandwidth -> visibly worse at any load.
+        assert row.buffered[1] > b2 * 1.3
+        # Deeper buffers never hurt.
+        assert row.buffered[8] <= b2 * 1.02
+    for trow in result.torus_rows:
+        assert trow.vc_censored == 0, "dateline VCs must remove deadlock"
+        assert trow.novc_censored > 0, "VC-less torus should deadlock at this load"
+    benchmark.extra_info["depths"] = list(result.depths)

@@ -1,0 +1,30 @@
+"""Bench FIG3 — regenerate Figure 3 (latency vs load, N=1024, 16/32/64 flits).
+
+Quick mode samples 7 loads per curve with short measurement windows; set
+``REPRO_FULL=1`` for paper-scale windows and 10-point grids.  The rendered
+table and ASCII curves land in ``benchmarks/results/fig3.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_fig3, write_report
+
+
+def test_fig3_reproduction(benchmark):
+    """Latency-vs-load curves must agree below saturation (Figure 3)."""
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    path = write_report("fig3", result.render())
+    register_result(path)
+    for series in result.series:
+        err = series.mean_abs_error_below(0.9)
+        benchmark.extra_info[f"mean_abs_err_{series.message_flits}f"] = err
+        benchmark.extra_info[f"model_sat_{series.message_flits}f"] = (
+            series.model_saturation
+        )
+        # The paper's central claim: close agreement over a wide load range.
+        assert math.isfinite(err)
+        assert err < 0.08, f"{series.message_flits}-flit curve off by {err:.1%}"

@@ -1,0 +1,35 @@
+"""Bench GFT — generalized fat-trees: M/G/p queues beyond the paper.
+
+Realizes the conclusion's claim ("the framework can be extended for
+networks that require queuing models with more than two servers") and
+validates it against simulation.  Results land in
+``benchmarks/results/generalized.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_generalized, write_report
+
+
+def test_generalized_fat_trees(benchmark):
+    """Every (c, p) family member must validate within a few percent."""
+    result = benchmark.pedantic(run_generalized, rounds=1, iterations=1)
+    path = write_report("generalized", result.render())
+    register_result(path)
+    worst = 0.0
+    sat_by_parents: dict[int, float] = {}
+    for row in result.rows:
+        if math.isfinite(row.rel_err):
+            worst = max(worst, abs(row.rel_err))
+        if row.children == 4 and row.levels == result.rows[0].levels:
+            sat_by_parents[row.parents] = row.model_saturation
+    benchmark.extra_info["worst_abs_rel_err"] = worst
+    assert worst < 0.08, f"worst relative error {worst:.1%}"
+    # Up-link redundancy must buy saturation throughput monotonically.
+    parents = sorted(sat_by_parents)
+    sats = [sat_by_parents[p] for p in parents]
+    assert sats == sorted(sats)

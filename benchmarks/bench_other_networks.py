@@ -1,0 +1,33 @@
+"""Bench GEN — the general model on other networks (abstract's claim).
+
+Applies the Section-2 framework to a binary hypercube and compares it,
+against simulation, with the Draper–Ghosh-style prior-art baseline; also
+sanity-checks the Dally torus baseline at low load.  Results land in
+``benchmarks/results/other_networks.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from conftest import register_result
+
+from repro.experiments import run_other_networks, write_report
+
+
+def test_other_networks(benchmark):
+    """The corrected general model must beat the uncorrected baseline."""
+    result = benchmark.pedantic(run_other_networks, rounds=1, iterations=1)
+    path = write_report("other_networks", result.render())
+    register_result(path)
+    gen = [abs(r.general_err) for r in result.hypercube_rows if math.isfinite(r.general_err)]
+    base = [abs(r.baseline_err) for r in result.hypercube_rows if math.isfinite(r.baseline_err)]
+    benchmark.extra_info["hypercube_general_mean_err"] = float(np.mean(gen))
+    benchmark.extra_info["hypercube_baseline_mean_err"] = (
+        float(np.mean(base)) if base else math.inf
+    )
+    assert float(np.mean(gen)) < 0.08
+    assert float(np.mean(gen)) < (float(np.mean(base)) if base else math.inf)
+    # Torus rows must be deadlock-free at these low loads.
+    assert all(r.censored == 0 for r in result.torus_rows)

@@ -1,0 +1,61 @@
+"""Bench PERF — engineering performance of the solver and simulators.
+
+Unlike the reproduction benches (which time one full experiment), these are
+conventional micro-benchmarks: pytest-benchmark repeats each operation and
+reports distribution statistics.  They guard against performance
+regressions in the hot paths identified by profiling (model sweeps inside
+the saturation bisection; simulator event loops).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ButterflyFatTree,
+    ButterflyFatTreeModel,
+    SimConfig,
+    Workload,
+    saturation_injection_rate,
+    simulate,
+)
+from repro.core.generic_model import bft_stage_graph
+
+
+def test_model_solve_1024(benchmark):
+    """One closed-form solve at the paper's headline size."""
+    model = ButterflyFatTreeModel(1024)
+    wl = Workload.from_flit_load(0.02, 32)
+    result = benchmark(lambda: model.latency(wl))
+    assert result > 0
+
+
+def test_generic_solver_1024(benchmark):
+    """The generic channel-graph solver on the same instance."""
+    wl = Workload.from_flit_load(0.02, 32)
+    result = benchmark(lambda: bft_stage_graph(1024, wl).latency())
+    assert result > 0
+
+
+def test_saturation_search_1024(benchmark):
+    """Full Eq. 26 bracket-plus-bisection at N=1024."""
+    model = ButterflyFatTreeModel(1024)
+    result = benchmark(lambda: saturation_injection_rate(model, 32).flit_load)
+    assert 0.02 < result < 0.06
+
+
+def test_topology_construction_1024(benchmark):
+    """Wiring all 496 switches and ~4k links of the 1024-PE fat-tree."""
+    topo = benchmark(lambda: ButterflyFatTree(1024))
+    assert topo.num_links == 2 * sum(1024 // 2**l for l in range(5))
+
+
+def test_event_sim_throughput(benchmark):
+    """Event-driven simulator: short fixed workload on a 256-PE tree."""
+    topo = ButterflyFatTree(256)
+    wl = Workload.from_flit_load(0.04, 16)
+
+    def run():
+        cfg = SimConfig(warmup_cycles=200, measure_cycles=2000, seed=5)
+        return simulate(topo, wl, cfg, keep_samples=False)
+
+    result = benchmark(run)
+    assert result.tagged_delivered > 0

@@ -1,0 +1,26 @@
+"""Bench SCALE — latency across network sizes (up to 1024 processors).
+
+Regenerates the size sweep behind Section 3.6's "networks with up to 1024
+processing nodes".  Results land in ``benchmarks/results/scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_scaling, write_report
+
+
+def test_scaling(benchmark):
+    """Model must track simulation at every size and load fraction."""
+    result = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    path = write_report("scaling", result.render())
+    register_result(path)
+    worst = 0.0
+    for row in result.rows:
+        if math.isfinite(row.rel_err):
+            worst = max(worst, abs(row.rel_err))
+    benchmark.extra_info["worst_abs_rel_err"] = worst
+    assert worst < 0.12, f"worst relative error {worst:.1%}"

@@ -1,0 +1,33 @@
+"""Bench SVC — per-channel audit of the model's internal quantities.
+
+Empirically verifies Eq. 14 (per-class arrival rates) and Eqs. 16-24
+(per-class mean service times) against the simulator's per-acquisition
+holding times — a line-by-line check of Sections 3.2-3.3, stronger than
+the end-to-end Figure-3 agreement.  Results land in
+``benchmarks/results/service_times.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_service_times, write_report
+
+
+def test_service_time_audit(benchmark):
+    """Every channel class must match in rate (Eq. 14) and x_bar (Eqs. 16-24)."""
+    result = benchmark.pedantic(run_service_times, rounds=1, iterations=1)
+    path = write_report("service_times", result.render())
+    register_result(path)
+    for row in result.rows:
+        assert math.isfinite(row.sim_service), row.channel
+        assert abs(row.rate_err) < 0.05, f"{row.channel}: rate off {row.rate_err:.1%}"
+        assert abs(row.service_err) < 0.05, (
+            f"{row.channel}: service time off {row.service_err:.1%}"
+        )
+    # Eq. 16: the ejection channel's service time is exactly the worm length.
+    eject = next(r for r in result.rows if r.channel == "<1,0>")
+    assert eject.sim_service == result.message_flits
+    benchmark.extra_info["worst_service_err"] = result.worst_service_error()

@@ -1,0 +1,27 @@
+"""Bench XVAL — cross-validation of the two simulators.
+
+Drives the event-driven and flit-level simulators with shared integer
+arrival traces; message counts must match exactly and mean latencies within
+a few percent.  Results land in ``benchmarks/results/crosscheck.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import register_result
+
+from repro.experiments import run_crosscheck, write_report
+
+
+def test_simulator_crosscheck(benchmark):
+    """Two independent wormhole implementations must agree."""
+    result = benchmark.pedantic(run_crosscheck, rounds=1, iterations=1)
+    path = write_report("crosscheck", result.render())
+    register_result(path)
+    for row in result.rows:
+        key = f"N{row.num_processors}_load{row.flit_load}"
+        benchmark.extra_info[key] = row.rel_diff
+        assert row.event_delivered == row.flit_delivered
+        assert math.isfinite(row.rel_diff)
+        assert abs(row.rel_diff) < 0.04

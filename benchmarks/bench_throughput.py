@@ -1,0 +1,31 @@
+"""Bench THRU — saturation throughput table, model vs simulation.
+
+Regenerates the comparison behind the paper's claim of accurate throughput
+prediction (Sections 3.5-3.6).  The model's Eq. 26 point is expected to be
+accurate-to-conservative: the measured band is recorded in
+``benchmarks/results/throughput.txt`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from conftest import register_result
+
+from repro.experiments import run_throughput_table, write_report
+
+
+def test_throughput_table(benchmark):
+    """Model saturation must land within the simulator's saturation band."""
+    result = benchmark.pedantic(run_throughput_table, rounds=1, iterations=1)
+    path = write_report("throughput", result.render())
+    register_result(path)
+    for row in result.rows:
+        key = f"N{row.num_processors}_F{row.message_flits}"
+        benchmark.extra_info[key] = {
+            "model": row.model_saturation,
+            "sim": row.sim_saturation,
+        }
+        ratio = row.sim_saturation / row.model_saturation
+        assert 0.75 < ratio < 1.8, (
+            f"N={row.num_processors} F={row.message_flits}: "
+            f"sim/model saturation ratio {ratio:.2f} out of band"
+        )

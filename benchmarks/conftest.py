@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one artifact of the paper's evaluation and
+writes its rendered table under ``benchmarks/results/``.  The
+``pytest_terminal_summary`` hook below echoes every table produced during
+the session into the terminal report, so a plain
+
+    pytest benchmarks/ --benchmark-only
+
+leaves both machine-readable files and a human-readable transcript.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_WRITTEN: list[Path] = []
+
+
+def register_result(path: Path) -> None:
+    """Record a result file for the end-of-session summary."""
+    _WRITTEN.append(path)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _WRITTEN:
+        return
+    terminalreporter.write_sep("=", "reproduction results")
+    for path in _WRITTEN:
+        try:
+            content = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        terminalreporter.write_line(f"--- {path} ---")
+        for line in content.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Capacity planning: size a fat-tree under a latency budget.
+
+The scenario that motivated fat-tree machines (CM-5, Meiko CS-2): given a
+per-processor bandwidth demand and a latency budget for fine-grained
+messages, which machine sizes can sustain the workload, and how much
+headroom do they have?  The analytical model answers in milliseconds per
+configuration — no simulation required — which is exactly why such models
+matter for design-space exploration.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ButterflyFatTreeModel, Workload, saturation_injection_rate
+from repro.util.tables import format_table
+
+#: Design requirements.
+LATENCY_BUDGET_CYCLES = 75.0
+BANDWIDTH_DEMAND = 0.02  # flits/cycle per processor
+MESSAGE_LENGTHS = (16, 32, 64)
+MACHINE_SIZES = (16, 64, 256, 1024)
+
+
+def main() -> None:
+    print(
+        f"Requirement: <= {LATENCY_BUDGET_CYCLES:.0f} cycles average latency "
+        f"at {BANDWIDTH_DEMAND} flits/cycle/PE\n"
+    )
+    rows = []
+    feasible: list[tuple[int, int]] = []
+    for n in MACHINE_SIZES:
+        model = ButterflyFatTreeModel(n)
+        for flits in MESSAGE_LENGTHS:
+            wl = Workload.from_flit_load(BANDWIDTH_DEMAND, flits)
+            latency = model.latency(wl)
+            sat = saturation_injection_rate(model, flits).flit_load
+            headroom = sat / BANDWIDTH_DEMAND
+            ok = math.isfinite(latency) and latency <= LATENCY_BUDGET_CYCLES
+            if ok:
+                feasible.append((n, flits))
+            rows.append(
+                (
+                    n,
+                    flits,
+                    latency,
+                    model.zero_load_latency(flits),
+                    headroom,
+                    "yes" if ok else "no",
+                )
+            )
+    print(
+        format_table(
+            [
+                "N",
+                "flits",
+                "latency @ demand",
+                "zero-load latency",
+                "saturation headroom (x)",
+                "meets budget",
+            ],
+            rows,
+            title="Design-space sweep (analytical model, no simulation)",
+        )
+    )
+
+    if feasible:
+        largest = max(feasible)
+        print(
+            f"\nLargest feasible configuration: N={largest[0]} with "
+            f"{largest[1]}-flit messages."
+        )
+    print(
+        "\nReading the table: zero-load latency grows with message length\n"
+        "(serialization) and with N (average distance, D_bar); headroom\n"
+        "shrinks as N grows because per-level link bandwidth is shared by\n"
+        "more processors.  The model makes the latency/size/message-length\n"
+        "trade-off explicit before any hardware or simulation time is spent."
+    )
+
+
+if __name__ == "__main__":
+    main()

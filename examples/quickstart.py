@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: model a butterfly fat-tree and predict its performance.
+
+Builds the analytical model for a 256-processor butterfly fat-tree,
+evaluates average message latency across offered loads, finds the
+saturation throughput, and validates one operating point against the
+flit-accurate simulator — all in a few seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ButterflyFatTree,
+    ButterflyFatTreeModel,
+    SimConfig,
+    Workload,
+    latency_sweep,
+    load_grid_to_saturation,
+    saturation_injection_rate,
+    simulate,
+)
+from repro.util.tables import ascii_curve, format_table
+
+
+def main() -> None:
+    num_processors = 256
+    message_flits = 32
+
+    # --- 1. the analytical model (the paper's contribution) -------------------
+    model = ButterflyFatTreeModel(num_processors)
+    print(model.describe())
+
+    wl = Workload.from_flit_load(0.03, message_flits)
+    print(f"\nAt {wl.flit_load:.3f} flits/cycle/PE with {message_flits}-flit worms:")
+    solution = model.solve(wl)
+    for name, value in solution.breakdown().items():
+        print(f"  {name:>18}: {value:8.3f} cycles")
+
+    # --- 2. a latency-vs-load curve up to saturation ---------------------------
+    sat = saturation_injection_rate(model, message_flits)
+    print(f"\nSaturation throughput: {sat.flit_load:.4f} flits/cycle/PE "
+          f"(lambda_0 = {sat.injection_rate:.6f} msgs/cycle/PE)")
+
+    grid = load_grid_to_saturation(model, message_flits, n_points=8)
+    curve = latency_sweep(model.latency, message_flits, grid, label="model")
+    print()
+    print(format_table(
+        ["load (fl/cyc/PE)", "latency (cycles)"],
+        curve.as_rows(),
+        title="Model latency vs offered load",
+    ))
+
+    # --- 3. validate one point against the simulator ---------------------------
+    topo = ButterflyFatTree(num_processors)
+    cfg = SimConfig(warmup_cycles=2_000, measure_cycles=8_000, seed=7)
+    res = simulate(topo, wl, cfg)
+    print(f"\nSimulation at the same point: {res.summary()}")
+    err = (model.latency(wl) - res.latency_mean) / res.latency_mean
+    print(f"Model vs simulation: {err:+.2%}")
+
+    print()
+    print(ascii_curve(
+        list(curve.flit_loads),
+        {"model": list(curve.latencies)},
+        x_label="flits/cycle/PE",
+        y_label="latency",
+        height=12,
+    ))
+
+
+if __name__ == "__main__":
+    main()

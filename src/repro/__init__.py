@@ -1,0 +1,121 @@
+"""repro — wormhole-routed network performance models and simulators.
+
+A faithful, tested reproduction of:
+
+    Ronald I. Greenberg and Lee Guan, "An Improved Analytical Model for
+    Wormhole Routed Networks with Application to Butterfly Fat-Trees",
+    Proc. 1997 International Conference on Parallel Processing (ICPP),
+    pages 44-48, IEEE Computer Society Press, August 1997.
+
+Quickstart
+----------
+>>> from repro import ButterflyFatTreeModel, Workload
+>>> model = ButterflyFatTreeModel(256)
+>>> wl = Workload.from_flit_load(0.02, message_flits=32)
+>>> latency = model.latency(wl)          # cycles, inf past saturation
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+reproduction of every table and figure in the paper's evaluation.
+"""
+
+from .config import SimConfig, Workload
+from .core import (
+    BftSolution,
+    ButterflyFatTreeModel,
+    ChannelGraphModel,
+    GeneralizedFatTreeModel,
+    LatencyCurve,
+    ModelVariant,
+    SaturationResult,
+    Stage,
+    Transition,
+    bft_stage_graph,
+    generalized_fattree_stage_graph,
+    hypercube_stage_graph,
+    latency_sweep,
+    load_grid_to_saturation,
+    saturation_flit_load,
+    saturation_injection_rate,
+)
+from .errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    RoutingError,
+    SaturatedError,
+    SimulationError,
+    TopologyError,
+)
+from .simulation import (
+    BufferedWormholeSimulator,
+    EventDrivenWormholeSimulator,
+    FlitLevelWormholeSimulator,
+    Pattern,
+    PoissonTraffic,
+    SimulationResult,
+    TraceTraffic,
+    empirical_saturation,
+    run_replications,
+    simulate,
+    simulate_buffered,
+    simulate_flit_level,
+    simulated_latency_curve,
+)
+from .topology import (
+    ButterflyFatTree,
+    GeneralizedFatTree,
+    Hypercube,
+    KaryNCube,
+    bft_average_distance,
+    bft_nca_level,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "Workload",
+    "BftSolution",
+    "ButterflyFatTreeModel",
+    "ChannelGraphModel",
+    "LatencyCurve",
+    "ModelVariant",
+    "SaturationResult",
+    "Stage",
+    "Transition",
+    "bft_stage_graph",
+    "generalized_fattree_stage_graph",
+    "hypercube_stage_graph",
+    "latency_sweep",
+    "load_grid_to_saturation",
+    "saturation_flit_load",
+    "saturation_injection_rate",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ReproError",
+    "RoutingError",
+    "SaturatedError",
+    "SimulationError",
+    "TopologyError",
+    "ButterflyFatTree",
+    "GeneralizedFatTree",
+    "GeneralizedFatTreeModel",
+    "Hypercube",
+    "KaryNCube",
+    "bft_average_distance",
+    "bft_nca_level",
+    "BufferedWormholeSimulator",
+    "EventDrivenWormholeSimulator",
+    "FlitLevelWormholeSimulator",
+    "Pattern",
+    "simulate_buffered",
+    "PoissonTraffic",
+    "SimulationResult",
+    "TraceTraffic",
+    "empirical_saturation",
+    "run_replications",
+    "simulate",
+    "simulate_flit_level",
+    "simulated_latency_curve",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Prior-art baseline models (S7 in DESIGN.md).
+
+* :class:`DallyKaryNCubeModel` — Dally-style analysis of unidirectional
+  k-ary n-cubes (deterministic routing, per-channel M/G/1 contention, no
+  wormhole blocking correction);
+* :class:`DraperGhoshHypercubeModel` — Draper–Ghosh-style hypercube
+  analysis (the recursion the paper generalises, without the paper's
+  blocking correction);
+* :func:`naive_bft_model` — the butterfly fat-tree model with both of the
+  paper's novelties (multi-server queues, blocking correction) disabled.
+"""
+
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.variants import ModelVariant
+from .dally import DallyKaryNCubeModel
+from .draper_ghosh import DraperGhoshHypercubeModel
+
+__all__ = [
+    "DallyKaryNCubeModel",
+    "DraperGhoshHypercubeModel",
+    "naive_bft_model",
+]
+
+
+def naive_bft_model(num_processors: int) -> ButterflyFatTreeModel:
+    """A prior-art-style fat-tree model: independent M/G/1 links, no blocking
+    correction.  Used by the ablation experiments as the reference point the
+    paper improves upon."""
+    return ButterflyFatTreeModel(num_processors, ModelVariant.naive())

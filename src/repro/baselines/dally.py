@@ -1,0 +1,139 @@
+"""Dally-style k-ary n-cube model (baseline).
+
+Dally's analysis (IEEE Trans. Computers 39(6), 1990) is the canonical prior
+wormhole model the paper cites: unidirectional k-ary n-cubes, deterministic
+(e-cube) routing, with the expected contention delay evaluated per physical
+channel.  Its defining simplification — the one Draper & Ghosh and the
+fat-tree paper later lift — is that the *service time used for contention
+is the message length itself*: waits suffered downstream do not inflate the
+service time seen upstream.  The model is therefore optimistic at high load
+but simple and stable all the way to unit channel utilization.
+
+Concretely, for uniform traffic on the unidirectional torus:
+
+* every physical network channel carries ``lambda_c = lambda_0 (k-1)/2``
+  messages per cycle (the average ring distance is ``(k-1)/2``);
+* each of the ``D`` network hops of a message charges the M/G/1
+  (deterministic-service) wait ``W = lambda_c L^2 / (2 (1 - lambda_c L))``
+  with ``L`` the message length in flits;
+* the ejection channel charges the equivalent wait at rate ``lambda_0``;
+* latency is ``W_inj + sum of hop waits + D_bar + L - 1``.
+
+A note on simulation of this network: wormhole routing on *rings* is
+deadlock-prone without virtual channels (Dally & Seitz 1987); Dally's
+networks use two virtual channels per link ("datelines") to break the
+cycle.  Our simulators implement no virtual channels — the butterfly
+fat-tree needs none, which is one of its advantages — so simulator
+validation of this baseline is restricted to low loads where cyclic waits
+are rare (see ``tests/test_baselines.py``); at higher loads torus runs
+report censored messages, which is the physically correct outcome.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from ..queueing.distributions import ScvMode, scv_for_mode
+from ..queueing.mg1 import mg1_waiting_time
+from ..topology.properties import kary_ncube_average_distance
+
+__all__ = ["DallyKaryNCubeModel"]
+
+
+class DallyKaryNCubeModel:
+    """Analytical latency model of a unidirectional k-ary n-cube.
+
+    Parameters
+    ----------
+    radix, dimensions:
+        Network shape (``N = radix**dimensions``).
+    scv_mode:
+        Service-variability assumption for the per-hop waits; Dally's
+        fixed-length messages imply the deterministic default.
+    """
+
+    def __init__(
+        self,
+        radix: int,
+        dimensions: int,
+        *,
+        scv_mode: ScvMode = ScvMode.DETERMINISTIC,
+    ) -> None:
+        if not isinstance(radix, int) or radix < 2:
+            raise ConfigurationError(f"radix must be an integer >= 2, got {radix!r}")
+        if not isinstance(dimensions, int) or dimensions < 1:
+            raise ConfigurationError(
+                f"dimensions must be a positive integer, got {dimensions!r}"
+            )
+        self.radix = radix
+        self.dimensions = dimensions
+        self.num_processors = radix**dimensions
+        self.scv_mode = scv_mode
+        #: Average path length including injection and ejection channels.
+        self.average_distance = kary_ncube_average_distance(radix, dimensions)
+        #: Average number of *network* hops (excludes injection/ejection).
+        self.network_hops = self.average_distance - 2.0
+
+    # --- internals ----------------------------------------------------------------
+
+    def channel_rate(self, injection_rate: float) -> float:
+        """Per-channel message rate ``lambda_0 * (k-1)/2`` under uniform traffic."""
+        if injection_rate < 0:
+            raise ConfigurationError("injection_rate must be >= 0")
+        return injection_rate * (self.radix - 1) / 2.0
+
+    def _hop_wait(self, rate: float, message_flits: int) -> float:
+        service = float(message_flits)
+        scv = scv_for_mode(self.scv_mode, service, message_flits)
+        return mg1_waiting_time(rate, service, scv)
+
+    # --- public API ------------------------------------------------------------------
+
+    def latency(self, workload: Workload) -> float:
+        """Average message latency in cycles (``inf`` past saturation).
+
+        Saturation in this model is channel flit-utilization reaching one
+        (``lambda_c * L >= 1``), the classic wormhole capacity bound.
+        """
+        flits = workload.message_flits
+        lam_c = self.channel_rate(workload.injection_rate)
+        w_hop = self._hop_wait(lam_c, flits)
+        w_eject = self._hop_wait(workload.injection_rate, flits)
+        w_inject = self._hop_wait(workload.injection_rate, flits)
+        if not (math.isfinite(w_hop) and math.isfinite(w_eject) and math.isfinite(w_inject)):
+            return math.inf
+        contention = self.network_hops * w_hop + w_eject + w_inject
+        return contention + self.average_distance + flits - 1.0
+
+    def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
+        """Latency with load expressed in flits/cycle/PE."""
+        return self.latency(Workload.from_flit_load(flit_load, message_flits))
+
+    def is_stable(self, workload: Workload) -> bool:
+        """Channel and terminal utilizations all below one."""
+        lam_c = self.channel_rate(workload.injection_rate)
+        flits = workload.message_flits
+        return max(lam_c, workload.injection_rate) * flits < 1.0
+
+    def zero_load_latency(self, message_flits: int) -> float:
+        """Contention-free limit ``L + D_bar - 1``."""
+        return float(message_flits) + self.average_distance - 1.0
+
+    def saturation_flit_load(self, message_flits: int) -> float:
+        """Closed-form capacity bound in flits/cycle/PE: ``2 / (k - 1)``.
+
+        Independent of message length: channel utilization
+        ``lambda_0 (k-1)/2 * L`` hits one at flit load ``lambda_0 L = 2/(k-1)``.
+        """
+        if message_flits <= 0:
+            raise ConfigurationError("message_flits must be positive")
+        return 2.0 / (self.radix - 1)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"DallyKaryNCubeModel(k={self.radix}, n={self.dimensions}, "
+            f"N={self.num_processors})"
+        )

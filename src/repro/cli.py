@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives downstream users the main entry points without writing Python:
+
+* ``model``       — one analytical evaluation (latency breakdown);
+* ``sweep``       — model latency-vs-load table up to saturation;
+* ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
+* ``simulate``    — one simulation run (event/flit/buffered engine);
+* ``info``        — topology summary;
+* ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
+  ablations, other-networks, crosscheck, generalized, buffering).
+
+All output is plain text on stdout; exit status 0 on success, 2 on bad
+arguments (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import SimConfig, Workload
+from .core.bft_model import ButterflyFatTreeModel
+from .core.sweep import latency_sweep, load_grid_to_saturation
+from .core.throughput import saturation_injection_rate
+from .errors import ReproError
+from .simulation.buffered_sim import BufferedWormholeSimulator
+from .simulation.flit_sim import FlitLevelWormholeSimulator
+from .simulation.wormhole_sim import EventDrivenWormholeSimulator
+from .topology.butterfly_fattree import ButterflyFatTree
+from .topology.properties import describe_topology
+from .util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig3": "run_fig3",
+    "throughput": "run_throughput_table",
+    "scaling": "run_scaling",
+    "ablations": "run_ablations",
+    "other-networks": "run_other_networks",
+    "crosscheck": "run_crosscheck",
+    "generalized": "run_generalized",
+    "buffering": "run_buffering",
+    "service-times": "run_service_times",
+}
+
+_SIMULATORS = {
+    "event": EventDrivenWormholeSimulator,
+    "flit": FlitLevelWormholeSimulator,
+    "buffered": BufferedWormholeSimulator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wormhole-routed butterfly fat-tree performance models "
+        "(Greenberg & Guan, ICPP 1997 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_load: bool = True) -> None:
+        p.add_argument(
+            "--processors",
+            "-n",
+            type=int,
+            default=256,
+            help="number of processors (power of 4)",
+        )
+        p.add_argument(
+            "--flits", "-f", type=int, default=32, help="message length in flits"
+        )
+        if with_load:
+            p.add_argument(
+                "--load",
+                "-l",
+                type=float,
+                default=0.02,
+                help="offered load in flits/cycle/PE (Figure-3 units)",
+            )
+
+    p_model = sub.add_parser("model", help="evaluate the analytical model once")
+    add_common(p_model)
+
+    p_sweep = sub.add_parser("sweep", help="model latency-vs-load table")
+    add_common(p_sweep, with_load=False)
+    p_sweep.add_argument("--points", type=int, default=10, help="grid points")
+
+    p_sat = sub.add_parser("saturation", help="Eq. 26 saturation throughput")
+    p_sat.add_argument("--processors", "-n", type=int, default=256)
+    p_sat.add_argument(
+        "--flits",
+        "-f",
+        type=str,
+        default="16,32,64",
+        help="comma-separated message lengths",
+    )
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    add_common(p_sim)
+    p_sim.add_argument(
+        "--simulator",
+        choices=sorted(_SIMULATORS),
+        default="event",
+        help="engine: event (worm-level), flit (cycle-level), buffered (VC router)",
+    )
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--warmup", type=float, default=3000.0)
+    p_sim.add_argument("--measure", type=float, default=9000.0)
+
+    p_info = sub.add_parser("info", help="topology summary")
+    p_info.add_argument("--processors", "-n", type=int, default=256)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument(
+        "--full", action="store_true", help="paper-scale grids and windows"
+    )
+
+    return parser
+
+
+def _cmd_model(args) -> str:
+    model = ButterflyFatTreeModel(args.processors)
+    wl = Workload.from_flit_load(args.load, args.flits)
+    solution = model.solve(wl)
+    rows = list(solution.breakdown().items())
+    rows.append(("saturated", solution.saturated))
+    return "\n".join(
+        [
+            model.describe(),
+            format_table(["component", "value"], rows, title=f"load={args.load} fl/cyc/PE"),
+        ]
+    )
+
+
+def _cmd_sweep(args) -> str:
+    model = ButterflyFatTreeModel(args.processors)
+    grid = load_grid_to_saturation(model, args.flits, n_points=args.points)
+    curve = latency_sweep(model.latency, args.flits, grid)
+    return format_table(
+        ["load (fl/cyc/PE)", "latency (cycles)"],
+        curve.as_rows(),
+        title=f"N={args.processors}, {args.flits}-flit",
+    )
+
+
+def _cmd_saturation(args) -> str:
+    model = ButterflyFatTreeModel(args.processors)
+    rows = []
+    for flits in (int(x) for x in args.flits.split(",")):
+        sat = saturation_injection_rate(model, flits)
+        rows.append((flits, sat.injection_rate, sat.flit_load))
+    return format_table(
+        ["flits", "lambda0 (msgs/cyc/PE)", "flit load (fl/cyc/PE)"],
+        rows,
+        title=f"Saturation, N={args.processors}",
+    )
+
+
+def _cmd_simulate(args) -> str:
+    topo = ButterflyFatTree(args.processors)
+    wl = Workload.from_flit_load(args.load, args.flits)
+    cfg = SimConfig(
+        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=args.seed
+    )
+    sim_cls = _SIMULATORS[args.simulator]
+    result = sim_cls(topo, wl, cfg, keep_samples=False).run()
+    model = ButterflyFatTreeModel(args.processors)
+    lines = [
+        f"simulator: {args.simulator}",
+        result.summary(),
+        f"model prediction: {model.latency(wl):.3f} cycles",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_info(args) -> str:
+    topo = ButterflyFatTree(args.processors)
+    info = describe_topology(topo)
+    rows = [
+        ("processors", info["processors"]),
+        ("links", info["links"]),
+    ]
+    rows += sorted(info["links_per_class"].items())
+    rows += [(f"groups of size {k}", v) for k, v in sorted(info["groups_by_size"].items())]
+    return "\n".join(
+        [topo.describe(), format_table(["property", "value"], rows)]
+    )
+
+
+def _cmd_experiment(args) -> str:
+    import os
+
+    from . import experiments
+
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    runner = getattr(experiments, _EXPERIMENTS[args.name])
+    return runner().render()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "model": _cmd_model,
+        "sweep": _cmd_sweep,
+        "saturation": _cmd_saturation,
+        "simulate": _cmd_simulate,
+        "info": _cmd_info,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        print(handlers[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

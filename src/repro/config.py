@@ -1,0 +1,129 @@
+"""Workload and run-configuration records shared across the library.
+
+The paper (Greenberg & Guan 1997) expresses offered load in two equivalent
+ways:
+
+* an *injection rate* ``lambda_0`` in messages per cycle per processor
+  (the Poisson arrival rate of Section 2), and
+* a *load rate* in flits per cycle per processor (the x-axis of Figure 3),
+  which is ``lambda_0 * message_flits``.
+
+:class:`Workload` stores the canonical (rate, length) pair and converts
+between the two conventions so that experiments can be written in the
+paper's units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+
+__all__ = ["Workload", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An offered-traffic specification for one operating point.
+
+    Parameters
+    ----------
+    message_flits:
+        Worm length ``s/f`` in flits (fixed-length messages, assumption 2 of
+        the paper).  Must be a positive integer.
+    injection_rate:
+        Poisson message-generation rate ``lambda_0`` per processor per clock
+        cycle (assumption 1).  Must be non-negative.
+    """
+
+    message_flits: int
+    injection_rate: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.message_flits, int) or self.message_flits <= 0:
+            raise ConfigurationError(
+                f"message_flits must be a positive integer, got {self.message_flits!r}"
+            )
+        if not (self.injection_rate >= 0.0):
+            raise ConfigurationError(
+                f"injection_rate must be non-negative, got {self.injection_rate!r}"
+            )
+
+    @classmethod
+    def from_flit_load(cls, flit_load: float, message_flits: int) -> "Workload":
+        """Build a workload from a load rate in flits/cycle/processor.
+
+        This is the unit of Figure 3's x-axis: ``lambda_0 = flit_load / F``.
+        """
+        if not (flit_load >= 0.0):
+            raise ConfigurationError(f"flit_load must be non-negative, got {flit_load!r}")
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError(
+                f"message_flits must be a positive integer, got {message_flits!r}"
+            )
+        return cls(message_flits=message_flits, injection_rate=flit_load / message_flits)
+
+    @property
+    def flit_load(self) -> float:
+        """Offered load in flits per cycle per processor (Figure 3 units)."""
+        return self.injection_rate * self.message_flits
+
+    def with_injection_rate(self, injection_rate: float) -> "Workload":
+        """Return a copy of this workload at a different injection rate."""
+        return replace(self, injection_rate=injection_rate)
+
+    def with_flit_load(self, flit_load: float) -> "Workload":
+        """Return a copy of this workload at a different flit load."""
+        return Workload.from_flit_load(flit_load, self.message_flits)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Measurement methodology for a simulation run.
+
+    The simulators use the standard warmup/measure/drain protocol:
+
+    1. run ``warmup_cycles`` to reach steady state (messages generated in
+       this window are simulated but not measured);
+    2. *tag* every message generated during the next ``measure_cycles``;
+    3. keep simulating until every tagged message is delivered, or until
+       ``max_cycles`` elapse (in which case the run is flagged as censored,
+       which above saturation is the expected outcome).
+
+    Average latency is computed over tagged messages only; throughput is the
+    delivered-flit rate during the measurement window.
+    """
+
+    warmup_cycles: float = 5_000.0
+    measure_cycles: float = 20_000.0
+    max_cycles: float | None = None
+    seed: int = 0
+    # Extra head-room for the drain phase when ``max_cycles`` is not given:
+    # the run is cut off at (warmup + measure) * drain_factor.
+    drain_factor: float = 4.0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0:
+            raise ConfigurationError("warmup_cycles must be >= 0")
+        if self.measure_cycles <= 0:
+            raise ConfigurationError("measure_cycles must be > 0")
+        if self.drain_factor < 1.0:
+            raise ConfigurationError("drain_factor must be >= 1")
+        if self.max_cycles is not None and self.max_cycles <= self.warmup_cycles + self.measure_cycles:
+            raise ConfigurationError("max_cycles must exceed warmup_cycles + measure_cycles")
+
+    @property
+    def cutoff_cycles(self) -> float:
+        """The absolute simulation-time horizon for this run."""
+        if self.max_cycles is not None:
+            return self.max_cycles
+        return (self.warmup_cycles + self.measure_cycles) * self.drain_factor
+
+    @property
+    def measure_start(self) -> float:
+        return self.warmup_cycles
+
+    @property
+    def measure_end(self) -> float:
+        return self.warmup_cycles + self.measure_cycles

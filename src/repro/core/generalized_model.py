@@ -1,0 +1,267 @@
+"""Analytical model for generalized (c, p) fat-trees — the conclusion's claim.
+
+The paper closes with: "the framework can be extended for networks that
+require queuing models with more than two servers."  This module carries
+out that extension.  All of Section 3's derivations generalize directly:
+
+* climb probability:  ``P^_l = (c^n - c^l) / (c^n - 1)``;
+* channel rates:      ``lambda_{l,l+1} = lambda_0 * P^_l * (c/p)^l``
+  (``N * P^_l * lambda_0`` messages spread over ``N * (p/c)^l`` links);
+* down sweep:         one of ``c`` children, ``R = 1/c`` (Eq. 18 shape);
+* up sweep:           the ``p`` parent links form one M/G/p channel fed the
+  total rate ``p * lambda`` (Eqs. 20-23 shape, with
+  :func:`repro.queueing.mgm.mgm_waiting_time` supplying the general-``m``
+  Hokstad-style wait), and the turn-down branch targets one of ``c - 1``
+  sibling channels;
+* latency/throughput: Eqs. 25-26 unchanged, with
+  ``D_bar = sum_l 2 l (c^l - c^(l-1)) / (c^n - 1)``.
+
+Setting ``(c, p) = (4, 2)`` reproduces
+:class:`~repro.core.bft_model.ButterflyFatTreeModel` to machine precision
+(a test asserts it), so this is a strict generalization, not a parallel
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from ..queueing.distributions import scv_for_mode
+from ..queueing.mg1 import mg1_waiting_time
+from ..queueing.mgm import mgm_waiting_time
+from .blocking import blocking_probability
+from .variants import ModelVariant
+
+__all__ = [
+    "GeneralizedFatTreeModel",
+    "generalized_up_probability",
+    "generalized_channel_rates",
+    "generalized_average_distance",
+]
+
+
+def generalized_up_probability(children: int, levels: int, level: int) -> float:
+    """``P^_l`` for block radix ``c``: ``(c^n - c^l) / (c^n - 1)``."""
+    if children < 2 or levels < 1:
+        raise ConfigurationError("children must be >= 2 and levels >= 1")
+    if not (0 <= level <= levels):
+        raise ConfigurationError(f"level must be in [0, {levels}], got {level!r}")
+    return (children**levels - children**level) / (children**levels - 1)
+
+
+def generalized_channel_rates(
+    children: int, parents: int, levels: int, injection_rate: float
+) -> np.ndarray:
+    """Per-link rates ``lambda_{l,l+1} = lambda_0 P^_l (c/p)^l``, l = 0..n-1."""
+    if parents < 1:
+        raise ConfigurationError("parents must be >= 1")
+    if injection_rate < 0:
+        raise ConfigurationError("injection_rate must be >= 0")
+    ls = np.arange(levels)
+    c, n = float(children), levels
+    probs = (c**n - c**ls) / (c**n - 1.0)
+    return injection_rate * probs * (c / parents) ** ls
+
+
+def generalized_average_distance(children: int, levels: int) -> float:
+    """``D_bar`` for radix-``c`` blocks (exact rational arithmetic)."""
+    if children < 2 or levels < 1:
+        raise ConfigurationError("children must be >= 2 and levels >= 1")
+    denom = children**levels - 1
+    total = Fraction(0)
+    for l in range(1, levels + 1):
+        total += Fraction(2 * l * (children**l - children ** (l - 1)), denom)
+    return float(total)
+
+
+@dataclass(frozen=True)
+class GeneralizedSolution:
+    """Per-channel-class solution (same layout as :class:`BftSolution`)."""
+
+    workload: Workload
+    levels: int
+    rate: np.ndarray
+    down_service: np.ndarray
+    down_wait: np.ndarray
+    up_service: np.ndarray
+    up_wait: np.ndarray
+    average_distance: float
+
+    @property
+    def saturated(self) -> bool:
+        """True when any channel diverged (no steady state)."""
+        return not (
+            np.all(np.isfinite(self.down_service))
+            and np.all(np.isfinite(self.down_wait))
+            and np.all(np.isfinite(self.up_service))
+            and np.all(np.isfinite(self.up_wait))
+        )
+
+    @property
+    def latency(self) -> float:
+        """Average latency via Eq. 25 (``inf`` past saturation)."""
+        if self.saturated:
+            return math.inf
+        return (
+            float(self.up_wait[0])
+            + float(self.up_service[0])
+            + self.average_distance
+            - 1.0
+        )
+
+
+class GeneralizedFatTreeModel:
+    """Latency/throughput model of a ``(children, parents)`` fat-tree.
+
+    Parameters
+    ----------
+    children, parents, levels:
+        Family parameters; the machine has ``children**levels`` PEs and the
+        up channels are M/G/``parents`` queues.
+    variant:
+        The same ablation switches as the 4-2 model; ``multiserver_up=False``
+        degrades every up pair/bundle to independent M/G/1 queues.
+    """
+
+    def __init__(
+        self,
+        children: int,
+        parents: int,
+        levels: int,
+        variant: ModelVariant | None = None,
+    ) -> None:
+        if not isinstance(children, int) or children < 2:
+            raise ConfigurationError(f"children must be an integer >= 2, got {children!r}")
+        if not isinstance(parents, int) or parents < 1:
+            raise ConfigurationError(f"parents must be an integer >= 1, got {parents!r}")
+        if not isinstance(levels, int) or levels < 1:
+            raise ConfigurationError(f"levels must be an integer >= 1, got {levels!r}")
+        self.children = children
+        self.parents = parents
+        self.levels = levels
+        self.num_processors = children**levels
+        self.variant = variant or ModelVariant.paper()
+        self.average_distance = generalized_average_distance(children, levels)
+
+    # --- helpers -------------------------------------------------------------------
+
+    def _scv(self, service: float, flits: int) -> float:
+        if not math.isfinite(service):
+            return 0.0
+        return scv_for_mode(self.variant.scv_mode, service, flits)
+
+    def _climb(self, level: int) -> float:
+        c, n = self.children, self.levels
+        if self.variant.conditional_up_probability:
+            if level < 1:
+                raise ConfigurationError("conditional climb needs level >= 1")
+            return (c**n - c**level) / (c**n - c ** (level - 1))
+        return generalized_up_probability(c, n, level)
+
+    # --- solver ----------------------------------------------------------------------
+
+    def solve(self, workload: Workload) -> GeneralizedSolution:
+        """Two-sweep resolution of all channel classes (Eqs. 16-24 shape)."""
+        if not isinstance(workload, Workload):
+            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
+        c, p, n = self.children, self.parents, self.levels
+        flits = workload.message_flits
+        blocking = self.variant.blocking_correction
+        rate = generalized_channel_rates(c, p, n, workload.injection_rate)
+
+        down_service = np.empty(n)
+        down_wait = np.empty(n)
+        up_service = np.empty(n)
+        up_wait = np.empty(n)
+
+        down_service[0] = float(flits)
+        down_wait[0] = mg1_waiting_time(
+            rate[0], down_service[0], self._scv(down_service[0], flits)
+        )
+        for l in range(1, n):
+            p_block = blocking_probability(
+                1, rate[l], rate[l - 1], 1.0 / c, enabled=blocking
+            )
+            blocked = 0.0 if p_block == 0.0 else p_block * down_wait[l - 1]
+            down_service[l] = down_service[l - 1] + blocked
+            down_wait[l] = mg1_waiting_time(
+                rate[l], down_service[l], self._scv(down_service[l], flits)
+            )
+
+        def charge(p_block: float, wait: float) -> float:
+            # A zero blocking probability cancels the wait even when the
+            # wait itself has diverged (0 * inf would otherwise poison the
+            # sweep with NaN).
+            return 0.0 if p_block == 0.0 else p_block * wait
+
+        for u in range(n - 1, -1, -1):
+            p_up = self._climb(u + 1)
+            p_down = 1.0 - p_up
+            service = 0.0
+            if p_up > 0.0:
+                if self.variant.multiserver_up:
+                    servers, group_rate, queue_prob = p, p * rate[u + 1], p_up
+                else:
+                    servers, group_rate, queue_prob = 1, rate[u + 1], p_up / p
+                p_block_up = blocking_probability(
+                    servers, rate[u], group_rate, queue_prob, enabled=blocking
+                )
+                service += p_up * (up_service[u + 1] + charge(p_block_up, up_wait[u + 1]))
+            p_block_down = blocking_probability(
+                1, rate[u], rate[u], p_down / (c - 1), enabled=blocking
+            )
+            service += p_down * (down_service[u] + charge(p_block_down, down_wait[u]))
+            up_service[u] = service
+            scv = self._scv(up_service[u], flits)
+            if u == 0:
+                up_wait[0] = mg1_waiting_time(rate[0], up_service[0], scv)
+            elif self.variant.multiserver_up:
+                up_wait[u] = mgm_waiting_time(p * rate[u], up_service[u], p, scv)
+            else:
+                up_wait[u] = mg1_waiting_time(rate[u], up_service[u], scv)
+
+        return GeneralizedSolution(
+            workload=workload,
+            levels=n,
+            rate=rate,
+            down_service=down_service,
+            down_wait=down_wait,
+            up_service=up_service,
+            up_wait=up_wait,
+            average_distance=self.average_distance,
+        )
+
+    # --- public API ---------------------------------------------------------------------
+
+    def latency(self, workload: Workload) -> float:
+        """Average message latency in cycles (``inf`` past saturation)."""
+        return self.solve(workload).latency
+
+    def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
+        """Latency with load in flits/cycle/PE."""
+        return self.latency(Workload.from_flit_load(flit_load, message_flits))
+
+    def zero_load_latency(self, message_flits: int) -> float:
+        """Contention-free limit ``s/f + D_bar - 1``."""
+        return float(message_flits) + self.average_distance - 1.0
+
+    def is_stable(self, workload: Workload) -> bool:
+        """Eq. 26 stability test on the injection channel."""
+        sol = self.solve(workload)
+        if sol.saturated:
+            return False
+        return workload.injection_rate * float(sol.up_service[0]) < 1.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"GeneralizedFatTreeModel(c={self.children}, p={self.parents}, "
+            f"levels={self.levels}, N={self.num_processors}, "
+            f"variant={self.variant.label!r})"
+        )

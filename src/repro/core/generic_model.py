@@ -1,0 +1,497 @@
+"""The general wormhole model of Section 2 on arbitrary channel graphs.
+
+The paper's Section 2 is deliberately network-agnostic: given (a) per-channel
+arrival rates, (b) routing probabilities ``R_{i|j}``, and (c) the number of
+servers per outgoing channel, Eq. 11 resolves every channel's mean service
+time by walking the channel dependency structure backwards from the ejection
+channels.  This module implements that general recursion over an explicit
+*stage graph*:
+
+* a :class:`Stage` is an equivalence class of statistically identical
+  queues — e.g. "all up channels from level 2", or "all dimension-3
+  channels of the hypercube".  A stage with ``servers = m`` represents
+  queues of ``m`` pooled links (the fat-tree's up-link pairs);
+* a :class:`Transition` records the probability mass flowing from one stage
+  to another, together with the *per-queue* routing probability ``R_{i|j}``
+  used by the blocking correction (these differ when a class contains
+  several distinct queues, e.g. the four children of a switch).
+
+On an acyclic stage graph (fat-trees, e-cube hypercubes) a single reverse
+topological sweep is exact; on cyclic graphs the same recursion is iterated
+to a fixed point (:func:`repro.util.fixedpoint.fixed_point`).
+
+:func:`bft_stage_graph` re-derives the paper's butterfly fat-tree equations
+from this general machinery; the test suite verifies it matches the
+closed-form :class:`~repro.core.bft_model.ButterflyFatTreeModel` to machine
+precision.  :func:`hypercube_stage_graph` applies the same machinery to a
+binary hypercube — the "other networks" the paper's abstract refers to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from ..queueing.distributions import scv_for_mode
+from ..queueing.mgm import mgm_waiting_time
+from ..topology.properties import bft_average_distance, hypercube_average_distance
+from ..util.fixedpoint import fixed_point
+from ..util.validation import check_power_of
+from .blocking import blocking_probability
+from .rates import bft_channel_rates, conditional_up_probability, up_probability
+from .variants import ModelVariant
+
+__all__ = [
+    "Transition",
+    "Stage",
+    "StageSolution",
+    "ChannelGraphModel",
+    "bft_stage_graph",
+    "generalized_fattree_stage_graph",
+    "hypercube_stage_graph",
+]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Routing edge between stages.
+
+    Attributes
+    ----------
+    target:
+        Name of the downstream stage.
+    probability:
+        Total probability mass a message on the source stage sends to the
+        target *class* (weights the service-time mixture, Eq. 3).
+    queue_probability:
+        ``R_{i|j}`` toward one specific queue of the target class (enters
+        the blocking correction, Eq. 10).  Defaults to ``probability``;
+        pass e.g. ``probability / 4`` when the class consists of four
+        interchangeable single-server queues.
+    """
+
+    target: str
+    probability: float
+    queue_probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigurationError(
+                f"transition probability must be in [0,1], got {self.probability!r}"
+            )
+        qp = self.queue_probability
+        if qp is not None and not (0.0 <= qp <= 1.0):
+            raise ConfigurationError(
+                f"queue_probability must be in [0,1], got {qp!r}"
+            )
+
+    @property
+    def effective_queue_probability(self) -> float:
+        return self.probability if self.queue_probability is None else self.queue_probability
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A class of statistically identical channels (see module docstring).
+
+    ``rate_per_server`` is the message rate carried by one physical link;
+    the queue seen by an arriving worm has ``servers`` links and total rate
+    ``servers * rate_per_server``.  A stage with no transitions is terminal
+    (an ejection channel) and has service time exactly one message length.
+    """
+
+    name: str
+    rate_per_server: float
+    servers: int = 1
+    transitions: tuple[Transition, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_server < 0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: rate_per_server must be >= 0"
+            )
+        if not isinstance(self.servers, int) or self.servers < 1:
+            raise ConfigurationError(
+                f"stage {self.name!r}: servers must be a positive integer"
+            )
+        total = sum(t.probability for t in self.transitions)
+        if self.transitions and not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ConfigurationError(
+                f"stage {self.name!r}: transition probabilities sum to {total}, not 1"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        """Total arrival rate of one queue of this class."""
+        return self.servers * self.rate_per_server
+
+    @property
+    def is_terminal(self) -> bool:
+        return not self.transitions
+
+
+@dataclass(frozen=True)
+class StageSolution:
+    """Resolved mean service time and queue wait of one stage."""
+
+    service: float
+    wait: float
+
+    @property
+    def finite(self) -> bool:
+        return math.isfinite(self.service) and math.isfinite(self.wait)
+
+
+class ChannelGraphModel:
+    """General wormhole-latency solver over a stage graph (Eqs. 3-11).
+
+    Parameters
+    ----------
+    stages:
+        The channel classes; names must be unique and transition targets
+        must exist.
+    message_flits:
+        Worm length ``s/f``.
+    entry:
+        Name of the injection stage; its wait/service feed the latency
+        formula (Eq. 1).
+    average_distance:
+        Mean path length ``D_bar`` in channels (including injection and
+        ejection channels), used by Eq. 2.
+    variant:
+        Approximation switches shared with the closed-form model.
+    """
+
+    def __init__(
+        self,
+        stages: list[Stage],
+        *,
+        message_flits: int,
+        entry: str,
+        average_distance: float,
+        variant: ModelVariant | None = None,
+    ) -> None:
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("stage names must be unique")
+        self.stages = {s.name: s for s in stages}
+        for s in stages:
+            for t in s.transitions:
+                if t.target not in self.stages:
+                    raise ConfigurationError(
+                        f"stage {s.name!r} references unknown target {t.target!r}"
+                    )
+        if entry not in self.stages:
+            raise ConfigurationError(f"entry stage {entry!r} not defined")
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        if average_distance <= 0:
+            raise ConfigurationError("average_distance must be positive")
+        self.message_flits = message_flits
+        self.entry = entry
+        self.average_distance = average_distance
+        self.variant = variant or ModelVariant.paper()
+        self._order = self._topological_order()
+
+    # --- structure ------------------------------------------------------------
+
+    def _topological_order(self) -> list[str] | None:
+        """Reverse-dependency order (terminals first), or None if cyclic."""
+        indeg = {name: len(s.transitions) for name, s in self.stages.items()}
+        rev: dict[str, list[str]] = {name: [] for name in self.stages}
+        for name, s in self.stages.items():
+            for t in s.transitions:
+                rev[t.target].append(name)
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for upstream in rev[n]:
+                indeg[upstream] -= 1
+                if indeg[upstream] == 0:
+                    ready.append(upstream)
+        return order if len(order) == len(self.stages) else None
+
+    @property
+    def is_acyclic(self) -> bool:
+        """True when one reverse sweep solves the graph exactly."""
+        return self._order is not None
+
+    # --- solving ----------------------------------------------------------------
+
+    def _wait(self, stage: Stage, service: float) -> float:
+        if not math.isfinite(service):
+            return math.inf
+        scv = scv_for_mode(self.variant.scv_mode, service, self.message_flits)
+        return mgm_waiting_time(stage.total_rate, service, stage.servers, scv)
+
+    def _service_of(self, stage: Stage, solved: dict[str, StageSolution]) -> float:
+        if stage.is_terminal:
+            return float(self.message_flits)
+        total = 0.0
+        for t in stage.transitions:
+            if t.probability == 0.0:
+                continue
+            down = solved[t.target]
+            target = self.stages[t.target]
+            p_block = blocking_probability(
+                target.servers,
+                stage.rate_per_server,
+                target.total_rate,
+                t.effective_queue_probability,
+                enabled=self.variant.blocking_correction,
+            )
+            # Guard 0 * inf -> NaN: a zero blocking probability cancels the
+            # wait even when the downstream wait has diverged.
+            blocked = 0.0 if p_block == 0.0 else p_block * down.wait
+            total += t.probability * (down.service + blocked)
+        return total
+
+    def solve(self) -> dict[str, StageSolution]:
+        """Resolve every stage's (service, wait) pair.
+
+        Acyclic graphs are solved exactly in one reverse sweep; cyclic
+        graphs iterate Eq. 11 to a fixed point starting from the
+        contention-free service time.
+        """
+        if self._order is not None:
+            solved: dict[str, StageSolution] = {}
+            for name in self._order:
+                stage = self.stages[name]
+                service = self._service_of(stage, solved)
+                solved[name] = StageSolution(service, self._wait(stage, service))
+            return solved
+        return self._solve_cyclic()
+
+    def _solve_cyclic(self) -> dict[str, StageSolution]:
+        names = sorted(self.stages)
+        idx = {n: i for i, n in enumerate(names)}
+
+        def step(x: np.ndarray) -> np.ndarray:
+            solved = {}
+            for n in names:
+                stage = self.stages[n]
+                service = float(x[idx[n]])
+                solved[n] = StageSolution(service, self._wait(stage, service))
+            out = np.empty_like(x)
+            for n in names:
+                out[idx[n]] = self._service_of(self.stages[n], solved)
+            return out
+
+        x0 = np.full(len(names), float(self.message_flits))
+        result = fixed_point(step, x0, tol=1e-12, max_iter=20_000, damping=0.5)
+        solved = {}
+        for n in names:
+            stage = self.stages[n]
+            service = float(result.value[idx[n]])
+            solved[n] = StageSolution(service, self._wait(stage, service))
+        return solved
+
+    # --- outputs ------------------------------------------------------------------
+
+    def latency(self) -> float:
+        """Average latency via Eqs. 1-2 (``inf`` past saturation)."""
+        solved = self.solve()
+        entry = solved[self.entry]
+        if not entry.finite:
+            return math.inf
+        return entry.wait + entry.service + self.average_distance - 1.0
+
+    def injection_service(self) -> float:
+        """Entry-stage service time (drives the Eq. 26 saturation test)."""
+        return self.solve()[self.entry].service
+
+
+# --- ready-made stage graphs -------------------------------------------------------
+
+
+def bft_stage_graph(
+    num_processors: int,
+    workload: Workload,
+    variant: ModelVariant | None = None,
+) -> ChannelGraphModel:
+    """Express the butterfly fat-tree in the general stage-graph form.
+
+    Stage names: ``up0 .. up{n-1}`` (``up0`` is the injection channel) and
+    ``down0 .. down{n-1}`` (``down0`` is the ejection channel), indexed by
+    the lower level exactly like :class:`BftSolution`'s arrays.  Solving
+    this graph must reproduce the closed-form model bit-for-bit — that
+    identity is part of the test suite.
+    """
+    variant = variant or ModelVariant.paper()
+    n = check_power_of("num_processors", num_processors, 4)
+    rate = bft_channel_rates(n, workload.injection_rate)
+
+    def climb(level: int) -> float:
+        if variant.conditional_up_probability:
+            return conditional_up_probability(n, level)
+        return up_probability(n, level)
+
+    stages: list[Stage] = []
+    # Down channels: down0 terminal; down{l} feeds down{l-1} through one of
+    # four interchangeable children.
+    stages.append(Stage("down0", rate_per_server=float(rate[0])))
+    for l in range(1, n):
+        stages.append(
+            Stage(
+                f"down{l}",
+                rate_per_server=float(rate[l]),
+                transitions=(
+                    Transition(f"down{l-1}", 1.0, 0.25),
+                ),
+            )
+        )
+    # Up channels: two-server pairs above the injection level.
+    for u in range(n - 1, -1, -1):
+        p_up = climb(u + 1)
+        p_down = 1.0 - p_up
+        transitions: list[Transition] = []
+        if p_up > 0.0:
+            queue_prob = p_up if variant.multiserver_up else p_up / 2.0
+            transitions.append(Transition(f"up{u+1}", p_up, queue_prob))
+        transitions.append(Transition(f"down{u}", p_down, p_down / 3.0))
+        servers = 2 if (u >= 1 and variant.multiserver_up) else 1
+        stages.append(
+            Stage(
+                f"up{u}",
+                rate_per_server=float(rate[u]),
+                servers=servers,
+                transitions=tuple(transitions),
+            )
+        )
+    return ChannelGraphModel(
+        stages,
+        message_flits=workload.message_flits,
+        entry="up0",
+        average_distance=bft_average_distance(n),
+        variant=variant,
+    )
+
+
+def generalized_fattree_stage_graph(
+    children: int,
+    parents: int,
+    levels: int,
+    workload: Workload,
+    variant: ModelVariant | None = None,
+) -> ChannelGraphModel:
+    """Express a generalized (c, p) fat-tree in the stage-graph form.
+
+    Generalizes :func:`bft_stage_graph`: up channels pool ``p`` links into
+    one M/G/p queue, the turn-down branch targets one of ``c - 1`` sibling
+    channels, and the down fan-out splits over ``c`` children.  Solving
+    this graph reproduces
+    :class:`~repro.core.generalized_model.GeneralizedFatTreeModel` to
+    machine precision (asserted in the test suite), which certifies that
+    the closed-form generalized sweep is an instance of the paper's
+    Section-2 recursion.
+    """
+    from ..core.generalized_model import (
+        generalized_average_distance,
+        generalized_channel_rates,
+        generalized_up_probability,
+    )
+
+    variant = variant or ModelVariant.paper()
+    if not isinstance(children, int) or children < 2:
+        raise ConfigurationError(f"children must be an integer >= 2, got {children!r}")
+    if not isinstance(parents, int) or parents < 1:
+        raise ConfigurationError(f"parents must be an integer >= 1, got {parents!r}")
+    if not isinstance(levels, int) or levels < 1:
+        raise ConfigurationError(f"levels must be an integer >= 1, got {levels!r}")
+    c, p, n = children, parents, levels
+    rate = generalized_channel_rates(c, p, n, workload.injection_rate)
+
+    def climb(level: int) -> float:
+        if variant.conditional_up_probability:
+            return (c**n - c**level) / (c**n - c ** (level - 1))
+        return generalized_up_probability(c, n, level)
+
+    stages: list[Stage] = [Stage("down0", rate_per_server=float(rate[0]))]
+    for l in range(1, n):
+        stages.append(
+            Stage(
+                f"down{l}",
+                rate_per_server=float(rate[l]),
+                transitions=(Transition(f"down{l-1}", 1.0, 1.0 / c),),
+            )
+        )
+    for u in range(n - 1, -1, -1):
+        p_up = climb(u + 1)
+        p_down = 1.0 - p_up
+        transitions: list[Transition] = []
+        if p_up > 0.0:
+            queue_prob = p_up if variant.multiserver_up else p_up / p
+            transitions.append(Transition(f"up{u+1}", p_up, queue_prob))
+        transitions.append(Transition(f"down{u}", p_down, p_down / (c - 1)))
+        servers = p if (u >= 1 and variant.multiserver_up) else 1
+        stages.append(
+            Stage(
+                f"up{u}",
+                rate_per_server=float(rate[u]),
+                servers=servers,
+                transitions=tuple(transitions),
+            )
+        )
+    return ChannelGraphModel(
+        stages,
+        message_flits=workload.message_flits,
+        entry="up0",
+        average_distance=generalized_average_distance(c, n),
+        variant=variant,
+    )
+
+
+def hypercube_stage_graph(
+    dimension: int,
+    workload: Workload,
+    variant: ModelVariant | None = None,
+) -> ChannelGraphModel:
+    """The general model instantiated on a binary hypercube with e-cube routing.
+
+    E-cube resolves address bits from the highest dimension down, so the
+    stage graph ``inject -> dim{d-1} -> ... -> dim0 -> eject`` is acyclic.
+    Under uniform traffic every dimension-``k`` channel carries
+    ``lambda_0 * 2^(d-1) / (2^d - 1)``; after crossing dimension ``k`` the
+    next differing dimension is ``j < k`` with probability ``2^(j-k)`` and
+    the message ejects with probability ``2^-k``.
+    """
+    variant = variant or ModelVariant.paper()
+    if not isinstance(dimension, int) or dimension < 1:
+        raise ConfigurationError(f"dimension must be a positive integer, got {dimension!r}")
+    d = dimension
+    n_nodes = 1 << d
+    lam0 = workload.injection_rate
+    lam_dim = lam0 * (n_nodes // 2) / (n_nodes - 1)
+
+    stages: list[Stage] = [Stage("eject", rate_per_server=lam0)]
+    for k in range(d):
+        transitions = [
+            Transition(f"dim{j}", 2.0 ** (j - k)) for j in range(k - 1, -1, -1)
+        ]
+        transitions.append(Transition("eject", 2.0**-k))
+        stages.append(
+            Stage(
+                f"dim{k}",
+                rate_per_server=lam_dim,
+                transitions=tuple(transitions),
+            )
+        )
+    inject_transitions = tuple(
+        Transition(f"dim{k}", (1 << k) / (n_nodes - 1)) for k in range(d)
+    )
+    stages.append(
+        Stage("inject", rate_per_server=lam0, transitions=inject_transitions)
+    )
+    return ChannelGraphModel(
+        stages,
+        message_flits=workload.message_flits,
+        entry="inject",
+        average_distance=hypercube_average_distance(d),
+        variant=variant,
+    )

@@ -1,0 +1,119 @@
+"""Load sweeps: latency-versus-load curves in Figure-3 coordinates.
+
+A :class:`LatencyCurve` is the model-side analogue of one series in the
+paper's Figure 3: latency (cycles) sampled over offered load (flits per
+cycle per processor) at a fixed message length.  Sweeps saturate gracefully:
+points past saturation hold ``inf`` and are reported by ``finite_mask``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from .throughput import saturation_injection_rate
+
+__all__ = ["LatencyCurve", "latency_sweep", "load_grid_to_saturation"]
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """One latency-vs-load series.
+
+    Attributes
+    ----------
+    label:
+        Series name for reports (e.g. ``"Model 64-flit"``).
+    message_flits:
+        Worm length of the series.
+    flit_loads:
+        Offered load grid, flits/cycle/PE (Figure 3's x-axis).
+    latencies:
+        Average latency at each grid point, ``inf`` past saturation.
+    """
+
+    label: str
+    message_flits: int
+    flit_loads: np.ndarray
+    latencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.flit_loads.shape != self.latencies.shape:
+            raise ConfigurationError("flit_loads and latencies must have equal shape")
+
+    @property
+    def finite_mask(self) -> np.ndarray:
+        """True where the model/simulation produced a finite latency."""
+        return np.isfinite(self.latencies)
+
+    @property
+    def last_stable_load(self) -> float:
+        """Largest grid load with a finite latency (nan when none)."""
+        finite = self.flit_loads[self.finite_mask]
+        return float(finite.max()) if finite.size else float("nan")
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(load, latency) pairs for table rendering."""
+        return [
+            (float(x), float(y)) for x, y in zip(self.flit_loads, self.latencies)
+        ]
+
+
+def latency_sweep(
+    latency_fn: Callable[[Workload], float],
+    message_flits: int,
+    flit_loads: Sequence[float],
+    *,
+    label: str = "model",
+) -> LatencyCurve:
+    """Evaluate ``latency_fn`` over a load grid.
+
+    ``latency_fn`` receives a :class:`Workload` and returns cycles (``inf``
+    allowed); it may be a model's ``latency`` method or a simulator wrapper.
+    """
+    loads = np.asarray(list(flit_loads), dtype=float)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ConfigurationError("flit_loads must be a non-empty 1-D sequence")
+    if np.any(loads < 0):
+        raise ConfigurationError("flit_loads must be non-negative")
+    lat = np.array(
+        [latency_fn(Workload.from_flit_load(x, message_flits)) for x in loads],
+        dtype=float,
+    )
+    return LatencyCurve(
+        label=label, message_flits=message_flits, flit_loads=loads, latencies=lat
+    )
+
+
+def load_grid_to_saturation(
+    model,
+    message_flits: int,
+    *,
+    n_points: int = 10,
+    fraction: float = 0.98,
+    include_zero_limit: bool = True,
+) -> np.ndarray:
+    """Build a load grid from near zero up to ``fraction`` of model saturation.
+
+    This mirrors how Figure 3's x-range terminates just past the knee of the
+    curves.  The lowest point is placed at 2% of saturation rather than 0
+    (zero load is a degenerate operating point for rate-based simulators)
+    unless ``include_zero_limit`` is False, in which case the grid starts at
+    the first uniform step.
+    """
+    if n_points < 2:
+        raise ConfigurationError("n_points must be >= 2")
+    if not (0.0 < fraction < 1.0):
+        raise ConfigurationError("fraction must be in (0, 1)")
+    sat = saturation_injection_rate(model, message_flits).flit_load
+    top = fraction * sat
+    grid = np.linspace(0.0, top, n_points)
+    if include_zero_limit:
+        grid[0] = 0.02 * sat
+    else:
+        grid = grid[1:]
+    return grid

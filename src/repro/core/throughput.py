@@ -1,0 +1,135 @@
+"""Saturation-throughput solver (Section 2.3 / Eq. 26).
+
+The network saturates at the injection rate where the source service time
+equals the inter-arrival time: ``x_{0,1} = 1 / lambda_0`` (Eq. 26).  Since
+``x_{0,1}`` grows monotonically with load while ``1/lambda_0`` falls, the
+crossing is unique; equivalently, saturation is the supremum of injection
+rates at which every channel in the model still admits a steady state
+(interior channels can saturate first, driving ``x_{0,1}`` to infinity,
+which the same criterion captures).
+
+Following the paper's procedure ("we let source arrival rate increase ...
+until the above equation is satisfied"), :func:`saturation_injection_rate`
+brackets the boundary by doubling and then bisects it to a relative
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..config import Workload
+from ..errors import ConfigurationError, SaturatedError
+
+__all__ = ["SaturationResult", "saturation_injection_rate", "saturation_flit_load"]
+
+
+class _StabilityModel(Protocol):
+    """Anything exposing the Eq. 26 stability test (the BFT model does)."""
+
+    def is_stable(self, workload: Workload) -> bool: ...
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Saturation point of a model for one message length.
+
+    ``injection_rate`` is the critical ``lambda_0`` (messages/cycle/PE);
+    ``flit_load`` the same point in Figure-3 units; the bracket records the
+    final bisection interval.
+    """
+
+    message_flits: int
+    injection_rate: float
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def flit_load(self) -> float:
+        return self.injection_rate * self.message_flits
+
+    @property
+    def workload(self) -> Workload:
+        return Workload(self.message_flits, self.injection_rate)
+
+
+def saturation_injection_rate(
+    model: _StabilityModel,
+    message_flits: int,
+    *,
+    initial_rate: float | None = None,
+    rel_tol: float = 1e-6,
+    max_doublings: int = 60,
+    stable: Callable[[Workload], bool] | None = None,
+) -> SaturationResult:
+    """Find the saturation injection rate of ``model`` by bracket + bisection.
+
+    Parameters
+    ----------
+    model:
+        Object with an ``is_stable(workload)`` method (ignored when a
+        custom ``stable`` predicate is supplied).
+    message_flits:
+        Worm length for the sweep.
+    initial_rate:
+        Starting guess; defaults to one message per ``100 * F`` cycles,
+        comfortably below saturation for every network in the paper.
+    rel_tol:
+        Relative width of the final bisection bracket.
+    max_doublings:
+        Budget for the upward bracket search.
+    stable:
+        Optional replacement stability predicate (used to drive the same
+        search with a simulator in the empirical-saturation harness).
+    """
+    if not isinstance(message_flits, int) or message_flits <= 0:
+        raise ConfigurationError("message_flits must be a positive integer")
+    if rel_tol <= 0:
+        raise ConfigurationError("rel_tol must be positive")
+    predicate = stable if stable is not None else model.is_stable
+    lo = initial_rate if initial_rate is not None else 1.0 / (100.0 * message_flits)
+    if lo <= 0:
+        raise ConfigurationError("initial_rate must be positive")
+
+    if not predicate(Workload(message_flits, lo)):
+        # Even the starting guess saturates: shrink downwards first.
+        hi = lo
+        for _ in range(max_doublings):
+            lo /= 2.0
+            if predicate(Workload(message_flits, lo)):
+                break
+        else:
+            raise SaturatedError(
+                "model is unstable at every probed rate; no saturation bracket found"
+            )
+    else:
+        hi = lo
+        for _ in range(max_doublings):
+            hi *= 2.0
+            if not predicate(Workload(message_flits, hi)):
+                break
+            lo = hi
+        else:
+            raise SaturatedError(
+                "model remained stable at every probed rate; no saturation bracket found"
+            )
+
+    # Bisection: invariant lo stable, hi unstable.
+    while (hi - lo) > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        if predicate(Workload(message_flits, mid)):
+            lo = mid
+        else:
+            hi = mid
+    return SaturationResult(
+        message_flits=message_flits,
+        injection_rate=lo,
+        lower_bound=lo,
+        upper_bound=hi,
+    )
+
+
+def saturation_flit_load(model: _StabilityModel, message_flits: int, **kwargs) -> float:
+    """Convenience wrapper returning the saturation point in flits/cycle/PE."""
+    return saturation_injection_rate(model, message_flits, **kwargs).flit_load

@@ -1,0 +1,92 @@
+"""Model-variant switches for ablation studies.
+
+The paper's model differs from prior wormhole analyses in two ways (its
+stated novelties): multi-server queues for redundant links, and the
+blocking-probability correction ``P_{i|j}``.  It additionally adopts the
+Draper–Ghosh SCV approximation and uses the *unconditional* up-probability
+``P^_l`` (Eq. 12) as the branching probability for messages already
+travelling upward.  :class:`ModelVariant` lets each of these choices be
+toggled independently, so the ablation benchmarks can quantify how much
+each ingredient contributes to the model's accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..queueing.distributions import ScvMode
+
+__all__ = ["ModelVariant"]
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """A configuration of the analytical model's approximations.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name used in reports.
+    multiserver_up:
+        Treat the two up-links of a switch as one two-server channel
+        (Eqs. 7-8, 21, 23).  When False, each up-link is modelled as an
+        independent M/G/1 queue fed half the traffic — the prior-art
+        treatment the paper improves on.
+    blocking_correction:
+        Apply the wormhole blocking probability ``P_{i|j}`` of Eqs. 9-10.
+        When False, the raw queueing wait is charged at every hop
+        (``P_{i|j} = 1``), as in store-and-forward-derived models.
+    scv_mode:
+        Service-time variability approximation (Eq. 5 by default).
+    conditional_up_probability:
+        Replace the paper's unconditional ``P^_l`` branching probability
+        with the exact conditional ``(4^n - 4^l) / (4^n - 4^{l-1})`` for a
+        message that has already climbed to level ``l``.  Off in the paper.
+    """
+
+    label: str = "paper"
+    multiserver_up: bool = True
+    blocking_correction: bool = True
+    scv_mode: ScvMode = ScvMode.DRAPER_GHOSH
+    conditional_up_probability: bool = False
+
+    # --- presets -------------------------------------------------------------
+
+    @classmethod
+    def paper(cls) -> "ModelVariant":
+        """The model exactly as published (with the errata's factor of 2)."""
+        return cls()
+
+    @classmethod
+    def no_multiserver(cls) -> "ModelVariant":
+        """Ablation: independent M/G/1 up-links instead of M/G/2 pairs."""
+        return cls(label="no-multiserver", multiserver_up=False)
+
+    @classmethod
+    def no_blocking_correction(cls) -> "ModelVariant":
+        """Ablation: drop the wormhole blocking probability (P = 1)."""
+        return cls(label="no-blocking-correction", blocking_correction=False)
+
+    @classmethod
+    def naive(cls) -> "ModelVariant":
+        """Both novelties disabled — a prior-art-style reference model."""
+        return cls(label="naive", multiserver_up=False, blocking_correction=False)
+
+    @classmethod
+    def deterministic_scv(cls) -> "ModelVariant":
+        """Ablation: deterministic service times (C_b^2 = 0, M/D/m)."""
+        return cls(label="scv=0", scv_mode=ScvMode.DETERMINISTIC)
+
+    @classmethod
+    def exponential_scv(cls) -> "ModelVariant":
+        """Ablation: exponential service times (C_b^2 = 1, M/M/m)."""
+        return cls(label="scv=1", scv_mode=ScvMode.EXPONENTIAL)
+
+    @classmethod
+    def conditional_up(cls) -> "ModelVariant":
+        """Extension: exact conditional climb probability."""
+        return cls(label="conditional-up", conditional_up_probability=True)
+
+    def with_label(self, label: str) -> "ModelVariant":
+        """Return a relabelled copy (for report formatting)."""
+        return replace(self, label=label)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingError",
+    "SaturatedError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed or a construction invariant failed."""
+
+
+class RoutingError(ReproError):
+    """A routing decision could not be made (no legal output channel)."""
+
+
+class SaturatedError(ReproError):
+    """The analytical model was evaluated past its saturation point.
+
+    Most model entry points return ``math.inf`` for waiting times past
+    saturation instead of raising; this exception is used by callers that
+    require a finite operating point (e.g. the throughput solver when no
+    stable bracket can be found).
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state or an invalid request."""

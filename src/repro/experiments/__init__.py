@@ -1,0 +1,57 @@
+"""Experiment harness (S8 in DESIGN.md) — one module per paper artifact.
+
+* :mod:`repro.experiments.fig3` — Figure 3 (latency vs load, N=1024);
+* :mod:`repro.experiments.throughput_table` — saturation throughput table
+  (Sections 3.5/3.6);
+* :mod:`repro.experiments.scaling` — network-size sweep ("up to 1024
+  processing nodes");
+* :mod:`repro.experiments.ablations` — model-variant ablations (the two
+  novelties + modelling choices);
+* :mod:`repro.experiments.other_networks` — the general model on the
+  hypercube plus the Dally torus baseline;
+* :mod:`repro.experiments.crosscheck` — event-driven vs flit-level
+  simulator validation.
+
+All experiments honour ``REPRO_FULL=1`` for paper-scale runs and default to
+quick mode (see :mod:`repro.experiments.common`).
+"""
+
+from .ablations import AblationResult, run_ablations
+from .buffering import BufferingResult, run_buffering
+from .common import ExperimentMode, full_mode, mode, relative_error
+from .crosscheck import CrossCheckResult, poisson_trace, run_crosscheck
+from .fig3 import Fig3Result, run_fig3
+from .generalized import GeneralizedResult, run_generalized
+from .other_networks import OtherNetworksResult, run_other_networks
+from .report import default_results_dir, write_report
+from .scaling import ScalingResult, run_scaling
+from .service_times import ServiceTimeResult, run_service_times
+from .throughput_table import ThroughputResult, run_throughput_table
+
+__all__ = [
+    "AblationResult",
+    "run_ablations",
+    "BufferingResult",
+    "run_buffering",
+    "ExperimentMode",
+    "full_mode",
+    "mode",
+    "relative_error",
+    "CrossCheckResult",
+    "poisson_trace",
+    "run_crosscheck",
+    "Fig3Result",
+    "run_fig3",
+    "GeneralizedResult",
+    "run_generalized",
+    "OtherNetworksResult",
+    "run_other_networks",
+    "default_results_dir",
+    "write_report",
+    "ScalingResult",
+    "run_scaling",
+    "ServiceTimeResult",
+    "run_service_times",
+    "ThroughputResult",
+    "run_throughput_table",
+]

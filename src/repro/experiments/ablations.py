@@ -1,0 +1,134 @@
+"""Experiment ABL — ablations of the model's two novelties.
+
+The paper identifies two novel ingredients: (1) multi-server queues for the
+redundant up-links, and (2) the wormhole blocking-probability correction
+``P_{i|j}``.  It also makes two further modelling choices: the Draper–Ghosh
+SCV approximation (Eq. 5) and the unconditional climb probability ``P^_l``.
+This experiment quantifies each choice by re-running the Figure-3 workload
+under every :class:`~repro.core.variants.ModelVariant` and scoring each
+variant's latency predictions against one shared set of simulation
+measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimConfig
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.sweep import latency_sweep
+from ..core.throughput import saturation_injection_rate
+from ..core.variants import ModelVariant
+from ..errors import SaturatedError
+from ..simulation.runner import simulated_latency_curve
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["AblationRow", "AblationResult", "run_ablations", "default_variants"]
+
+
+def default_variants() -> tuple[ModelVariant, ...]:
+    """The variant set scored by the ablation experiment."""
+    return (
+        ModelVariant.paper(),
+        ModelVariant.no_multiserver(),
+        ModelVariant.no_blocking_correction(),
+        ModelVariant.naive(),
+        ModelVariant.deterministic_scv(),
+        ModelVariant.exponential_scv(),
+        ModelVariant.conditional_up(),
+    )
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    variant: str
+    mean_abs_err: float
+    max_abs_err: float
+    saturation_flit_load: float
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    num_processors: int
+    message_flits: int
+    flit_loads: tuple[float, ...]
+    sim_latencies: tuple[float, ...]
+    rows: tuple[AblationRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        return format_table(
+            ["variant", "mean |rel err|", "max |rel err|", "predicted sat (fl/cyc/PE)"],
+            [
+                (r.variant, r.mean_abs_err, r.max_abs_err, r.saturation_flit_load)
+                for r in self.rows
+            ],
+            title=(
+                f"Model-variant ablations vs simulation, N={self.num_processors}, "
+                f"{self.message_flits}-flit ({self.mode_label} mode)"
+            ),
+        )
+
+
+def run_ablations(
+    *,
+    num_processors: int | None = None,
+    message_flits: int = 32,
+    n_points: int | None = None,
+    seed: int = 99,
+    variants: tuple[ModelVariant, ...] | None = None,
+    experiment_mode: ExperimentMode | None = None,
+) -> AblationResult:
+    """Score every model variant against one set of simulation runs."""
+    m = experiment_mode or mode()
+    n = num_processors if num_processors is not None else (1024 if m.full else 256)
+    points = n_points if n_points is not None else (7 if m.full else 5)
+    variants = variants or default_variants()
+
+    paper_model = ButterflyFatTreeModel(n)
+    sat = saturation_injection_rate(paper_model, message_flits).flit_load
+    grid = np.linspace(0.05 * sat, 0.85 * sat, points)
+
+    topo = ButterflyFatTree(n)
+    cfg = SimConfig(
+        warmup_cycles=m.warmup_cycles, measure_cycles=m.measure_cycles, seed=seed
+    )
+    sim_curve = simulated_latency_curve(
+        topo, message_flits, grid, cfg, replications=m.replications, label="sim"
+    )
+
+    rows = []
+    for variant in variants:
+        model = ButterflyFatTreeModel(n, variant)
+        curve = latency_sweep(model.latency, message_flits, grid, label=variant.label)
+        errs = [
+            abs(relative_error(float(mv), float(sv)))
+            for mv, sv in zip(curve.latencies, sim_curve.latencies)
+            if math.isfinite(sv)
+        ]
+        finite_errs = [e for e in errs if math.isfinite(e)]
+        try:
+            v_sat = saturation_injection_rate(model, message_flits).flit_load
+        except SaturatedError:
+            v_sat = math.nan
+        rows.append(
+            AblationRow(
+                variant=variant.label,
+                mean_abs_err=float(np.mean(finite_errs)) if finite_errs else math.inf,
+                max_abs_err=float(np.max(errs)) if errs else math.nan,
+                saturation_flit_load=v_sat,
+            )
+        )
+    return AblationResult(
+        num_processors=n,
+        message_flits=message_flits,
+        flit_loads=tuple(float(x) for x in grid),
+        sim_latencies=tuple(float(x) for x in sim_curve.latencies),
+        rows=tuple(rows),
+        mode_label=m.label,
+    )

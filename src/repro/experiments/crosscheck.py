@@ -1,0 +1,158 @@
+"""Experiment XVAL — cross-validation of the two simulators.
+
+The event-driven worm-level simulator and the cycle-driven flit-level
+simulator implement the same wormhole semantics with entirely different
+mechanics (algebraic release times versus per-cycle rigid-train movement).
+Driving both with the *same* integer arrival trace must therefore produce
+matching message counts and statistically indistinguishable latency
+distributions (they can differ per-message only through random tie-breaks
+under contention, which both resolve uniformly).
+
+This experiment generates shared Poisson traces at several loads and
+reports both simulators' measurements side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimConfig, Workload
+from ..simulation.flit_sim import FlitLevelWormholeSimulator
+from ..simulation.traffic import Arrival, TraceTraffic
+from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["CrossCheckRow", "CrossCheckResult", "run_crosscheck", "poisson_trace"]
+
+
+def poisson_trace(
+    num_pes: int,
+    injection_rate: float,
+    horizon: float,
+    seed: int,
+    *,
+    integer_times: bool = True,
+) -> TraceTraffic:
+    """Generate a shared Poisson/uniform arrival trace.
+
+    With ``integer_times`` the aggregate arrival process is sampled in
+    continuous time and floored to whole cycles, so both simulators see
+    bit-identical inputs.
+    """
+    rng = np.random.default_rng(seed)
+    items: list[Arrival] = []
+    t = 0.0
+    total_rate = injection_rate * num_pes
+    if total_rate <= 0:
+        return TraceTraffic([])
+    while True:
+        t += float(rng.exponential(1.0 / total_rate))
+        if t >= horizon:
+            break
+        src = int(rng.integers(num_pes))
+        dst = int(rng.integers(num_pes - 1))
+        if dst >= src:
+            dst += 1
+        items.append(Arrival(float(int(t)) if integer_times else t, src, dst))
+    items.sort(key=lambda a: a.time)
+    return TraceTraffic(items)
+
+
+@dataclass(frozen=True)
+class CrossCheckRow:
+    num_processors: int
+    flit_load: float
+    event_latency: float
+    flit_latency: float
+    event_delivered: int
+    flit_delivered: int
+
+    @property
+    def rel_diff(self) -> float:
+        return relative_error(self.event_latency, self.flit_latency)
+
+
+@dataclass(frozen=True)
+class CrossCheckResult:
+    message_flits: int
+    rows: tuple[CrossCheckRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "N",
+                "load (fl/cyc/PE)",
+                "event-driven latency",
+                "flit-level latency",
+                "rel diff",
+                "event n",
+                "flit n",
+            ],
+            [
+                (
+                    r.num_processors,
+                    r.flit_load,
+                    r.event_latency,
+                    r.flit_latency,
+                    r.rel_diff,
+                    r.event_delivered,
+                    r.flit_delivered,
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Simulator cross-validation, {self.message_flits}-flit "
+                f"({self.mode_label} mode)"
+            ),
+        )
+
+
+def run_crosscheck(
+    *,
+    sizes: tuple[int, ...] | None = None,
+    message_flits: int = 16,
+    flit_loads: tuple[float, ...] = (0.02, 0.06),
+    seed: int = 13,
+    experiment_mode: ExperimentMode | None = None,
+) -> CrossCheckResult:
+    """Run both simulators on shared traces and tabulate the comparison."""
+    m = experiment_mode or mode()
+    if sizes is None:
+        sizes = (16, 64, 256) if m.full else (16, 64)
+    rows = []
+    for n in sizes:
+        topo = ButterflyFatTree(n)
+        for load in flit_loads:
+            wl = Workload.from_flit_load(load, message_flits)
+            cfg = SimConfig(
+                warmup_cycles=m.warmup_cycles / 2,
+                measure_cycles=m.measure_cycles / 2,
+                seed=seed,
+            )
+            trace = poisson_trace(
+                n, wl.injection_rate, cfg.cutoff_cycles, seed + n
+            )
+            ra = EventDrivenWormholeSimulator(
+                topo, wl, cfg, traffic=trace, keep_samples=False
+            ).run()
+            rb = FlitLevelWormholeSimulator(
+                topo, wl, cfg, traffic=trace, keep_samples=False
+            ).run()
+            rows.append(
+                CrossCheckRow(
+                    num_processors=n,
+                    flit_load=load,
+                    event_latency=ra.latency_mean,
+                    flit_latency=rb.latency_mean,
+                    event_delivered=ra.tagged_delivered,
+                    flit_delivered=rb.tagged_delivered,
+                )
+            )
+    return CrossCheckResult(
+        message_flits=message_flits, rows=tuple(rows), mode_label=m.label
+    )

@@ -1,0 +1,167 @@
+"""Experiment GEN — the general model on other networks.
+
+The paper's abstract claims the two ideas (multi-server queues and the
+blocking correction) "can also be applied to other networks", and the
+conclusion notes the framework extends beyond the fat-tree.  This
+experiment substantiates the claim on the binary hypercube:
+
+* the *general* Section-2 model (with the blocking correction) applied to
+  the hypercube channel graph,
+* the Draper–Ghosh-style prior-art baseline (same recursion, no blocking
+  correction),
+* flit-accurate simulation as ground truth,
+
+and, separately, sanity-checks the Dally k-ary n-cube baseline at low load
+(wormhole tori deadlock without virtual channels, which our simulators do
+not model — see :mod:`repro.baselines.dally` — so torus comparisons stay in
+the load range where cyclic waits are negligible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.dally import DallyKaryNCubeModel
+from ..baselines.draper_ghosh import DraperGhoshHypercubeModel
+from ..config import SimConfig, Workload
+from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
+from ..topology.hypercube import Hypercube
+from ..topology.kary_ncube import KaryNCube
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["HypercubeRow", "OtherNetworksResult", "run_other_networks"]
+
+
+@dataclass(frozen=True)
+class HypercubeRow:
+    flit_load: float
+    sim_latency: float
+    general_latency: float  # corrected general model
+    baseline_latency: float  # Draper-Ghosh style (uncorrected)
+
+    @property
+    def general_err(self) -> float:
+        return relative_error(self.general_latency, self.sim_latency)
+
+    @property
+    def baseline_err(self) -> float:
+        return relative_error(self.baseline_latency, self.sim_latency)
+
+
+@dataclass(frozen=True)
+class TorusRow:
+    flit_load: float
+    sim_latency: float
+    dally_latency: float
+    censored: int
+
+
+@dataclass(frozen=True)
+class OtherNetworksResult:
+    dimension: int
+    message_flits: int
+    hypercube_rows: tuple[HypercubeRow, ...]
+    torus_rows: tuple[TorusRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        hc = format_table(
+            [
+                "load (fl/cyc/PE)",
+                "sim latency",
+                "general model",
+                "err",
+                "DG-style baseline",
+                "err",
+            ],
+            [
+                (
+                    r.flit_load,
+                    r.sim_latency,
+                    r.general_latency,
+                    r.general_err,
+                    r.baseline_latency,
+                    r.baseline_err,
+                )
+                for r in self.hypercube_rows
+            ],
+            title=(
+                f"General model on the {2**self.dimension}-node hypercube, "
+                f"{self.message_flits}-flit ({self.mode_label} mode)"
+            ),
+        )
+        torus = format_table(
+            ["load (fl/cyc/PE)", "sim latency", "Dally model", "censored msgs"],
+            [
+                (r.flit_load, r.sim_latency, r.dally_latency, r.censored)
+                for r in self.torus_rows
+            ],
+            title="Dally baseline on the 8-ary 2-cube (low load; no virtual channels)",
+        )
+        return hc + "\n\n" + torus
+
+
+def run_other_networks(
+    *,
+    dimension: int | None = None,
+    message_flits: int = 32,
+    seed: int = 55,
+    experiment_mode: ExperimentMode | None = None,
+) -> OtherNetworksResult:
+    """Regenerate the other-networks comparison tables."""
+    m = experiment_mode or mode()
+    d = dimension if dimension is not None else (8 if m.full else 6)
+
+    general = DraperGhoshHypercubeModel(d, corrected=True)
+    baseline = DraperGhoshHypercubeModel(d, corrected=False)
+    topo = Hypercube(d)
+
+    # Loads up to ~80% of the general model's saturation.
+    from ..core.throughput import saturation_injection_rate
+
+    sat = saturation_injection_rate(general, message_flits).flit_load
+    grid = np.linspace(0.1 * sat, 0.8 * sat, 5 if not m.full else 8)
+    hypercube_rows = []
+    for load in grid:
+        wl = Workload.from_flit_load(float(load), message_flits)
+        cfg = SimConfig(
+            warmup_cycles=m.warmup_cycles, measure_cycles=m.measure_cycles, seed=seed
+        )
+        res = EventDrivenWormholeSimulator(topo, wl, cfg, keep_samples=False).run()
+        hypercube_rows.append(
+            HypercubeRow(
+                flit_load=float(load),
+                sim_latency=res.latency_mean if res.stable else math.inf,
+                general_latency=general.latency(wl),
+                baseline_latency=baseline.latency(wl),
+            )
+        )
+
+    dally = DallyKaryNCubeModel(8, 2)
+    torus = KaryNCube(8, 2)
+    torus_rows = []
+    for load in (0.005, 0.01, 0.02):
+        wl = Workload.from_flit_load(load, message_flits)
+        cfg = SimConfig(
+            warmup_cycles=m.warmup_cycles, measure_cycles=m.measure_cycles, seed=seed + 1
+        )
+        res = EventDrivenWormholeSimulator(torus, wl, cfg, keep_samples=False).run()
+        torus_rows.append(
+            TorusRow(
+                flit_load=load,
+                sim_latency=res.latency_mean,
+                dally_latency=dally.latency(wl),
+                censored=res.censored_tagged,
+            )
+        )
+    return OtherNetworksResult(
+        dimension=d,
+        message_flits=message_flits,
+        hypercube_rows=tuple(hypercube_rows),
+        torus_rows=tuple(torus_rows),
+        mode_label=m.label,
+    )

@@ -1,0 +1,38 @@
+"""Rendering and persistence of experiment outputs.
+
+Benchmarks write their rendered tables under ``benchmarks/results/`` so a
+tee'd benchmark log and the result files together document a run; the
+``pytest_terminal_summary`` hook in ``benchmarks/conftest.py`` echoes the
+files into the terminal report.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["write_report", "default_results_dir"]
+
+
+def default_results_dir() -> Path:
+    """``benchmarks/results`` next to the repository root (created on demand).
+
+    Overridable through the ``REPRO_RESULTS_DIR`` environment variable so
+    packaged installations can redirect output to a writable location.
+    """
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_report(name: str, content: str, directory: Path | None = None) -> Path:
+    """Persist one experiment's rendered output; returns the file path."""
+    directory = directory or default_results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,113 @@
+"""Experiment SCALE — latency across network sizes.
+
+Section 3.6 states the model was validated "for networks with up to 1024
+processing nodes".  This experiment sweeps the network size at a fixed
+message length and compares model and simulation at three operating points
+per size: (near) zero load, 40% of saturation, and 75% of saturation.  The
+zero-load column also checks the closed-form ``L0 = s/f + D_bar - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig, Workload
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.throughput import saturation_injection_rate
+from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["ScalingRow", "ScalingResult", "run_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    num_processors: int
+    average_distance: float
+    load_fraction: float  # of model saturation
+    flit_load: float
+    model_latency: float
+    sim_latency: float
+
+    @property
+    def rel_err(self) -> float:
+        return relative_error(self.model_latency, self.sim_latency)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    message_flits: int
+    rows: tuple[ScalingRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "N",
+                "D_bar",
+                "load/sat",
+                "load (fl/cyc/PE)",
+                "model latency",
+                "sim latency",
+                "rel err",
+            ],
+            [
+                (
+                    r.num_processors,
+                    r.average_distance,
+                    r.load_fraction,
+                    r.flit_load,
+                    r.model_latency,
+                    r.sim_latency,
+                    r.rel_err,
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Scaling with network size, {self.message_flits}-flit messages "
+                f"({self.mode_label} mode)"
+            ),
+        )
+
+
+def run_scaling(
+    *,
+    sizes: tuple[int, ...] | None = None,
+    message_flits: int = 32,
+    load_fractions: tuple[float, ...] = (0.05, 0.4, 0.75),
+    seed: int = 31,
+    experiment_mode: ExperimentMode | None = None,
+) -> ScalingResult:
+    """Regenerate the size sweep (model vs simulation at scaled loads)."""
+    m = experiment_mode or mode()
+    if sizes is None:
+        sizes = (16, 64, 256, 1024) if m.full else (16, 64, 256)
+    rows = []
+    for n in sizes:
+        model = ButterflyFatTreeModel(n)
+        topo = ButterflyFatTree(n)
+        sat = saturation_injection_rate(model, message_flits).flit_load
+        for frac in load_fractions:
+            load = frac * sat
+            wl = Workload.from_flit_load(load, message_flits)
+            cfg = SimConfig(
+                warmup_cycles=m.warmup_cycles,
+                measure_cycles=m.measure_cycles,
+                seed=seed + n,
+            )
+            res = EventDrivenWormholeSimulator(topo, wl, cfg, keep_samples=False).run()
+            rows.append(
+                ScalingRow(
+                    num_processors=n,
+                    average_distance=model.average_distance,
+                    load_fraction=frac,
+                    flit_load=load,
+                    model_latency=model.latency(wl),
+                    sim_latency=res.latency_mean if res.stable else float("inf"),
+                )
+            )
+    return ScalingResult(
+        message_flits=message_flits, rows=tuple(rows), mode_label=m.label
+    )

@@ -1,0 +1,148 @@
+"""Experiment SVC — per-channel service times, model internals vs. simulation.
+
+The strongest validation of the model is not the end-to-end latency
+(Eq. 25) but the *intermediate* quantities it is assembled from: the mean
+channel service times ``x_bar`` that Eqs. 16-24 resolve level by level.
+The simulators record, per channel class, the total holding time and the
+number of acquisitions inside the measurement window, so the empirical
+mean service time is directly measurable as ``busy_time / acquisitions``
+— e.g. the ejection channel must measure exactly ``s/f`` (Eq. 16), and
+every other class must match its sweep value.
+
+This experiment also cross-checks the Eq. 14 arrival rates per class,
+making it a line-by-line empirical audit of Section 3.2-3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SimConfig, Workload
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.rates import bft_channel_rates
+from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["ServiceTimeRow", "ServiceTimeResult", "run_service_times"]
+
+
+@dataclass(frozen=True)
+class ServiceTimeRow:
+    channel: str
+    model_rate: float
+    sim_rate: float
+    model_service: float
+    sim_service: float
+
+    @property
+    def rate_err(self) -> float:
+        return relative_error(self.model_rate, self.sim_rate)
+
+    @property
+    def service_err(self) -> float:
+        return relative_error(self.model_service, self.sim_service)
+
+
+@dataclass(frozen=True)
+class ServiceTimeResult:
+    num_processors: int
+    message_flits: int
+    flit_load: float
+    rows: tuple[ServiceTimeRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "channel",
+                "rate model",
+                "rate sim",
+                "err",
+                "x_bar model",
+                "x_bar sim",
+                "err",
+            ],
+            [
+                (
+                    r.channel,
+                    r.model_rate,
+                    r.sim_rate,
+                    r.rate_err,
+                    r.model_service,
+                    r.sim_service,
+                    r.service_err,
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Per-channel rates (Eq. 14) and service times (Eqs. 16-24), "
+                f"N={self.num_processors}, {self.message_flits}-flit at "
+                f"{self.flit_load:.4f} fl/cyc/PE ({self.mode_label} mode)"
+            ),
+        )
+
+    def worst_service_error(self) -> float:
+        errs = [abs(r.service_err) for r in self.rows if math.isfinite(r.service_err)]
+        return max(errs) if errs else math.nan
+
+
+def run_service_times(
+    *,
+    num_processors: int = 256,
+    message_flits: int = 16,
+    flit_load: float | None = None,
+    seed: int = 777,
+    experiment_mode: ExperimentMode | None = None,
+) -> ServiceTimeResult:
+    """Regenerate the per-channel audit table."""
+    m = experiment_mode or mode()
+    model = ButterflyFatTreeModel(num_processors)
+    if flit_load is None:
+        from ..core.throughput import saturation_injection_rate
+
+        flit_load = 0.6 * saturation_injection_rate(model, message_flits).flit_load
+    wl = Workload.from_flit_load(flit_load, message_flits)
+    solution = model.solve(wl)
+    rates = bft_channel_rates(model.levels, wl.injection_rate)
+
+    topo = ButterflyFatTree(num_processors)
+    cfg = SimConfig(
+        warmup_cycles=m.warmup_cycles,
+        measure_cycles=2 * m.measure_cycles,
+        seed=seed,
+    )
+    res = EventDrivenWormholeSimulator(topo, wl, cfg, keep_samples=False).run()
+
+    rows = []
+    for l in range(model.levels):
+        for direction, model_x in (
+            ("up", float(solution.up_service[l])),
+            ("down", float(solution.down_service[l])),
+        ):
+            name = f"<{l},{l+1}>" if direction == "up" else f"<{l+1},{l}>"
+            stats = res.class_stats[name]
+            sim_rate = stats.rate_per_link(cfg.measure_cycles)
+            sim_x = (
+                stats.busy_time / stats.acquisitions
+                if stats.acquisitions
+                else math.nan
+            )
+            rows.append(
+                ServiceTimeRow(
+                    channel=name,
+                    model_rate=float(rates[l]),
+                    sim_rate=sim_rate,
+                    model_service=model_x,
+                    sim_service=sim_x,
+                )
+            )
+    return ServiceTimeResult(
+        num_processors=num_processors,
+        message_flits=message_flits,
+        flit_load=flit_load,
+        rows=tuple(rows),
+        mode_label=m.label,
+    )

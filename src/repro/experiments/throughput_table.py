@@ -1,0 +1,100 @@
+"""Experiment THRU — saturation throughput, model vs. simulation.
+
+The paper reports (Sections 3.5-3.6, text) that the model "produced
+accurate predictions on latency and throughput for all cases under study":
+networks up to 1024 processors and message lengths 16/32/64 flits.  This
+experiment regenerates the underlying comparison as a table of saturation
+loads (flits/cycle/PE): the model's Eq. 26 operating point against the
+empirical saturation measured by driving the simulator.
+
+A structural property of the model worth noting (and verified in the test
+suite): at a fixed *flit* load the solution scales linearly with message
+length, so the model's saturation flit-load is independent of message
+length.  The simulation's saturation shows the same near-independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.throughput import saturation_injection_rate
+from ..simulation.saturation import empirical_saturation
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.tables import format_table
+from .common import ExperimentMode, mode, relative_error
+
+__all__ = ["ThroughputRow", "ThroughputResult", "run_throughput_table"]
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    num_processors: int
+    message_flits: int
+    model_saturation: float  # flits/cycle/PE
+    sim_saturation: float  # flits/cycle/PE
+
+    @property
+    def rel_err(self) -> float:
+        return relative_error(self.model_saturation, self.sim_saturation)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    rows: tuple[ThroughputRow, ...]
+    mode_label: str
+
+    def render(self) -> str:
+        return format_table(
+            ["N", "flits", "model sat (fl/cyc/PE)", "sim sat (fl/cyc/PE)", "rel err"],
+            [
+                (r.num_processors, r.message_flits, r.model_saturation, r.sim_saturation, r.rel_err)
+                for r in self.rows
+            ],
+            title=f"Saturation throughput, model vs simulation ({self.mode_label} mode)",
+        )
+
+
+def run_throughput_table(
+    *,
+    sizes: tuple[int, ...] | None = None,
+    message_lengths: tuple[int, ...] | None = None,
+    seed: int = 77,
+    experiment_mode: ExperimentMode | None = None,
+) -> ThroughputResult:
+    """Regenerate the model-vs-simulation saturation comparison."""
+    m = experiment_mode or mode()
+    if sizes is None:
+        sizes = (16, 64, 256, 1024) if m.full else (16, 64, 256)
+    if message_lengths is None:
+        message_lengths = (16, 32, 64) if m.full else (16, 32)
+    rows = []
+    for n in sizes:
+        model = ButterflyFatTreeModel(n)
+        topo = ButterflyFatTree(n)
+        for flits in message_lengths:
+            model_sat = saturation_injection_rate(model, flits).flit_load
+            cfg = SimConfig(
+                warmup_cycles=m.warmup_cycles / 1.5,
+                measure_cycles=m.measure_cycles / 1.5,
+                seed=seed + n + flits,
+                drain_factor=2.0,
+            )
+            sim_sat = empirical_saturation(
+                topo,
+                flits,
+                cfg,
+                replications=m.replications,
+                rel_tol=0.02 if m.full else 0.04,
+                initial_rate=0.25 * model_sat / flits,
+            ).flit_load
+            rows.append(
+                ThroughputRow(
+                    num_processors=n,
+                    message_flits=flits,
+                    model_saturation=model_sat,
+                    sim_saturation=sim_sat,
+                )
+            )
+    return ThroughputResult(rows=tuple(rows), mode_label=m.label)

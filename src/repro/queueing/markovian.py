@@ -1,0 +1,86 @@
+"""Exact Markovian queueing results used to validate the approximations.
+
+These closed forms (M/M/1, M/M/c via Erlang C, M/D/1) are textbook results
+(Kleinrock, *Queueing Systems* vol. I) and serve as ground truth for the
+approximate M/G/1 / M/G/m formulas:
+
+* M/G/1 with ``C_b^2 = 1``  must equal M/M/1,
+* M/G/1 with ``C_b^2 = 0``  must equal M/D/1,
+* Hokstad M/G/m with ``C_b^2 = 1`` must equal M/M/m (the approximation is
+  exact in the exponential case).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "erlang_c",
+    "mm1_waiting_time",
+    "mmc_waiting_time",
+    "md1_waiting_time",
+]
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait in an M/M/c queue.
+
+    Parameters
+    ----------
+    servers:
+        Number of servers ``c`` (positive integer).
+    offered_load:
+        Offered load ``a = lambda * x_bar`` in Erlangs; must satisfy
+        ``a < c`` for a steady state (returns 1.0 at or past saturation).
+    """
+    if not isinstance(servers, int) or servers <= 0:
+        raise ConfigurationError(f"servers must be a positive integer, got {servers!r}")
+    if offered_load < 0:
+        raise ConfigurationError(f"offered_load must be >= 0, got {offered_load!r}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    # Stable recurrence on the Erlang-B blocking probability.
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mm1_waiting_time(arrival_rate: float, mean_service: float) -> float:
+    """Exact mean queue wait of an M/M/1 queue: ``rho x_bar / (1 - rho)``."""
+    if mean_service <= 0:
+        raise ConfigurationError(f"mean_service must be > 0, got {mean_service!r}")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return math.inf
+    return rho * mean_service / (1.0 - rho) if rho > 0 else 0.0
+
+
+def mmc_waiting_time(arrival_rate: float, mean_service: float, servers: int) -> float:
+    """Exact mean queue wait of an M/M/c queue (Erlang C).
+
+    ``W = C(c, a) * x_bar / (c - a)`` with ``a = lambda * x_bar``.
+    """
+    if mean_service <= 0:
+        raise ConfigurationError(f"mean_service must be > 0, got {mean_service!r}")
+    a = arrival_rate * mean_service
+    if a >= servers:
+        return math.inf
+    if a == 0:
+        return 0.0
+    return erlang_c(servers, a) * mean_service / (servers - a)
+
+
+def md1_waiting_time(arrival_rate: float, mean_service: float) -> float:
+    """Exact mean queue wait of an M/D/1 queue: ``rho x_bar / (2(1 - rho))``."""
+    if mean_service <= 0:
+        raise ConfigurationError(f"mean_service must be > 0, got {mean_service!r}")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return math.inf
+    return rho * mean_service / (2.0 * (1.0 - rho)) if rho > 0 else 0.0

@@ -1,0 +1,75 @@
+"""M/G/1 waiting times (Pollaczek–Khinchine) — Eqs. 4 and 6 of the paper.
+
+The mean waiting time in an M/G/1 queue with Poisson arrival rate ``lambda``
+and service moments ``(x_bar, C_b^2)`` is
+
+    ``W = rho * x_bar * (1 + C_b^2) / (2 * (1 - rho))``,   ``rho = lambda * x_bar``.
+
+Past saturation (``rho >= 1``) the queue has no steady state; following the
+library-wide convention the functions return ``math.inf`` rather than raising
+so that load sweeps can cross the saturation point gracefully.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .distributions import scv_draper_ghosh
+
+__all__ = ["mg1_waiting_time", "mg1_waiting_time_wormhole", "mg1_utilization"]
+
+
+def mg1_utilization(arrival_rate: float, mean_service: float) -> float:
+    """Server utilization ``rho = lambda * x_bar``."""
+    if arrival_rate < 0:
+        raise ConfigurationError(f"arrival_rate must be >= 0, got {arrival_rate!r}")
+    if mean_service <= 0:
+        raise ConfigurationError(f"mean_service must be > 0, got {mean_service!r}")
+    return arrival_rate * mean_service
+
+
+def mg1_waiting_time(arrival_rate: float, mean_service: float, scv: float = 0.0) -> float:
+    """Mean M/G/1 queue wait (Pollaczek–Khinchine; Eq. 4).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda`` (messages per cycle).
+    mean_service:
+        Mean service time ``x_bar`` (cycles).
+    scv:
+        Squared coefficient of variation ``C_b^2`` of the service time.
+
+    Returns
+    -------
+    float
+        Mean waiting time in cycles; ``inf`` when ``rho >= 1``; ``nan`` is
+        propagated if ``mean_service`` is non-finite.
+    """
+    if scv < 0:
+        raise ConfigurationError(f"scv must be >= 0, got {scv!r}")
+    if not math.isfinite(mean_service):
+        return math.inf
+    rho = mg1_utilization(arrival_rate, mean_service)
+    if rho >= 1.0:
+        return math.inf
+    if rho == 0.0:
+        return 0.0
+    return rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho))
+
+
+def mg1_waiting_time_wormhole(
+    arrival_rate: float, mean_service: float, message_flits: float
+) -> float:
+    """M/G/1 wait with the Draper–Ghosh wormhole SCV (Eq. 6).
+
+    This is the single-server waiting-time building block used throughout
+    the butterfly fat-tree analysis: substituting Eq. 5 into Eq. 4 yields
+
+        ``W = lambda * x_bar^2 / (2 (1 - lambda x_bar)) * (1 + (x_bar - s/f)^2 / x_bar^2)``.
+    """
+    if not math.isfinite(mean_service):
+        return math.inf
+    scv = scv_draper_ghosh(mean_service, message_flits)
+    return mg1_waiting_time(arrival_rate, mean_service, scv)

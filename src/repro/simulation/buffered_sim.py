@@ -1,0 +1,450 @@
+"""Cycle-driven input-buffered router simulator with virtual channels.
+
+The paper's model (and our other two simulators) use the classic
+*blocked-in-place* wormhole abstraction: a stalled worm freezes where it
+is, and channels have no buffering beyond the flit in flight.  Real
+routers give every input a small FIFO and often multiplex each physical
+link between several *virtual channels* (VCs).  This simulator implements
+that microarchitecture:
+
+* every physical link has ``virtual_channels`` VCs; the receiving end of
+  each (link, VC) pair owns a FIFO buffer of ``buffer_flits`` flits
+  (ejection links deliver straight into the consuming PE — assumption 4);
+* a worm's head, once at the front of its input buffer, requests an output
+  VC on the next link (FCFS per link group, the fat-tree's adaptive pair
+  included); the binding persists until the tail flit crosses the link;
+* each physical link forwards at most one flit per cycle, round-robin
+  among its VCs with a flit ready and downstream credit available;
+* credits are conservative: a buffer slot freed in cycle ``t`` is usable
+  from cycle ``t+1``.
+
+Two VC allocation policies are provided:
+
+* ``"any"`` — lowest free VC (fat-trees and hypercubes, whose channel
+  dependencies are acyclic, need nothing more);
+* ``"dateline"`` — Dally & Seitz's deadlock-avoidance scheme for rings:
+  worms use VC 0 within a dimension until they cross the wrap-around link,
+  VC 1 afterwards, which breaks the torus's cyclic channel dependency.
+  With ``virtual_channels >= 2`` the unidirectional k-ary n-cube becomes
+  deadlock-free, enabling torus validation at loads where the VC-less
+  simulators (physically correctly) deadlock.
+
+Buffer-depth physics worth knowing (and exercised by the BUF experiment):
+with a one-cycle credit turnaround, ``buffer_flits=1`` limits each hop to
+one flit every *two* cycles — the classic small-buffer throughput collapse
+of credit-based flow control — so the paper's blocked-in-place abstraction
+corresponds to ``buffer_flits=2`` (the default), which sustains one flit
+per cycle.  Deeper buffers add slack that slightly softens contention at
+high load; the BUF experiment quantifies both effects against the paper's
+Figure 3 curves.
+
+Performance note: work per cycle is proportional to the number of *active*
+links and groups, so the simulator is practical for the validation sizes
+(N <= 256) used by the experiments; the event-driven engine remains the
+tool of choice for 1024-PE sweeps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from ..config import SimConfig, Workload
+from ..errors import ConfigurationError, SimulationError
+from ..topology.base import SimTopology
+from ..topology.kary_ncube import KaryNCube
+from ..util.rng import spawn_rngs
+from .metrics import MetricsCollector, SimulationResult
+from .traffic import PoissonTraffic
+
+__all__ = ["BufferedWormholeSimulator", "simulate_buffered", "dateline_policy"]
+
+
+class _Worm:
+    __slots__ = (
+        "src",
+        "dst",
+        "gen_time",
+        "node",
+        "bindings",
+        "sent",
+        "tagged",
+        "crossed_dateline",
+        "current_dim",
+    )
+
+    def __init__(self, src: int, dst: int, gen_time: float, tagged: bool) -> None:
+        self.src = src
+        self.dst = dst
+        self.gen_time = gen_time
+        self.node = src  # routing node for the next allocation
+        self.bindings: list[tuple[int, int]] = []  # (link, vc) per hop
+        self.sent: list[int] = []  # flits sent across each bound hop
+        self.tagged = tagged
+        self.crossed_dateline = False
+        self.current_dim = -1
+
+
+class _DatelinePolicy:
+    """Dally–Seitz dateline VC eligibility for a unidirectional torus."""
+
+    def __init__(self, topology: KaryNCube) -> None:
+        self.k = topology.radix
+        self.d = topology.dimensions
+        self.network_links = topology.num_processors * topology.dimensions
+
+    def classify(self, link: int) -> tuple[int, bool]:
+        """(dimension, is_wrap_link) for network links; (-1, False) otherwise."""
+        if link >= self.network_links:
+            return -1, False
+        u, dim = divmod(link, self.d)
+        coord = (u // self.k**dim) % self.k
+        return dim, coord == self.k - 1
+
+    def eligible(self, worm: _Worm, link: int) -> tuple[int, ...]:
+        """VC indices the worm may use on ``link``."""
+        dim, _ = self.classify(link)
+        if dim < 0:
+            return (0, 1)
+        if dim != worm.current_dim:
+            return (0,)  # entering a new dimension: back to VC 0
+        return (1,) if worm.crossed_dateline else (0,)
+
+    def on_allocate(self, worm: _Worm, link: int) -> None:
+        """Update the worm's dateline state after a binding is made."""
+        dim, is_wrap = self.classify(link)
+        if dim < 0:
+            return
+        if dim != worm.current_dim:
+            worm.current_dim = dim
+            worm.crossed_dateline = False
+        if is_wrap:
+            worm.crossed_dateline = True
+
+
+def dateline_policy(topology: SimTopology) -> _DatelinePolicy:
+    """Build the dateline policy; requires a :class:`KaryNCube`."""
+    if not isinstance(topology, KaryNCube):
+        raise ConfigurationError("dateline_policy requires a KaryNCube topology")
+    return _DatelinePolicy(topology)
+
+
+class BufferedWormholeSimulator:
+    """Input-buffered, virtual-channel wormhole simulator (see module docs).
+
+    Parameters
+    ----------
+    topology:
+        Any SimTopology.
+    workload / config / traffic / keep_samples:
+        As for the other simulators.
+    virtual_channels:
+        VCs per physical link (>= 1).
+    buffer_flits:
+        FIFO capacity per (link, VC) input buffer (>= 1).  The default of 2
+        is the smallest depth that streams one flit per cycle under the
+        one-cycle credit loop; 1 halves the per-hop bandwidth.
+    vc_policy:
+        ``"any"`` or ``"dateline"``.
+    """
+
+    def __init__(
+        self,
+        topology: SimTopology,
+        workload: Workload,
+        config: SimConfig,
+        *,
+        traffic=None,
+        keep_samples: bool = True,
+        virtual_channels: int = 1,
+        buffer_flits: int = 2,
+        vc_policy: str = "any",
+    ) -> None:
+        if not isinstance(virtual_channels, int) or virtual_channels < 1:
+            raise ConfigurationError("virtual_channels must be a positive integer")
+        if not isinstance(buffer_flits, int) or buffer_flits < 1:
+            raise ConfigurationError("buffer_flits must be a positive integer")
+        if vc_policy not in ("any", "dateline"):
+            raise ConfigurationError(f"unknown vc_policy {vc_policy!r}")
+        if vc_policy == "dateline" and virtual_channels < 2:
+            raise ConfigurationError("dateline policy requires >= 2 virtual channels")
+        self.topology = topology
+        self.workload = workload
+        self.config = config
+        self.vcs = virtual_channels
+        self.buffer_flits = buffer_flits
+        self.vc_policy_name = vc_policy
+        self._policy = dateline_policy(topology) if vc_policy == "dateline" else None
+        self.traffic = traffic or PoissonTraffic(
+            topology.num_processors, workload, seed=config.seed
+        )
+        (self._rng,) = spawn_rngs(config.seed ^ 0xBFFE_11, 1)
+        self.metrics = MetricsCollector(
+            workload,
+            config,
+            topology.num_processors,
+            list(topology.link_class),
+            keep_samples=keep_samples,
+        )
+
+    def _eligible_vcs(self, worm: _Worm, link: int) -> tuple[int, ...]:
+        if self._policy is None:
+            return tuple(range(self.vcs))
+        return self._policy.eligible(worm, link)
+
+    # --- main loop --------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the cycle loop; see the module docstring for semantics."""
+        topo = self.topology
+        cfg = self.config
+        metrics = self.metrics
+        flits = self.workload.message_flits
+        V = self.vcs
+        B = self.buffer_flits
+        cutoff = int(cfg.cutoff_cycles)
+        measure_end = cfg.measure_end
+        link_dst = topo.link_dst
+        link_group = topo.link_group
+        class_id = metrics.link_class_id
+        rng = self._rng
+        n_links = topo.num_links
+        n_pes = topo.num_processors
+
+        is_ejection = np.fromiter(
+            (link_dst[e] < n_pes for e in range(n_links)), dtype=bool, count=n_links
+        )
+
+        def lv(link: int, vc: int) -> int:
+            return link * V + vc
+
+        vc_output_busy = np.zeros(n_links * V, dtype=bool)
+        occupancy = np.zeros(n_links * V, dtype=np.int32)
+        # FIFO of [worm, arrived, departed] segments per receiving buffer.
+        buffer_queue: list[deque] = [deque() for _ in range(n_links * V)]
+        out_worm: list[_Worm | None] = [None] * (n_links * V)
+        out_hop = np.zeros(n_links * V, dtype=np.int32)
+        alloc_cycle = np.zeros(n_links * V, dtype=np.int64)
+        rr_pointer = np.zeros(n_links, dtype=np.int32)
+        active_links: set[int] = set()
+
+        sources: list[deque] = [deque() for _ in range(n_pes)]
+        group_queues: list[list] = [[] for _ in range(len(topo.groups))]
+        active_groups: set[int] = set()
+        requested: set[int] = set()
+        seq = 0
+
+        arrival_iter = self.traffic.arrivals(float(cutoff))
+        next_arrival = next(arrival_iter, None)
+        tagged_outstanding = 0
+        t = 0
+
+        def request_allocation(worm: _Worm, cycle: int) -> None:
+            nonlocal seq
+            if id(worm) in requested:
+                return
+            if worm.bindings:
+                options = topo.route_options(worm.node, worm.dst)
+            else:
+                options = topo.injection_options(worm.src)
+            g = link_group[options.links[0]]
+            heapq.heappush(
+                group_queues[g], (cycle, float(rng.random()), seq, worm, options.links)
+            )
+            active_groups.add(g)
+            requested.add(id(worm))
+            seq += 1
+
+        while t < cutoff:
+            # ---- phase 1: arrivals --------------------------------------------------
+            while next_arrival is not None and int(next_arrival.time) == t:
+                a = next_arrival
+                if a.flits is not None and a.flits != flits:
+                    raise ConfigurationError(
+                        "the buffered engine supports fixed-length worms only; "
+                        "use the event-driven simulator for variable lengths"
+                    )
+                tagged = metrics.on_generated(float(t))
+                worm = _Worm(a.src, a.dst, float(t), tagged)
+                if tagged:
+                    tagged_outstanding += 1
+                sources[a.src].append(worm)
+                if sources[a.src][0] is worm:
+                    request_allocation(worm, t)
+                next_arrival = next(arrival_iter, None)
+
+            # ---- phase 2: VC allocation (FCFS per VC, no head-of-line) ----------------
+            # Requests are served oldest-first, but a requester whose needed
+            # VC is busy does not block younger requesters that can use a
+            # different free VC — allocation must be per-resource or the
+            # dateline scheme's deadlock-freedom argument breaks.
+            if active_groups:
+                for g in sorted(active_groups):
+                    q = group_queues[g]
+                    if not q:
+                        active_groups.discard(g)
+                        continue
+                    kept: list = []
+                    progress = True
+                    while q:
+                        entry = heapq.heappop(q)
+                        _, _, _, worm, links = entry
+                        free_choices = []
+                        for link in links:
+                            for vc in self._eligible_vcs(worm, link):
+                                if not vc_output_busy[lv(link, vc)]:
+                                    free_choices.append((link, vc))
+                                    break  # lowest eligible VC per link
+                        if not free_choices:
+                            kept.append(entry)
+                            continue
+                        link, vc = (
+                            free_choices[0]
+                            if len(free_choices) == 1
+                            else free_choices[int(rng.integers(len(free_choices)))]
+                        )
+                        requested.discard(id(worm))
+                        slot = lv(link, vc)
+                        vc_output_busy[slot] = True
+                        out_worm[slot] = worm
+                        out_hop[slot] = len(worm.bindings)
+                        alloc_cycle[slot] = t
+                        worm.bindings.append((link, vc))
+                        worm.sent.append(0)
+                        worm.node = link_dst[link]
+                        metrics.on_acquisition(int(class_id[link]), float(t))
+                        if self._policy is not None:
+                            self._policy.on_allocate(worm, link)
+                        active_links.add(link)
+                    for entry in kept:
+                        heapq.heappush(q, entry)
+                    if not q:
+                        active_groups.discard(g)
+
+            # ---- phase 3: link scheduling (one flit per link, RR over VCs) -----------
+            occ_snapshot = occupancy.copy()
+            moves: list[tuple[_Worm, int, int, int]] = []
+            for link in list(active_links):
+                base = link * V
+                start = rr_pointer[link]
+                any_binding = False
+                for off in range(V):
+                    vc = (start + off) % V
+                    slot = base + vc
+                    worm = out_worm[slot]
+                    if worm is None:
+                        continue
+                    any_binding = True
+                    hop = int(out_hop[slot])
+                    k = worm.sent[hop]
+                    if k >= flits:
+                        continue
+                    if hop == 0:
+                        src_q = sources[worm.src]
+                        if not src_q or src_q[0] is not worm:
+                            continue
+                    else:
+                        up_slot = lv(*worm.bindings[hop - 1])
+                        upq = buffer_queue[up_slot]
+                        if not upq or upq[0][0] is not worm or k >= upq[0][1]:
+                            continue  # not at front / flit not yet arrived
+                    if not is_ejection[link] and occ_snapshot[slot] >= B:
+                        continue  # no credit downstream
+                    moves.append((worm, hop, link, vc))
+                    rr_pointer[link] = (vc + 1) % V
+                    break
+                if not any_binding:
+                    active_links.discard(link)
+
+            # ---- phase 4: apply movements ---------------------------------------------
+            delivered_now: list[_Worm] = []
+            for worm, hop, link, vc in moves:
+                k = worm.sent[hop]
+                worm.sent[hop] = k + 1
+                slot = lv(link, vc)
+                is_tail = k == flits - 1
+
+                # departure from the upstream store
+                if hop == 0:
+                    if is_tail:
+                        src_q = sources[worm.src]
+                        if not src_q or src_q.popleft() is not worm:
+                            raise SimulationError("source queue corrupted")
+                        if src_q and not src_q[0].bindings:
+                            request_allocation(src_q[0], t + 1)
+                else:
+                    up_slot = lv(*worm.bindings[hop - 1])
+                    occupancy[up_slot] -= 1
+                    upq = buffer_queue[up_slot]
+                    seg = upq[0]
+                    seg[2] += 1
+                    if seg[2] == flits:
+                        upq.popleft()
+                        if upq:
+                            front = upq[0][0]
+                            # The new front worm's head may now be routable:
+                            # it still ends at this buffer and has somewhere
+                            # to go.
+                            if (
+                                front.bindings[-1] == worm.bindings[hop - 1]
+                                and front.node != front.dst
+                            ):
+                                request_allocation(front, t + 1)
+
+                # arrival downstream
+                if is_ejection[link]:
+                    if is_tail:
+                        delivered_now.append(worm)
+                else:
+                    occupancy[slot] += 1
+                    q = buffer_queue[slot]
+                    if q and q[-1][0] is worm:
+                        q[-1][1] += 1
+                    else:
+                        q.append([worm, 1, 0])
+                    if (
+                        k == 0
+                        and q[0][0] is worm
+                        and link_dst[link] != worm.dst
+                    ):
+                        # head landed at the buffer front: route next cycle
+                        request_allocation(worm, t + 1)
+
+                # tail crossed this link: the output VC frees for reallocation
+                if is_tail:
+                    vc_output_busy[slot] = False
+                    out_worm[slot] = None
+                    metrics.on_busy(
+                        int(class_id[link]),
+                        float(t + 1 - alloc_cycle[slot]),
+                        float(alloc_cycle[slot]),
+                    )
+                    g = link_group[link]
+                    if group_queues[g]:
+                        active_groups.add(g)
+
+            for worm in delivered_now:
+                metrics.on_delivered(
+                    worm.gen_time, float(t + 1), worm.tagged, len(worm.bindings)
+                )
+                if worm.tagged:
+                    tagged_outstanding -= 1
+
+            t += 1
+            if tagged_outstanding == 0 and t >= measure_end:
+                break
+
+        return metrics.finalize(float(t))
+
+
+def simulate_buffered(
+    topology: SimTopology,
+    workload: Workload,
+    config: SimConfig,
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper around the buffered VC simulator."""
+    return BufferedWormholeSimulator(topology, workload, config, **kwargs).run()

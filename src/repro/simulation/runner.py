@@ -1,0 +1,139 @@
+"""Replication management and simulated latency curves.
+
+Bridges the simulators to the experiment harness: run several independently
+seeded replications of an operating point, aggregate them with Student-t
+confidence intervals, and sweep a load grid into a
+:class:`~repro.core.sweep.LatencyCurve` directly comparable with the model's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import partial
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SimConfig, Workload
+from ..core.sweep import LatencyCurve
+from ..topology.base import SimTopology
+from ..util.parallel import parallel_map
+from ..util.rng import replication_seeds
+from ..util.stats import mean_confidence_interval
+from .metrics import SimulationResult
+from .wormhole_sim import EventDrivenWormholeSimulator
+
+__all__ = ["ReplicatedResult", "run_replications", "simulated_latency_curve"]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of independently seeded replications at one operating point."""
+
+    workload: Workload
+    results: tuple[SimulationResult, ...]
+
+    @property
+    def latency_mean(self) -> float:
+        """Mean of per-replication latency means (nan when nothing delivered)."""
+        means = [r.latency_mean for r in self.results if not math.isnan(r.latency_mean)]
+        return float(np.mean(means)) if means else math.nan
+
+    @property
+    def latency_ci(self) -> float:
+        """95% Student-t half-interval across replications."""
+        means = [r.latency_mean for r in self.results if not math.isnan(r.latency_mean)]
+        return mean_confidence_interval(means)[1]
+
+    @property
+    def delivered_flit_rate(self) -> float:
+        return float(np.mean([r.delivered_flit_rate for r in self.results]))
+
+    @property
+    def stable(self) -> bool:
+        """Majority of replications in steady state."""
+        votes = sum(1 for r in self.results if r.stable)
+        return 2 * votes > len(self.results)
+
+
+def run_replications(
+    topology: SimTopology,
+    workload: Workload,
+    config: SimConfig,
+    *,
+    replications: int = 3,
+    simulator_cls=EventDrivenWormholeSimulator,
+    keep_samples: bool = False,
+) -> ReplicatedResult:
+    """Run ``replications`` independently seeded simulations of one point."""
+    results = []
+    for seed in replication_seeds(config.seed, replications):
+        cfg = SimConfig(
+            warmup_cycles=config.warmup_cycles,
+            measure_cycles=config.measure_cycles,
+            max_cycles=config.max_cycles,
+            seed=seed,
+            drain_factor=config.drain_factor,
+        )
+        results.append(
+            simulator_cls(topology, workload, cfg, keep_samples=keep_samples).run()
+        )
+    return ReplicatedResult(workload=workload, results=tuple(results))
+
+
+def _curve_point(
+    load: float,
+    *,
+    topology: SimTopology,
+    message_flits: int,
+    config: SimConfig,
+    replications: int,
+    simulator_cls,
+) -> float:
+    """Simulate one operating point of a latency curve (worker function)."""
+    wl = Workload.from_flit_load(float(load), message_flits)
+    if replications <= 1:
+        res = simulator_cls(topology, wl, config, keep_samples=False).run()
+        return res.latency_mean if res.stable else math.inf
+    rep = run_replications(
+        topology, wl, config, replications=replications, simulator_cls=simulator_cls
+    )
+    return rep.latency_mean if rep.stable else math.inf
+
+
+def simulated_latency_curve(
+    topology: SimTopology,
+    message_flits: int,
+    flit_loads: Sequence[float],
+    config: SimConfig,
+    *,
+    replications: int = 1,
+    label: str = "simulation",
+    simulator_cls=EventDrivenWormholeSimulator,
+    processes: int = 1,
+) -> LatencyCurve:
+    """Measure a latency-vs-load series (the "Experiment" points of Figure 3).
+
+    Unstable points (censored tagged messages / throughput collapse) are
+    recorded as ``inf``, matching how saturated model points are reported.
+    Operating points are independent, so ``processes > 1`` fans them out
+    across worker processes (results are bit-identical to the serial run —
+    every point derives its own seeded RNG streams).
+    """
+    loads = np.asarray(list(flit_loads), dtype=float)
+    worker = partial(
+        _curve_point,
+        topology=topology,
+        message_flits=message_flits,
+        config=config,
+        replications=replications,
+        simulator_cls=simulator_cls,
+    )
+    lat = np.array(
+        parallel_map(worker, [float(x) for x in loads], processes=processes),
+        dtype=float,
+    )
+    return LatencyCurve(
+        label=label, message_flits=message_flits, flit_loads=loads, latencies=lat
+    )

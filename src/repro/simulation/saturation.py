@@ -1,0 +1,88 @@
+"""Empirical saturation-throughput search.
+
+Mirrors the model-side Eq. 26 solver (:mod:`repro.core.throughput`) with a
+simulation-backed stability predicate: an operating point is *stable* when a
+run delivers (nearly) everything it was offered — no tagged message is
+censored at the horizon and the delivered flit rate stays within 5% of the
+offered rate.  The same bracket-then-bisect search then locates the
+saturation load.
+
+Simulation noise makes the empirical boundary fuzzier than the model's, so
+the default tolerance is coarser and each probe can be averaged over
+replications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig, Workload
+from ..core.throughput import SaturationResult, saturation_injection_rate
+from ..topology.base import SimTopology
+from ..util.rng import replication_seeds
+from .wormhole_sim import EventDrivenWormholeSimulator
+
+__all__ = ["empirical_saturation"]
+
+
+@dataclass(frozen=True)
+class _SimStability:
+    """Adapter giving the throughput search a simulator-backed predicate."""
+
+    topology: SimTopology
+    config: SimConfig
+    replications: int
+
+    def is_stable(self, workload: Workload) -> bool:
+        seeds = replication_seeds(self.config.seed, self.replications)
+        stable_votes = 0
+        for seed in seeds:
+            cfg = SimConfig(
+                warmup_cycles=self.config.warmup_cycles,
+                measure_cycles=self.config.measure_cycles,
+                max_cycles=self.config.max_cycles,
+                seed=seed,
+                drain_factor=self.config.drain_factor,
+            )
+            result = EventDrivenWormholeSimulator(
+                self.topology, workload, cfg, keep_samples=False
+            ).run()
+            if result.stable:
+                stable_votes += 1
+        # Majority vote damps borderline noise.
+        return 2 * stable_votes > self.replications
+
+
+def empirical_saturation(
+    topology: SimTopology,
+    message_flits: int,
+    config: SimConfig,
+    *,
+    replications: int = 1,
+    rel_tol: float = 0.03,
+    initial_rate: float | None = None,
+) -> SaturationResult:
+    """Locate the simulated saturation injection rate of ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        Network to drive (any SimTopology).
+    message_flits:
+        Worm length for the sweep.
+    config:
+        Measurement protocol template; per-probe seeds are derived from
+        ``config.seed``.
+    replications:
+        Runs per probed operating point (majority vote on stability).
+    rel_tol:
+        Relative bisection tolerance (simulation noise rarely supports
+        better than a few percent).
+    """
+    probe = _SimStability(topology, config, replications)
+    return saturation_injection_rate(
+        probe,
+        message_flits,
+        rel_tol=rel_tol,
+        initial_rate=initial_rate,
+    )

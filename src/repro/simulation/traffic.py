@@ -1,0 +1,217 @@
+"""Traffic generation for the simulators.
+
+The paper's workload is Poisson arrivals with uniformly random destinations
+(assumption 1).  :class:`PoissonTraffic` reproduces it exactly — each PE
+generates messages with exponential inter-arrival times at rate
+``lambda_0`` — and additionally offers the destination patterns commonly
+used in interconnect studies (random permutation, hotspot, quad-local) as
+extensions for the example applications.
+
+A traffic source is consumed through :meth:`arrivals`, a time-ordered
+iterator of ``(time, src, dst)`` triples; :class:`TraceTraffic` replays an
+explicit list, which is how the two simulators are driven with identical
+inputs for cross-validation.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from ..util.rng import spawn_rngs
+
+__all__ = ["Pattern", "PoissonTraffic", "TraceTraffic", "Arrival", "bimodal_lengths"]
+
+
+class Pattern(enum.Enum):
+    """Destination-selection patterns."""
+
+    #: Uniformly random destination, excluding the source (the paper's).
+    UNIFORM = "uniform"
+    #: A fixed random derangement: PE ``i`` always sends to ``pi(i)``.
+    PERMUTATION = "permutation"
+    #: With probability ``hotspot_fraction`` send to ``hotspot_target``.
+    HOTSPOT = "hotspot"
+    #: Uniform within the source's 4-leaf quad (shares a level-1 switch).
+    QUAD_LOCAL = "quad-local"
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One generated message: creation time, source PE, destination PE.
+
+    ``flits`` optionally overrides the workload's fixed message length for
+    this message (variable-length extension; the paper's assumption 2 fixes
+    it).  ``None`` means "use the workload length".
+    """
+
+    time: float
+    src: int
+    dst: int
+    flits: int | None = None
+
+
+class PoissonTraffic:
+    """Independent Poisson sources with a pluggable destination pattern.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements.
+    workload:
+        Injection rate and message length (length is carried by the
+        simulator; the source only needs the rate).
+    seed:
+        Root seed; arrival times, destinations, and the permutation (when
+        used) draw from independent spawned streams.
+    pattern:
+        Destination pattern; defaults to the paper's uniform traffic.
+    hotspot_fraction / hotspot_target:
+        Parameters of :attr:`Pattern.HOTSPOT`.
+    length_sampler:
+        Optional callable ``rng -> int`` drawing a per-message length in
+        flits (relaxes the paper's fixed-length assumption 2; supported by
+        the event-driven simulator).  See :func:`bimodal_lengths`.
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        workload: Workload,
+        seed: int = 0,
+        *,
+        pattern: Pattern = Pattern.UNIFORM,
+        hotspot_fraction: float = 0.1,
+        hotspot_target: int = 0,
+        length_sampler=None,
+    ) -> None:
+        if num_pes < 2:
+            raise ConfigurationError("traffic requires at least 2 PEs")
+        if pattern is Pattern.HOTSPOT and not (0.0 <= hotspot_fraction <= 1.0):
+            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
+        if pattern is Pattern.HOTSPOT and not (0 <= hotspot_target < num_pes):
+            raise ConfigurationError("hotspot_target out of range")
+        if pattern is Pattern.QUAD_LOCAL and num_pes % 4 != 0:
+            raise ConfigurationError("QUAD_LOCAL requires num_pes divisible by 4")
+        self.num_pes = num_pes
+        self.workload = workload
+        self.pattern = pattern
+        self.hotspot_fraction = hotspot_fraction
+        self.hotspot_target = hotspot_target
+        self.length_sampler = length_sampler
+        self._arrival_rng, self._dst_rng, perm_rng, self._len_rng = spawn_rngs(seed, 4)
+        self._permutation = (
+            self._derangement(perm_rng, num_pes)
+            if pattern is Pattern.PERMUTATION
+            else None
+        )
+
+    @staticmethod
+    def _derangement(rng: np.random.Generator, n: int) -> np.ndarray:
+        """A uniformly-ish random permutation with no fixed points."""
+        while True:
+            perm = rng.permutation(n)
+            if not np.any(perm == np.arange(n)):
+                return perm
+
+    # --- destination sampling ---------------------------------------------------
+
+    def sample_destination(self, src: int) -> int:
+        """Draw the destination for a message sourced at ``src``."""
+        rng = self._dst_rng
+        if self.pattern is Pattern.PERMUTATION:
+            return int(self._permutation[src])
+        if self.pattern is Pattern.HOTSPOT:
+            if rng.random() < self.hotspot_fraction and self.hotspot_target != src:
+                return self.hotspot_target
+            return self._uniform_excluding(src, 0, self.num_pes)
+        if self.pattern is Pattern.QUAD_LOCAL:
+            quad = src - src % 4
+            return self._uniform_excluding(src, quad, quad + 4)
+        return self._uniform_excluding(src, 0, self.num_pes)
+
+    def _uniform_excluding(self, src: int, lo: int, hi: int) -> int:
+        d = int(self._dst_rng.integers(lo, hi - 1))
+        return d + 1 if d >= src else d
+
+    # --- the arrival stream --------------------------------------------------------
+
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        """Yield time-ordered arrivals with ``time < horizon``.
+
+        Per-PE exponential inter-arrival streams are merged through a heap,
+        so the global stream is a superposition of independent Poisson
+        processes — exactly the paper's arrival model.  A zero injection
+        rate yields an empty stream.
+        """
+        lam = self.workload.injection_rate
+        if lam <= 0.0:
+            return
+        rng = self._arrival_rng
+        scale = 1.0 / lam
+        heap: list[tuple[float, int]] = []
+        first = rng.exponential(scale, size=self.num_pes)
+        for pe in range(self.num_pes):
+            t = float(first[pe])
+            if t < horizon:
+                heap.append((t, pe))
+        heapq.heapify(heap)
+        sampler = self.length_sampler
+        while heap:
+            t, pe = heapq.heappop(heap)
+            flits = int(sampler(self._len_rng)) if sampler is not None else None
+            yield Arrival(t, pe, self.sample_destination(pe), flits)
+            nxt = t + float(rng.exponential(scale))
+            if nxt < horizon:
+                heapq.heappush(heap, (nxt, pe))
+
+
+def bimodal_lengths(short: int, long: int, short_fraction: float):
+    """A two-point message-length sampler (e.g. 8-flit requests, 56-flit data).
+
+    Returns a callable suitable for ``PoissonTraffic(length_sampler=...)``.
+    """
+    if short <= 0 or long <= 0:
+        raise ConfigurationError("lengths must be positive")
+    if not (0.0 <= short_fraction <= 1.0):
+        raise ConfigurationError("short_fraction must be in [0, 1]")
+
+    def sample(rng) -> int:
+        return short if rng.random() < short_fraction else long
+
+    return sample
+
+
+class TraceTraffic:
+    """Replay an explicit arrival list (for tests and cross-validation).
+
+    Arrivals must be time-ordered; ``horizon`` simply truncates the replay.
+    """
+
+    def __init__(self, trace: Sequence[Arrival] | Iterable[tuple[float, int, int]]):
+        items = [a if isinstance(a, Arrival) else Arrival(*a) for a in trace]
+        for prev, cur in zip(items, items[1:]):
+            if cur.time < prev.time:
+                raise ConfigurationError("trace arrivals must be time-ordered")
+        for a in items:
+            if a.src == a.dst:
+                raise ConfigurationError("trace contains a self-addressed message")
+        self._items = items
+
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        for a in self._items:
+            if a.time >= horizon:
+                break
+            yield a
+
+    def floored(self) -> "TraceTraffic":
+        """A copy with integer (floor) arrival times, for the cycle-level sim."""
+        floored = [Arrival(float(int(a.time)), a.src, a.dst) for a in self._items]
+        floored.sort(key=lambda a: a.time)
+        return TraceTraffic(floored)

@@ -1,0 +1,98 @@
+"""Common interfaces and data types for network topologies.
+
+Both simulators (event-driven and flit-level) are topology-agnostic: they
+drive any object satisfying :class:`SimTopology`.  A topology exposes
+
+* processing elements (PEs) numbered ``0 .. num_processors-1``; these double
+  as node ids for the PEs, with routing elements (switches) occupying ids
+  from ``num_processors`` upward;
+* unidirectional *links* numbered ``0 .. num_links-1``;
+* *resource groups*: disjoint sets of links that act as one multi-server
+  channel.  In the butterfly fat-tree the two up-links out of a switch form
+  a two-member group (a worm heading up takes whichever member is free); all
+  other links are singleton groups.
+* incremental routing: given a worm's current node and destination, the set
+  of legal (link, next_node) options for the next hop.
+
+The integer ``kind``/``level`` labels attached to links let measurement code
+aggregate per-channel-class statistics that correspond one-to-one with the
+channel classes of the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = ["LinkClass", "RouteOptions", "SimTopology", "UP", "DOWN"]
+
+#: Direction tags for link classes (fat-tree terminology; for cube networks
+#: every network link is tagged UP and ejection links DOWN, purely as labels).
+UP = 0
+DOWN = 1
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """Equivalence class of symmetric links.
+
+    For the butterfly fat-tree the classes are ``(UP, l)`` = channels from
+    level ``l`` to ``l+1`` (``l = 0`` is the PE injection link) and
+    ``(DOWN, l)`` = channels from level ``l+1`` to ``l`` (``l = 0`` is the
+    ejection link to the PE), matching the paper's <i, j> channel labels.
+    """
+
+    direction: int
+    level: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.direction == UP:
+            return f"<{self.level},{self.level + 1}>"
+        return f"<{self.level + 1},{self.level}>"
+
+
+@dataclass(frozen=True)
+class RouteOptions:
+    """The legal next-hop alternatives for a worm at some node.
+
+    ``links[i]`` carries the worm to ``next_nodes[i]``.  Wormhole adaptivity
+    (the fat-tree's random up-link choice) is expressed by multi-element
+    options; deterministic routing always yields a single element.
+    """
+
+    links: tuple[int, ...]
+    next_nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.links) != len(self.next_nodes) or not self.links:
+            raise ValueError("RouteOptions requires equal-length, non-empty tuples")
+
+
+@runtime_checkable
+class SimTopology(Protocol):
+    """Interface consumed by the simulators (see module docstring)."""
+
+    num_processors: int
+    num_links: int
+    #: groups[g] lists the member links of resource group g.
+    groups: Sequence[Sequence[int]]
+    #: link_group[e] is the group index of link e.
+    link_group: Sequence[int]
+    #: link_class[e] is the LinkClass of link e (for statistics).
+    link_class: Sequence[LinkClass]
+
+    def injection_options(self, src: int) -> RouteOptions:
+        """First hop (the injection channel) for a worm sourced at PE ``src``."""
+        ...
+
+    def route_options(self, node: int, dst: int) -> RouteOptions:
+        """Next-hop options for a worm at ``node`` heading to PE ``dst``.
+
+        Never called with ``node == dst``; delivery is detected by the
+        engine when a hop's ``next_node`` equals the destination PE.
+        """
+        ...
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of links on a shortest path from PE ``src`` to PE ``dst``."""
+        ...

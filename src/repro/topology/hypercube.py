@@ -1,0 +1,110 @@
+"""Binary hypercube topology with e-cube (dimension-order) routing.
+
+Used to exercise the *general* wormhole model of Section 2 on a second
+network (the paper's abstract: "These ideas can also be applied to other
+networks") and to host the Draper–Ghosh-style baseline, which was developed
+for binary hypercubes.
+
+The hypercube is a *direct* network: every node hosts a PE and a routing
+element.  Following the paper's general routing model (Figure 1), each PE is
+attached to its RE through an injecting channel and an ejecting channel, and
+network links connect REs.  E-cube routing corrects address bits from the
+highest differing dimension downwards, which makes the channel-dependency
+graph acyclic and deadlock-free.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, RoutingError
+from .base import DOWN, UP, LinkClass, RouteOptions
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube:
+    """Binary ``d``-cube with ``N = 2**d`` processor/router pairs.
+
+    Node ids: PEs are ``0 .. N-1``; routing element of PE ``u`` is ``N + u``.
+    Link layout: link ``u*d + k`` is the dimension-``k`` channel out of
+    router ``u`` (toward ``u XOR 2**k``); links ``N*d + u`` are injection
+    channels and ``N*d + N + u`` ejection channels.
+
+    Link classes: dimension-``k`` channels are ``LinkClass(UP, k + 1)`` so
+    that levels are strictly positive like the fat-tree's network channels;
+    injection is ``LinkClass(UP, 0)``, ejection ``LinkClass(DOWN, 0)``.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if not isinstance(dimension, int) or dimension < 1:
+            raise ConfigurationError(f"dimension must be a positive integer, got {dimension!r}")
+        self.dimension = dimension
+        self.num_processors = 1 << dimension
+        n = self.num_processors
+        d = dimension
+        self.num_nodes = 2 * n
+        self.num_links = n * d + 2 * n
+
+        link_src: list[int] = []
+        link_dst: list[int] = []
+        link_cls: list[LinkClass] = []
+        for u in range(n):
+            for k in range(d):
+                link_src.append(n + u)
+                link_dst.append(n + (u ^ (1 << k)))
+                link_cls.append(LinkClass(UP, k + 1))
+        for u in range(n):  # injection
+            link_src.append(u)
+            link_dst.append(n + u)
+            link_cls.append(LinkClass(UP, 0))
+        for u in range(n):  # ejection
+            link_src.append(n + u)
+            link_dst.append(u)
+            link_cls.append(LinkClass(DOWN, 0))
+        self.link_src = link_src
+        self.link_dst = link_dst
+        self.link_class = link_cls
+
+        # Every link is its own single-server resource.
+        self.groups = [[e] for e in range(self.num_links)]
+        self.link_group = list(range(self.num_links))
+
+        self._inject_base = n * d
+        self._eject_base = n * d + n
+
+    # --- SimTopology API ----------------------------------------------------------
+
+    def injection_options(self, src: int) -> RouteOptions:
+        if not (0 <= src < self.num_processors):
+            raise RoutingError(f"source PE {src} out of range")
+        return RouteOptions(
+            links=(self._inject_base + src,),
+            next_nodes=(self.num_processors + src,),
+        )
+
+    def route_options(self, node: int, dst: int) -> RouteOptions:
+        """E-cube: correct the highest differing bit; eject when none differ."""
+        n = self.num_processors
+        if not (0 <= dst < n):
+            raise RoutingError(f"destination PE {dst} out of range")
+        u = node - n
+        if not (0 <= u < n):
+            raise RoutingError(f"node {node} is not a router")
+        diff = u ^ dst
+        if diff == 0:
+            return RouteOptions(links=(self._eject_base + u,), next_nodes=(dst,))
+        k = diff.bit_length() - 1
+        v = u ^ (1 << k)
+        return RouteOptions(links=(u * self.dimension + k,), next_nodes=(n + v,))
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Hamming distance plus the injection and ejection channels."""
+        if src == dst:
+            return 0
+        return (src ^ dst).bit_count() + 2
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Hypercube(d={self.dimension}, N={self.num_processors}, "
+            f"links={self.num_links})"
+        )

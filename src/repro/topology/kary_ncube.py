@@ -1,0 +1,129 @@
+"""Unidirectional k-ary n-cube (torus) with e-cube routing.
+
+This is the network family analysed by Dally (IEEE Trans. Computers 1990),
+which the paper cites as the canonical prior wormhole model.  We build it to
+host the Dally-style baseline model and to let the simulators validate that
+baseline the same way they validate the fat-tree model.
+
+Following Dally's setting, each ring is unidirectional: node ``x`` connects
+to the node whose coordinate in dimension ``i`` is ``(x_i + 1) mod k``.
+E-cube routing corrects dimension 0 first, then 1, and so on, always moving
+in the positive direction; a message needs ``(dst_i - src_i) mod k`` hops in
+dimension ``i``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, RoutingError
+from .base import DOWN, UP, LinkClass, RouteOptions
+
+__all__ = ["KaryNCube"]
+
+
+class KaryNCube:
+    """Unidirectional ``k``-ary ``n``-cube with ``N = k**n`` nodes.
+
+    Node ids: PEs ``0 .. N-1`` (mixed-radix encoding of coordinates,
+    dimension 0 least significant); routers ``N + u``.  Link ``u*n + i``
+    leaves router ``u`` in dimension ``i``; injection/ejection channels
+    follow as in :class:`repro.topology.hypercube.Hypercube`.
+    """
+
+    def __init__(self, radix: int, dimensions: int) -> None:
+        if not isinstance(radix, int) or radix < 2:
+            raise ConfigurationError(f"radix must be an integer >= 2, got {radix!r}")
+        if not isinstance(dimensions, int) or dimensions < 1:
+            raise ConfigurationError(
+                f"dimensions must be a positive integer, got {dimensions!r}"
+            )
+        self.radix = radix
+        self.dimensions = dimensions
+        self.num_processors = radix**dimensions
+        n = self.num_processors
+        self.num_nodes = 2 * n
+        self.num_links = n * dimensions + 2 * n
+
+        link_src: list[int] = []
+        link_dst: list[int] = []
+        link_cls: list[LinkClass] = []
+        for u in range(n):
+            for i in range(dimensions):
+                link_src.append(n + u)
+                link_dst.append(n + self._neighbor(u, i))
+                link_cls.append(LinkClass(UP, i + 1))
+        for u in range(n):
+            link_src.append(u)
+            link_dst.append(n + u)
+            link_cls.append(LinkClass(UP, 0))
+        for u in range(n):
+            link_src.append(n + u)
+            link_dst.append(u)
+            link_cls.append(LinkClass(DOWN, 0))
+        self.link_src = link_src
+        self.link_dst = link_dst
+        self.link_class = link_cls
+        self.groups = [[e] for e in range(self.num_links)]
+        self.link_group = list(range(self.num_links))
+        self._inject_base = n * dimensions
+        self._eject_base = n * dimensions + n
+
+    def _neighbor(self, u: int, dim: int) -> int:
+        """Node one positive hop from ``u`` in ``dim``."""
+        k = self.radix
+        stride = k**dim
+        coord = (u // stride) % k
+        return u + stride * (((coord + 1) % k) - coord)
+
+    def coordinates(self, u: int) -> tuple[int, ...]:
+        """Mixed-radix coordinates of node ``u`` (dimension 0 first)."""
+        coords = []
+        for _ in range(self.dimensions):
+            coords.append(u % self.radix)
+            u //= self.radix
+        return tuple(coords)
+
+    # --- SimTopology API ----------------------------------------------------------
+
+    def injection_options(self, src: int) -> RouteOptions:
+        if not (0 <= src < self.num_processors):
+            raise RoutingError(f"source PE {src} out of range")
+        return RouteOptions(
+            links=(self._inject_base + src,),
+            next_nodes=(self.num_processors + src,),
+        )
+
+    def route_options(self, node: int, dst: int) -> RouteOptions:
+        """E-cube: fix the lowest unresolved dimension, positive direction."""
+        n = self.num_processors
+        if not (0 <= dst < n):
+            raise RoutingError(f"destination PE {dst} out of range")
+        u = node - n
+        if not (0 <= u < n):
+            raise RoutingError(f"node {node} is not a router")
+        if u == dst:
+            return RouteOptions(links=(self._eject_base + u,), next_nodes=(dst,))
+        uc = self.coordinates(u)
+        dc = self.coordinates(dst)
+        for i in range(self.dimensions):
+            if uc[i] != dc[i]:
+                v = self._neighbor(u, i)
+                return RouteOptions(
+                    links=(u * self.dimensions + i,), next_nodes=(n + v,)
+                )
+        raise RoutingError("unreachable: coordinates equal but nodes differ")
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Ring distances summed over dimensions, plus injection and ejection."""
+        if src == dst:
+            return 0
+        sc = self.coordinates(src)
+        dc = self.coordinates(dst)
+        hops = sum((d - s) % self.radix for s, d in zip(sc, dc))
+        return hops + 2
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"KaryNCube(k={self.radix}, n={self.dimensions}, "
+            f"N={self.num_processors}, links={self.num_links})"
+        )

@@ -1,0 +1,41 @@
+"""Shared numerical and infrastructure helpers.
+
+Submodules
+----------
+``fixedpoint``
+    Damped fixed-point iteration used by the generic channel-graph solver.
+``rng``
+    Reproducible random-stream spawning built on :class:`numpy.random.SeedSequence`.
+``stats``
+    Online moment accumulators and confidence intervals for simulation output.
+``tables``
+    Plain-text table and sparkline rendering for experiment reports.
+``validation``
+    Small argument-checking helpers with consistent error messages.
+"""
+
+from .fixedpoint import FixedPointResult, fixed_point
+from .rng import spawn_rngs, spawn_seeds
+from .stats import OnlineStats, mean_confidence_interval
+from .tables import format_table, ascii_curve
+from .validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_power_of,
+)
+
+__all__ = [
+    "FixedPointResult",
+    "fixed_point",
+    "spawn_rngs",
+    "spawn_seeds",
+    "OnlineStats",
+    "mean_confidence_interval",
+    "format_table",
+    "ascii_curve",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_power_of",
+]

@@ -1,0 +1,94 @@
+"""Damped fixed-point iteration.
+
+The generic wormhole model (Eq. 11 of the paper) resolves channel service
+times iteratively: on acyclic channel graphs a single reverse sweep suffices,
+but on cyclic graphs (k-ary n-cubes with wraparound, or any network whose
+channel-dependency graph has loops) the recursion must be iterated to a fixed
+point.  This module provides the shared solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+__all__ = ["FixedPointResult", "fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point iteration.
+
+    Attributes
+    ----------
+    value:
+        The converged vector.
+    iterations:
+        Number of iterations performed.
+    residual:
+        Final infinity-norm change between successive iterates.
+    converged:
+        True when the residual dropped below the tolerance.  (The solver
+        raises on non-convergence unless ``allow_divergence`` is set, in
+        which case this flag is False and ``value`` holds the last iterate.)
+    """
+
+    value: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def fixed_point(
+    func: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 10_000,
+    damping: float = 1.0,
+    allow_divergence: bool = False,
+) -> FixedPointResult:
+    """Iterate ``x <- (1-d)*x + d*func(x)`` until the change is below ``tol``.
+
+    Parameters
+    ----------
+    func:
+        The map whose fixed point is sought.  May return ``inf`` entries;
+        when an iterate becomes non-finite the iteration stops immediately
+        and the (non-finite) iterate is returned with ``converged=True`` —
+        this is how channel-graph solvers signal saturation, and ``inf`` is a
+        legitimate fixed point of a monotone queueing recursion.
+    x0:
+        Starting vector.
+    tol:
+        Convergence threshold on the infinity norm of the update.
+    max_iter:
+        Iteration budget; exceeded budget raises :class:`ConvergenceError`
+        unless ``allow_divergence``.
+    damping:
+        Relaxation factor in (0, 1]; values below 1 stabilise oscillating
+        recursions.
+    """
+    if not (0.0 < damping <= 1.0):
+        raise ValueError(f"damping must be in (0, 1], got {damping!r}")
+    x = np.asarray(x0, dtype=float).copy()
+    residual = np.inf
+    for it in range(1, max_iter + 1):
+        fx = np.asarray(func(x), dtype=float)
+        if not np.all(np.isfinite(fx)):
+            # Saturation: propagate the non-finite iterate as a terminal state.
+            return FixedPointResult(value=fx, iterations=it, residual=np.inf, converged=True)
+        new = (1.0 - damping) * x + damping * fx
+        residual = float(np.max(np.abs(new - x))) if new.size else 0.0
+        x = new
+        if residual <= tol:
+            return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
+    if allow_divergence:
+        return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
+    raise ConvergenceError(
+        f"fixed point not reached after {max_iter} iterations (residual {residual:.3e})"
+    )

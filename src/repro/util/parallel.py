@@ -1,0 +1,57 @@
+"""Process-level parallelism for embarrassingly parallel sweeps.
+
+Latency-vs-load sweeps simulate independent operating points, so they
+parallelize trivially across processes.  :func:`parallel_map` wraps
+``multiprocessing`` with the conventions this library needs:
+
+* the ``fork`` start method (COW-shared topology objects, no pickling of
+  the heavyweight network structures on POSIX);
+* deterministic output order (results align with the input order
+  regardless of completion order);
+* graceful serial fallback for ``processes <= 1``, tiny inputs, or
+  platforms without ``fork`` — results are bit-identical either way
+  because every task carries its own seeded RNG stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    processes: int = 1,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally across worker processes.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable (module-level function or functools.partial
+        of one); executed once per item.
+    items:
+        Work list; results are returned in the same order.
+    processes:
+        Worker-process count.  ``<= 1`` (or fewer items than 2) runs
+        serially in-process.
+    chunksize:
+        Forwarded to ``Pool.map`` for batching.
+    """
+    items = list(items)
+    if processes <= 1 or len(items) < 2:
+        return [func(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return [func(item) for item in items]
+    with ctx.Pool(processes=min(processes, len(items))) as pool:
+        return pool.map(func, items, chunksize=chunksize)

@@ -1,0 +1,120 @@
+"""Streaming statistics and confidence intervals for simulation output.
+
+:class:`OnlineStats` implements Welford's numerically stable one-pass
+algorithm so simulators can accumulate millions of latency samples without
+storing them.  :func:`mean_confidence_interval` provides Student-t intervals
+for replicated runs, and :func:`batch_means` implements the classic
+batch-means method for a single long run with autocorrelated samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["OnlineStats", "mean_confidence_interval", "batch_means"]
+
+
+@dataclass
+class OnlineStats:
+    """Welford one-pass accumulator for mean / variance / extremes."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    min: float = field(default=math.inf)
+    max: float = field(default=-math.inf)
+
+    def add(self, x: float) -> None:
+        """Accumulate a single observation."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def add_many(self, xs: Sequence[float]) -> None:
+        """Accumulate a batch of observations."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than two samples)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return math.nan
+        return self.std / math.sqrt(self.count)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to both inputs combined."""
+        if other.count == 0:
+            out = OnlineStats(self.count, self._mean, self._m2, self.min, self.max)
+            return out
+        if self.count == 0:
+            return OnlineStats(other.count, other._mean, other._m2, other.min, other.max)
+        n = self.count + other.count
+        delta = other._mean - self._mean
+        mean = self._mean + delta * other.count / n
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        return OnlineStats(n, mean, m2, min(self.min, other.min), max(self.max, other.max))
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Student-t confidence half-interval for the mean of ``samples``.
+
+    Returns ``(mean, half_width)``.  With fewer than two samples the half
+    width is ``inf`` (no variance information).
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return math.nan, math.inf
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, math.inf
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    tcrit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return mean, tcrit * sem
+
+
+def batch_means(
+    samples: Sequence[float], n_batches: int = 20, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Batch-means confidence interval for autocorrelated sample streams.
+
+    Splits the (time-ordered) sample stream into ``n_batches`` contiguous
+    batches, treats batch averages as approximately independent, and returns
+    ``(mean, half_width)``.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size < n_batches * 2:
+        return mean_confidence_interval(arr, confidence)
+    usable = (arr.size // n_batches) * n_batches
+    batches = arr[:usable].reshape(n_batches, -1).mean(axis=1)
+    return mean_confidence_interval(batches, confidence)

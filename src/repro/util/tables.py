@@ -1,0 +1,103 @@
+"""Plain-text rendering of result tables and curves.
+
+Experiment harnesses and benchmarks emit their tables through
+:func:`format_table`; examples use :func:`ascii_curve` to sketch
+latency-versus-load curves in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "ascii_curve"]
+
+
+def _render_cell(value: object, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Floats are formatted with ``floatfmt``; ``None`` renders as ``-``;
+    infinities render as ``inf``.  Returns the table as a single string
+    (no trailing newline).
+    """
+    str_rows = [[_render_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Draw one or more (x, y) series as an ASCII scatter plot.
+
+    Non-finite y values are skipped (a saturated model point simply does not
+    appear).  Each series is drawn with its own marker character.
+    """
+    markers = "*o+x#@%&"
+    pts: list[tuple[float, float, str]] = []
+    for idx, (name, ys) in enumerate(series.items()):
+        m = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if math.isfinite(x) and math.isfinite(y):
+                pts.append((x, y, m))
+    if not pts:
+        return "(no finite points)"
+    x_min = min(p[0] for p in pts)
+    x_max = max(p[0] for p in pts)
+    y_min = min(p[1] for p in pts)
+    y_max = max(p[1] for p in pts)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, m in pts:
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = m
+    lines = [f"{y_label}  [{y_min:.4g} .. {y_max:.4g}]"]
+    lines += ["  |" + "".join(r) for r in grid]
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_label}  [{x_min:.4g} .. {x_max:.4g}]")
+    legend = "   legend: " + "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

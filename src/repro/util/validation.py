@@ -1,0 +1,56 @@
+"""Argument validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with uniform messages so
+that invalid parameters are reported consistently across the library.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_power_of",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure ``value`` is a finite number strictly greater than zero."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value`` is a finite number greater than or equal to zero."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0):
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    if not (isinstance(value, (int, float)) and 0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_power_of(name: str, value: int, base: int) -> int:
+    """Ensure ``value`` is a positive integer power of ``base`` (>= base**1).
+
+    Returns the exponent ``e`` such that ``base ** e == value``.
+    """
+    if not isinstance(value, int) or value < base:
+        raise ConfigurationError(f"{name} must be an integer power of {base} (>= {base}), got {value!r}")
+    e = 0
+    v = value
+    while v > 1:
+        if v % base != 0:
+            raise ConfigurationError(f"{name} must be an integer power of {base}, got {value!r}")
+        v //= base
+        e += 1
+    return e

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.name == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+
+class TestCommands:
+    def test_model(self, capsys):
+        assert main(["model", "-n", "64", "-f", "16", "-l", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "injection_wait" in out
+        assert "latency" in out
+
+    def test_model_bad_size_is_clean_error(self, capsys):
+        assert main(["model", "-n", "100"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-n", "64", "-f", "16", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 5  # header + separator + 4 rows
+
+    def test_saturation(self, capsys):
+        assert main(["saturation", "-n", "64", "-f", "16,32"]) == 0
+        out = capsys.readouterr().out
+        assert "flit load" in out
+
+    @pytest.mark.parametrize("engine", ["event", "flit", "buffered"])
+    def test_simulate_all_engines(self, capsys, engine):
+        rc = main(
+            [
+                "simulate",
+                "-n",
+                "16",
+                "-f",
+                "16",
+                "-l",
+                "0.05",
+                "--simulator",
+                engine,
+                "--warmup",
+                "300",
+                "--measure",
+                "1500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "model prediction" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "links" in out and "<0,1>" in out
+
+    def test_experiment_crosscheck(self, capsys):
+        assert main(["experiment", "crosscheck"]) == 0
+        assert "cross-validation" in capsys.readouterr().out

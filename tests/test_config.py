@@ -1,0 +1,95 @@
+"""Tests for repro.config: Workload and SimConfig semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ConfigurationError, SimConfig, Workload
+
+
+class TestWorkload:
+    def test_flit_load_round_trip(self):
+        wl = Workload.from_flit_load(0.05, 16)
+        assert math.isclose(wl.flit_load, 0.05)
+        assert math.isclose(wl.injection_rate, 0.05 / 16)
+
+    def test_direct_construction(self):
+        wl = Workload(message_flits=32, injection_rate=0.001)
+        assert wl.flit_load == pytest.approx(0.032)
+
+    def test_zero_rate_is_legal(self):
+        wl = Workload(16, 0.0)
+        assert wl.flit_load == 0.0
+
+    @pytest.mark.parametrize("flits", [0, -1, 2.5, "16"])
+    def test_invalid_message_flits_rejected(self, flits):
+        with pytest.raises(ConfigurationError):
+            Workload(flits, 0.01)
+
+    @pytest.mark.parametrize("rate", [-0.1, float("nan")])
+    def test_invalid_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            Workload(16, rate)
+
+    def test_from_flit_load_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Workload.from_flit_load(-0.01, 16)
+
+    def test_from_flit_load_rejects_bad_flits(self):
+        with pytest.raises(ConfigurationError):
+            Workload.from_flit_load(0.01, 0)
+
+    def test_with_injection_rate(self):
+        wl = Workload(16, 0.01)
+        wl2 = wl.with_injection_rate(0.02)
+        assert wl2.injection_rate == 0.02
+        assert wl2.message_flits == 16
+        assert wl.injection_rate == 0.01  # original untouched
+
+    def test_with_flit_load(self):
+        wl = Workload(16, 0.01)
+        wl2 = wl.with_flit_load(0.32)
+        assert wl2.injection_rate == pytest.approx(0.02)
+
+    def test_frozen(self):
+        wl = Workload(16, 0.01)
+        with pytest.raises(AttributeError):
+            wl.injection_rate = 0.5  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Workload(16, 0.01) == Workload(16, 0.01)
+        assert Workload(16, 0.01) != Workload(32, 0.01)
+
+
+class TestSimConfig:
+    def test_defaults_consistent(self):
+        cfg = SimConfig()
+        assert cfg.measure_start == cfg.warmup_cycles
+        assert cfg.measure_end == cfg.warmup_cycles + cfg.measure_cycles
+        assert cfg.cutoff_cycles > cfg.measure_end
+
+    def test_explicit_max_cycles(self):
+        cfg = SimConfig(warmup_cycles=10, measure_cycles=20, max_cycles=100)
+        assert cfg.cutoff_cycles == 100
+
+    def test_drain_factor_default_cutoff(self):
+        cfg = SimConfig(warmup_cycles=100, measure_cycles=100, drain_factor=3.0)
+        assert cfg.cutoff_cycles == pytest.approx(600)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(warmup_cycles=-1)
+
+    def test_rejects_zero_measure(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(measure_cycles=0)
+
+    def test_rejects_small_max_cycles(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(warmup_cycles=100, measure_cycles=100, max_cycles=150)
+
+    def test_rejects_small_drain_factor(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(drain_factor=0.5)

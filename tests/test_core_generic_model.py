@@ -1,0 +1,243 @@
+"""Tests for the general channel-graph solver (Eqs. 3, 11) and its builders."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    ButterflyFatTreeModel,
+    ChannelGraphModel,
+    ConfigurationError,
+    ModelVariant,
+    Stage,
+    Transition,
+    Workload,
+    bft_stage_graph,
+    hypercube_stage_graph,
+)
+from repro.queueing import mg1_waiting_time
+
+
+def _single_queue_graph(rate: float, flits: int) -> ChannelGraphModel:
+    stages = [
+        Stage("eject", rate_per_server=rate),
+        Stage(
+            "inject",
+            rate_per_server=rate,
+            transitions=(Transition("eject", 1.0),),
+        ),
+    ]
+    return ChannelGraphModel(
+        stages, message_flits=flits, entry="inject", average_distance=2.0
+    )
+
+
+class TestStageValidation:
+    def test_transition_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            Stage("s", 0.1, transitions=(Transition("t", 0.5),))
+
+    def test_transition_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            Transition("t", 1.5)
+        with pytest.raises(ConfigurationError):
+            Transition("t", 0.5, queue_probability=-0.1)
+
+    def test_unknown_target_rejected(self):
+        stages = [Stage("a", 0.1, transitions=(Transition("missing", 1.0),))]
+        with pytest.raises(ConfigurationError):
+            ChannelGraphModel(stages, message_flits=8, entry="a", average_distance=1.0)
+
+    def test_duplicate_names_rejected(self):
+        stages = [Stage("a", 0.1), Stage("a", 0.2)]
+        with pytest.raises(ConfigurationError):
+            ChannelGraphModel(stages, message_flits=8, entry="a", average_distance=1.0)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelGraphModel([Stage("a", 0.1)], message_flits=8, entry="b", average_distance=1.0)
+
+    def test_bad_flits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelGraphModel([Stage("a", 0.1)], message_flits=0, entry="a", average_distance=1.0)
+
+    def test_bad_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage("a", 0.1, servers=0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage("a", -0.1)
+
+
+class TestTwoStagePipeline:
+    def test_terminal_service_is_message_length(self):
+        g = _single_queue_graph(0.01, 16)
+        sol = g.solve()
+        assert sol["eject"].service == 16.0
+
+    def test_injection_service_includes_downstream_wait(self):
+        # With the blocking correction and a single upstream feeder,
+        # P = 1 - (lam/lam)*1 = 0: the worm never waits behind itself.
+        g = _single_queue_graph(0.01, 16)
+        sol = g.solve()
+        assert sol["inject"].service == pytest.approx(16.0)
+
+    def test_without_correction_wait_is_charged(self):
+        stages = [
+            Stage("eject", rate_per_server=0.01),
+            Stage("inject", rate_per_server=0.01, transitions=(Transition("eject", 1.0),)),
+        ]
+        g = ChannelGraphModel(
+            stages,
+            message_flits=16,
+            entry="inject",
+            average_distance=2.0,
+            variant=ModelVariant.no_blocking_correction(),
+        )
+        sol = g.solve()
+        w = mg1_waiting_time(0.01, 16.0, 0.0)
+        assert sol["inject"].service == pytest.approx(16.0 + w)
+
+    def test_latency_zero_rate(self):
+        g = _single_queue_graph(0.0, 16)
+        assert g.latency() == pytest.approx(16 + 2 - 1)
+
+    def test_acyclic_detection(self):
+        assert _single_queue_graph(0.01, 16).is_acyclic
+
+
+class TestCyclicGraphs:
+    def _ring_graph(self, rate: float, continue_prob: float) -> ChannelGraphModel:
+        """A self-looping channel class (abstraction of a ring)."""
+        stages = [
+            Stage("eject", rate_per_server=rate),
+            Stage(
+                "ring",
+                rate_per_server=rate * 2,
+                transitions=(
+                    Transition("ring", continue_prob),
+                    Transition("eject", 1.0 - continue_prob),
+                ),
+            ),
+            Stage("inject", rate_per_server=rate, transitions=(Transition("ring", 1.0),)),
+        ]
+        return ChannelGraphModel(
+            stages, message_flits=8, entry="inject", average_distance=3.0
+        )
+
+    def test_cycle_detected(self):
+        g = self._ring_graph(0.001, 0.5)
+        assert not g.is_acyclic
+
+    def test_fixed_point_solves_cycle(self):
+        g = self._ring_graph(0.001, 0.5)
+        sol = g.solve()
+        assert math.isfinite(sol["ring"].service)
+        assert sol["ring"].service > 8.0
+
+    def test_cycle_latency_monotone_in_rate(self):
+        l1 = self._ring_graph(0.0005, 0.5).latency()
+        l2 = self._ring_graph(0.002, 0.5).latency()
+        assert l2 > l1
+
+    def test_saturated_cycle_goes_inf(self):
+        g = self._ring_graph(0.2, 0.9)
+        assert math.isinf(g.latency())
+
+
+class TestBftEquivalence:
+    """The generic solver must reproduce the closed-form sweep exactly."""
+
+    @pytest.mark.parametrize("n_procs", [4, 16, 64, 256, 1024])
+    @pytest.mark.parametrize("load", [0.005, 0.02, 0.035])
+    def test_latency_matches_closed_form(self, n_procs, load):
+        wl = Workload.from_flit_load(load, 32)
+        closed = ButterflyFatTreeModel(n_procs).latency(wl)
+        generic = bft_stage_graph(n_procs, wl).latency()
+        if math.isinf(closed):
+            assert math.isinf(generic)
+        else:
+            assert generic == pytest.approx(closed, rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            ModelVariant.paper(),
+            ModelVariant.no_multiserver(),
+            ModelVariant.no_blocking_correction(),
+            ModelVariant.naive(),
+            ModelVariant.deterministic_scv(),
+            ModelVariant.exponential_scv(),
+            ModelVariant.conditional_up(),
+        ],
+        ids=lambda v: v.label,
+    )
+    def test_all_variants_match(self, variant):
+        wl = Workload.from_flit_load(0.02, 16)
+        closed = ButterflyFatTreeModel(256, variant).latency(wl)
+        generic = bft_stage_graph(256, wl, variant).latency()
+        assert generic == pytest.approx(closed, rel=1e-12)
+
+    def test_per_stage_values_match(self):
+        wl = Workload.from_flit_load(0.02, 32)
+        model = ButterflyFatTreeModel(64)
+        sol = model.solve(wl)
+        graph = bft_stage_graph(64, wl)
+        stages = graph.solve()
+        for l in range(model.levels):
+            assert stages[f"down{l}"].service == pytest.approx(float(sol.down_service[l]))
+            assert stages[f"down{l}"].wait == pytest.approx(float(sol.down_wait[l]))
+            assert stages[f"up{l}"].service == pytest.approx(float(sol.up_service[l]))
+            assert stages[f"up{l}"].wait == pytest.approx(float(sol.up_wait[l]))
+
+    def test_bft_graph_is_acyclic(self):
+        wl = Workload.from_flit_load(0.02, 32)
+        assert bft_stage_graph(64, wl).is_acyclic
+
+
+class TestHypercubeGraph:
+    def test_acyclic(self):
+        wl = Workload.from_flit_load(0.05, 16)
+        assert hypercube_stage_graph(5, wl).is_acyclic
+
+    def test_zero_load_latency(self):
+        from repro.topology.properties import hypercube_average_distance
+
+        wl = Workload(16, 0.0)
+        g = hypercube_stage_graph(4, wl)
+        assert g.latency() == pytest.approx(16 + hypercube_average_distance(4) - 1)
+
+    def test_transition_probabilities_are_normalized(self):
+        wl = Workload(16, 0.001)
+        g = hypercube_stage_graph(6, wl)
+        for stage in g.stages.values():
+            if stage.transitions:
+                assert sum(t.probability for t in stage.transitions) == pytest.approx(1.0)
+
+    def test_dimension_rates_uniform(self):
+        wl = Workload(16, 0.004)
+        g = hypercube_stage_graph(5, wl)
+        rates = {g.stages[f"dim{k}"].rate_per_server for k in range(5)}
+        assert max(rates) - min(rates) < 1e-15
+        # lambda_dim = lambda0 * 2^(d-1) / (2^d - 1)
+        assert rates.pop() == pytest.approx(0.004 * 16 / 31)
+
+    def test_monotone_in_load(self):
+        lats = [
+            hypercube_stage_graph(5, Workload.from_flit_load(x, 16)).latency()
+            for x in (0.02, 0.1, 0.2)
+        ]
+        assert lats == sorted(lats)
+
+    def test_saturates(self):
+        assert math.isinf(
+            hypercube_stage_graph(5, Workload.from_flit_load(2.0, 16)).latency()
+        )
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            hypercube_stage_graph(0, Workload(16, 0.01))

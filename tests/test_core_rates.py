@@ -1,0 +1,173 @@
+"""Tests for channel arrival rates (Eqs. 12-15) and flow conservation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rates import (
+    bft_channel_rates,
+    bft_total_up_crossings,
+    conditional_up_probability,
+    down_probability,
+    up_probability,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUpProbability:
+    def test_boundary_values(self):
+        # Every message enters the network; none rise above the root.
+        for n in (1, 2, 5):
+            assert up_probability(n, 0) == 1.0
+            assert up_probability(n, n) == 0.0
+
+    def test_eq12_explicit(self):
+        # n=3: P^_1 = (64-4)/63, P^_2 = (64-16)/63.
+        assert up_probability(3, 1) == pytest.approx(60 / 63)
+        assert up_probability(3, 2) == pytest.approx(48 / 63)
+
+    def test_monotone_decreasing_in_level(self):
+        probs = [up_probability(5, l) for l in range(6)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_down_is_complement(self):
+        for l in range(4):
+            assert down_probability(4, l) == pytest.approx(1 - up_probability(4, l))
+
+    def test_counting_interpretation(self):
+        # P^_l = (# destinations outside the level-l subtree) / (N - 1).
+        n = 3
+        for l in range(n + 1):
+            outside = 4**n - 4**l
+            assert up_probability(n, l) == pytest.approx(outside / (4**n - 1))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            up_probability(3, 4)
+        with pytest.raises(ConfigurationError):
+            up_probability(3, -1)
+        with pytest.raises(ConfigurationError):
+            up_probability(0, 0)
+
+
+class TestConditionalUpProbability:
+    def test_exact_conditional(self):
+        # P(rise above l | climbed to l) = (4^n - 4^l) / (4^n - 4^(l-1)).
+        assert conditional_up_probability(3, 1) == pytest.approx(60 / 63)
+        assert conditional_up_probability(3, 2) == pytest.approx(48 / 60)
+
+    def test_at_least_unconditional(self):
+        # Conditioning removes nearby destinations, so the climb probability
+        # can only grow.
+        for n in (2, 3, 5):
+            for l in range(1, n + 1):
+                assert conditional_up_probability(n, l) >= up_probability(n, l)
+
+    def test_level_one_equals_unconditional(self):
+        # At level 1 the conditioning event is "entered the network", which
+        # excludes nothing beyond the source itself... but the source is
+        # already excluded: (4^n-4)/(4^n-1) vs (4^n-4)/(4^n-1).
+        for n in (1, 2, 4):
+            assert conditional_up_probability(n, 1) == pytest.approx(
+                (4**n - 4) / (4**n - 1)
+            )
+
+    def test_chain_rule_recovers_unconditional(self):
+        # Product of conditionals up to level l equals P^_l ... P^_1-style
+        # telescoping: P^_l = P^_1|0 * P^_2|1 * ... with the first factor
+        # being up_probability(n, 1)... times nothing else at l=1.
+        n = 4
+        prod = 1.0
+        for l in range(1, n + 1):
+            prod *= conditional_up_probability(n, l)
+            assert prod == pytest.approx(up_probability(n, l))
+
+    def test_rejects_level_zero(self):
+        with pytest.raises(ConfigurationError):
+            conditional_up_probability(3, 0)
+
+
+class TestChannelRates:
+    def test_eq14_explicit(self):
+        # n=2, lambda0=0.01: rate_0 = 0.01, rate_1 = 0.01 * (16-4)/15 * 2.
+        rates = bft_channel_rates(2, 0.01)
+        assert rates[0] == pytest.approx(0.01)
+        assert rates[1] == pytest.approx(0.01 * 12 / 15 * 2)
+
+    def test_injection_rate_is_lambda0(self):
+        for n in (1, 3, 5):
+            assert bft_channel_rates(n, 0.02)[0] == pytest.approx(0.02)
+
+    def test_scales_linearly_with_lambda0(self):
+        r1 = bft_channel_rates(4, 0.01)
+        r2 = bft_channel_rates(4, 0.03)
+        assert np.allclose(r2, 3 * r1)
+
+    def test_rates_increase_with_level(self):
+        # Links get scarcer faster than traffic thins out.
+        rates = bft_channel_rates(5, 0.01)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_zero_rate(self):
+        assert np.all(bft_channel_rates(3, 0.0) == 0.0)
+
+    def test_flow_conservation_against_crossings(self):
+        # Total crossings at level l spread over 4^n / 2^l links give Eq. 14.
+        n, lam0 = 4, 0.005
+        rates = bft_channel_rates(n, lam0)
+        crossings = bft_total_up_crossings(n, lam0)
+        for l in range(n):
+            links = 4**n / 2**l
+            assert rates[l] == pytest.approx(crossings[l] / links)
+
+    def test_switch_level_flow_balance(self):
+        # Traffic into a level-l switch from below equals traffic leaving
+        # upward plus traffic turning down at that switch.
+        n, lam0 = 5, 0.01
+        rates = bft_channel_rates(n, lam0)
+        for l in range(1, n):
+            in_up = 4 * rates[l - 1]  # four child links feed the switch
+            out_up = 2 * rates[l]  # two parent links leave it
+            turning = in_up * (
+                1 - conditional_up_probability(n, l)
+            )  # exact conditional governs the split
+            assert out_up + turning == pytest.approx(in_up)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            bft_channel_rates(3, -0.01)
+
+    @given(n=st.integers(1, 6), lam0=st.floats(0.0, 0.1))
+    @settings(max_examples=50)
+    def test_property_rates_bounded_by_capacity_ratio(self, n, lam0):
+        rates = bft_channel_rates(n, lam0)
+        # Rate on level-l links is at most lambda0 * 2^l (all traffic rises).
+        for l in range(n):
+            assert rates[l] <= lam0 * 2**l + 1e-12
+
+
+class TestMonteCarloRates:
+    def test_rates_match_sampled_paths(self):
+        """Monte-Carlo check of Eq. 14: sample random (src, dst) pairs, count
+        level crossings, and compare to the closed form."""
+        rng = np.random.default_rng(12)
+        n = 3
+        n_procs = 4**n
+        samples = 200_000
+        src = rng.integers(n_procs, size=samples)
+        dst = rng.integers(n_procs - 1, size=samples)
+        dst = np.where(dst >= src, dst + 1, dst)
+        crossings = np.zeros(n)
+        for l in range(1, n + 1):
+            up_through = (src // 4**l) == (dst // 4**l)
+            # A message crosses level l-1 -> l iff its NCA is at level >= l.
+            crossings[l - 1] = np.mean(~((src // 4 ** (l - 1)) == (dst // 4 ** (l - 1))))
+        lam0 = 0.01
+        expected_per_link = bft_channel_rates(n, lam0)
+        for l in range(n):
+            total = crossings[l] * n_procs * lam0
+            links = n_procs / 2**l
+            assert total / links == pytest.approx(expected_per_link[l], rel=0.02)

@@ -1,0 +1,60 @@
+"""Every example script must run end-to-end and produce its key output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Saturation throughput" in out
+        assert "Model vs simulation" in out
+
+    def test_capacity_planning(self):
+        out = _run("capacity_planning.py")
+        assert "Design-space sweep" in out
+        assert "Largest feasible configuration" in out
+
+    def test_saturation_study(self):
+        out = _run("saturation_study.py")
+        assert "Model saturation throughput" in out
+        assert "Empirical check" in out
+
+    def test_model_vs_simulation(self):
+        out = _run("model_vs_simulation.py")
+        assert "Model vs simulation, N=256" in out
+        assert "legend" in out
+
+    def test_general_networks(self):
+        out = _run("general_networks.py")
+        assert "hypercube" in out
+        assert "Dally baseline" in out
+
+    def test_traffic_patterns(self):
+        out = _run("traffic_patterns.py")
+        for pattern in ("uniform", "quad-local", "permutation", "hotspot"):
+            assert pattern in out
+
+    def test_generalized_fattrees(self):
+        out = _run("generalized_fattrees.py")
+        assert "M/G/p" in out
+        assert "parents p" in out

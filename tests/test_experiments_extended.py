@@ -1,0 +1,71 @@
+"""Smoke tests for the extension experiments (GFT, BUF) at tiny scale."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentMode, run_buffering, run_generalized
+
+TINY = ExperimentMode(full=False)
+
+
+class TestGeneralizedExperiment:
+    def test_small_family(self):
+        res = run_generalized(
+            family=((4, 2, 2), (4, 3, 2)),
+            message_flits=16,
+            load_fractions=(0.4,),
+            experiment_mode=TINY,
+        )
+        assert len(res.rows) == 2
+        for row in res.rows:
+            assert math.isfinite(row.sim_latency)
+            assert abs(row.rel_err) < 0.08
+        assert "M/G/p" in res.render()
+
+    def test_redundancy_buys_saturation(self):
+        res = run_generalized(
+            family=((4, 2, 2), (4, 3, 2), (4, 4, 2)),
+            message_flits=16,
+            load_fractions=(0.4,),
+            experiment_mode=TINY,
+        )
+        sats = [r.model_saturation for r in res.rows]
+        assert sats == sorted(sats)
+
+    def test_row_shape(self):
+        res = run_generalized(
+            family=((2, 2, 2),), message_flits=16, load_fractions=(0.3,),
+            experiment_mode=TINY,
+        )
+        row = res.rows[0]
+        assert row.children == 2 and row.parents == 2
+        assert row.flit_load == pytest.approx(0.3 * row.model_saturation)
+
+
+class TestBufferingExperiment:
+    def test_small_instance(self):
+        res = run_buffering(
+            num_processors=16,
+            message_flits=16,
+            depths=(1, 2),
+            experiment_mode=TINY,
+        )
+        assert len(res.rows) == 4
+        for row in res.rows:
+            assert row.buffered[1] > row.buffered[2]
+            assert row.buffered[2] == pytest.approx(row.event_sim_latency, rel=0.08)
+        assert "Buffering sensitivity" in res.render()
+
+    def test_torus_rows(self):
+        res = run_buffering(
+            num_processors=16,
+            message_flits=16,
+            depths=(2,),
+            experiment_mode=TINY,
+        )
+        for trow in res.torus_rows:
+            assert trow.vc_censored == 0
+            assert math.isfinite(trow.vc_latency)

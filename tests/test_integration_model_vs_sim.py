@@ -1,0 +1,125 @@
+"""Integration tests: the paper's central claim, model vs. simulation.
+
+These tests enforce the quantitative version of "experimental results agree
+very closely over a wide range of load rate" (Section 3.6): below ~0.8 of
+the model's saturation load, analytical latencies must track simulated
+latencies within a few percent across network sizes and message lengths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    ButterflyFatTree,
+    ButterflyFatTreeModel,
+    SimConfig,
+    Workload,
+    saturation_flit_load,
+    simulate,
+)
+
+
+@pytest.mark.parametrize("n_procs", [16, 64, 256])
+@pytest.mark.parametrize("flits", [16, 32])
+def test_model_tracks_simulation_midload(n_procs, flits):
+    model = ButterflyFatTreeModel(n_procs)
+    topo = ButterflyFatTree(n_procs)
+    sat = saturation_flit_load(model, flits)
+    # The independence assumptions are weakest on the smallest network,
+    # where a single long worm spans much of the machine; accuracy there is
+    # ~7% rather than the 2-3% seen at N >= 64.
+    tol = 0.08 if n_procs == 16 else 0.05
+    for frac in (0.25, 0.55):
+        wl = Workload.from_flit_load(frac * sat, flits)
+        res = simulate(
+            topo,
+            wl,
+            SimConfig(warmup_cycles=1500, measure_cycles=8000, seed=int(100 * frac)),
+        )
+        assert res.stable
+        assert model.latency(wl) == pytest.approx(res.latency_mean, rel=tol)
+
+
+@pytest.mark.parametrize("flits", [16, 64])
+def test_model_tracks_simulation_high_load(flits):
+    """At 0.8 saturation the model may drift but must stay within ~12%."""
+    model = ButterflyFatTreeModel(64)
+    topo = ButterflyFatTree(64)
+    sat = saturation_flit_load(model, flits)
+    wl = Workload.from_flit_load(0.8 * sat, flits)
+    res = simulate(
+        topo, wl, SimConfig(warmup_cycles=3000, measure_cycles=15000, seed=9)
+    )
+    assert res.stable
+    assert model.latency(wl) == pytest.approx(res.latency_mean, rel=0.12)
+
+
+def test_n1024_spot_check():
+    """One spot check at the paper's headline size (kept small for CI)."""
+    model = ButterflyFatTreeModel(1024)
+    topo = ButterflyFatTree(1024)
+    wl = Workload.from_flit_load(0.02, 16)
+    res = simulate(
+        topo, wl, SimConfig(warmup_cycles=2000, measure_cycles=6000, seed=11)
+    )
+    assert res.stable
+    assert model.latency(wl) == pytest.approx(res.latency_mean, rel=0.05)
+
+
+def test_simulated_saturation_not_below_model_bracket():
+    """The simulator must sustain at least ~0.9x the model's saturation
+    load (the model is designed to be an accurate-to-conservative predictor
+    of the operating region)."""
+    model = ButterflyFatTreeModel(64)
+    topo = ButterflyFatTree(64)
+    sat = saturation_flit_load(model, 16)
+    wl = Workload.from_flit_load(0.9 * sat, 16)
+    res = simulate(
+        topo,
+        wl,
+        SimConfig(warmup_cycles=2000, measure_cycles=8000, seed=13, drain_factor=3.0),
+    )
+    assert res.stable
+
+
+def test_latency_distribution_sane():
+    """Simulated latency extremes bracket the model's mean prediction."""
+    model = ButterflyFatTreeModel(64)
+    topo = ButterflyFatTree(64)
+    wl = Workload.from_flit_load(0.06, 16)
+    res = simulate(
+        topo, wl, SimConfig(warmup_cycles=1000, measure_cycles=6000, seed=17)
+    )
+    predicted = model.latency(wl)
+    assert res.latency_min <= predicted <= res.latency_max
+    # The floor of the distribution is the minimal contention-free latency.
+    assert res.latency_min >= 16 + 2 - 1
+
+
+def test_variant_accuracy_ordering():
+    """The paper's full model must beat both single-ablation variants in
+    accuracy against one shared simulation run (the headline ablation)."""
+    from repro import ModelVariant
+
+    topo = ButterflyFatTree(256)
+    flits = 32
+    model = ButterflyFatTreeModel(256)
+    sat = saturation_flit_load(model, flits)
+    wl = Workload.from_flit_load(0.6 * sat, flits)
+    res = simulate(
+        topo, wl, SimConfig(warmup_cycles=2000, measure_cycles=9000, seed=19)
+    )
+    ref = res.latency_mean
+    err_paper = abs(model.latency(wl) - ref)
+    err_nomulti = abs(
+        ButterflyFatTreeModel(256, ModelVariant.no_multiserver()).latency(wl) - ref
+    )
+    err_noblock = abs(
+        ButterflyFatTreeModel(256, ModelVariant.no_blocking_correction()).latency(wl)
+        - ref
+    )
+    assert err_paper < err_nomulti
+    assert err_paper < err_noblock

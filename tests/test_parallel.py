@@ -1,0 +1,54 @@
+"""Tests for process-parallel sweep execution."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import ButterflyFatTree, SimConfig, simulated_latency_curve
+from repro.util.parallel import parallel_map
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_matches_map(self):
+        items = [1.0, 2.0, 3.0]
+        assert parallel_map(_square, items) == [1.0, 4.0, 9.0]
+
+    def test_parallel_matches_serial(self):
+        items = list(np.linspace(0, 10, 17))
+        serial = parallel_map(_square, items, processes=1)
+        parallel = parallel_map(_square, items, processes=3)
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        items = list(range(20, 0, -1))
+        out = parallel_map(_square, [float(x) for x in items], processes=4)
+        assert out == [float(x * x) for x in items]
+
+    def test_single_item_runs_serial(self):
+        assert parallel_map(_square, [3.0], processes=8) == [9.0]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], processes=4) == []
+
+
+@pytest.mark.skipif(os.cpu_count() == 1, reason="needs multiple cores to be meaningful")
+class TestParallelCurve:
+    def test_parallel_curve_bit_identical(self, bft64):
+        cfg = SimConfig(warmup_cycles=500, measure_cycles=3000, seed=17)
+        loads = [0.02, 0.05, 0.08, 0.11]
+        serial = simulated_latency_curve(bft64, 16, loads, cfg, processes=1)
+        parallel = simulated_latency_curve(bft64, 16, loads, cfg, processes=4)
+        assert np.array_equal(serial.latencies, parallel.latencies)
+
+    def test_parallel_curve_finite(self, bft64):
+        cfg = SimConfig(warmup_cycles=500, measure_cycles=3000, seed=18)
+        curve = simulated_latency_curve(bft64, 16, [0.03, 0.07], cfg, processes=2)
+        assert all(math.isfinite(x) for x in curve.latencies)

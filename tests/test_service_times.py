@@ -1,0 +1,58 @@
+"""Tests for the per-channel service-time audit (SVC experiment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentMode, run_service_times
+
+TINY = ExperimentMode(full=False)
+
+
+class TestServiceTimeAudit:
+    def test_small_instance_matches(self):
+        res = run_service_times(
+            num_processors=64, message_flits=16, experiment_mode=TINY
+        )
+        assert len(res.rows) == 6  # 3 levels x 2 directions
+        for row in res.rows:
+            assert abs(row.rate_err) < 0.06
+            assert abs(row.service_err) < 0.06
+
+    def test_ejection_channel_is_exact(self):
+        res = run_service_times(
+            num_processors=64, message_flits=16, experiment_mode=TINY
+        )
+        eject = next(r for r in res.rows if r.channel == "<1,0>")
+        # Eq. 16: deterministic service, one flit per cycle at the sink.
+        assert eject.sim_service == 16.0
+        assert eject.model_service == 16.0
+
+    def test_down_services_increase_with_level(self):
+        # Eqs. 18: each level adds a non-negative blocking charge.
+        res = run_service_times(
+            num_processors=64, message_flits=16, experiment_mode=TINY
+        )
+        downs = [r for r in res.rows if r.channel in ("<1,0>", "<2,1>", "<3,2>")]
+        model = [r.model_service for r in downs]
+        sim = [r.sim_service for r in downs]
+        assert model == sorted(model)
+        assert sim == sorted(sim)
+
+    def test_render_and_worst_error(self):
+        res = run_service_times(
+            num_processors=16, message_flits=16, experiment_mode=TINY
+        )
+        assert "x_bar" in res.render()
+        assert math.isfinite(res.worst_service_error())
+
+    def test_explicit_load(self):
+        res = run_service_times(
+            num_processors=16,
+            message_flits=16,
+            flit_load=0.05,
+            experiment_mode=TINY,
+        )
+        assert res.flit_load == pytest.approx(0.05)

@@ -1,0 +1,160 @@
+"""Tests for measurement accounting, replication runner, and empirical saturation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    ButterflyFatTree,
+    ButterflyFatTreeModel,
+    SimConfig,
+    Workload,
+    empirical_saturation,
+    run_replications,
+    saturation_flit_load,
+    simulated_latency_curve,
+)
+from repro.simulation.metrics import ClassStats, MetricsCollector
+from repro.topology.base import UP, LinkClass
+
+
+class TestMetricsCollector:
+    def _collector(self, keep_samples=True):
+        wl = Workload(16, 0.01)
+        cfg = SimConfig(warmup_cycles=100, measure_cycles=200, seed=0)
+        classes = [LinkClass(UP, 0), LinkClass(UP, 0), LinkClass(UP, 1)]
+        return MetricsCollector(wl, cfg, 4, classes, keep_samples=keep_samples), cfg
+
+    def test_tagging_window(self):
+        c, cfg = self._collector()
+        assert not c.on_generated(50.0)  # warmup
+        assert c.on_generated(150.0)  # window
+        assert not c.on_generated(350.0)  # after window
+        assert c.tagged_generated == 1
+        assert c.generated_total == 3
+
+    def test_latency_only_from_tagged(self):
+        c, _ = self._collector()
+        tagged = c.on_generated(150.0)
+        c.on_delivered(150.0, 180.0, tagged, 4)
+        c.on_delivered(50.0, 90.0, False, 4)
+        res = c.finalize(400.0)
+        assert res.tagged_delivered == 1
+        assert res.latency_mean == pytest.approx(30.0)
+
+    def test_censored_count(self):
+        c, _ = self._collector()
+        c.on_generated(150.0)
+        c.on_generated(160.0)
+        res = c.finalize(400.0)
+        assert res.censored_tagged == 2
+        assert not res.stable
+
+    def test_delivered_in_window(self):
+        c, _ = self._collector()
+        c.on_delivered(100.0, 150.0, False, 4)  # inside window
+        c.on_delivered(100.0, 350.0, False, 4)  # outside
+        res = c.finalize(400.0)
+        assert res.delivered_in_window == 1
+
+    def test_class_population(self):
+        c, _ = self._collector()
+        res = c.finalize(400.0)
+        assert res.class_stats["<0,1>"].links == 2
+        assert res.class_stats["<1,2>"].links == 1
+
+    def test_acquisition_window_filter(self):
+        c, cfg = self._collector()
+        c.on_acquisition(0, 150.0)
+        c.on_acquisition(0, 50.0)  # warmup, not counted
+        res = c.finalize(400.0)
+        assert res.class_stats["<0,1>"].acquisitions == 1
+        rate = res.class_stats["<0,1>"].rate_per_link(cfg.measure_cycles)
+        assert rate == pytest.approx(1 / (2 * 200.0))
+
+    def test_busy_accumulation(self):
+        c, _ = self._collector()
+        c.on_busy(1, 32.0)  # class id 1 == LinkClass(UP, 1)
+        c.on_busy(1, 8.0)
+        res = c.finalize(400.0)
+        assert res.class_stats["<1,2>"].busy_time == pytest.approx(40.0)
+
+    def test_class_stats_nan_rate_for_empty(self):
+        s = ClassStats()
+        assert math.isnan(s.rate_per_link(100.0))
+
+    def test_short_worm_accounting(self):
+        c, _ = self._collector()
+        c.on_delivered(10.0, 50.0, False, path_length=20)  # 20 > 16 flits
+        c.on_delivered(10.0, 50.0, False, path_length=4)
+        res = c.finalize(400.0)
+        assert res.short_worm_fraction == pytest.approx(0.5)
+
+
+class TestReplications:
+    def test_replications_aggregate(self, bft16):
+        wl = Workload.from_flit_load(0.08, 16)
+        cfg = SimConfig(warmup_cycles=300, measure_cycles=2000, seed=5)
+        rep = run_replications(bft16, wl, cfg, replications=3)
+        assert len(rep.results) == 3
+        assert math.isfinite(rep.latency_mean)
+        assert rep.latency_ci > 0
+        assert rep.stable
+
+    def test_replications_differ_by_seed(self, bft16):
+        wl = Workload.from_flit_load(0.08, 16)
+        cfg = SimConfig(warmup_cycles=300, measure_cycles=2000, seed=5)
+        rep = run_replications(bft16, wl, cfg, replications=3)
+        means = [r.latency_mean for r in rep.results]
+        assert len(set(means)) > 1
+
+    def test_mean_close_to_single_run(self, bft16):
+        wl = Workload.from_flit_load(0.08, 16)
+        cfg = SimConfig(warmup_cycles=300, measure_cycles=2000, seed=5)
+        rep = run_replications(bft16, wl, cfg, replications=3)
+        for r in rep.results:
+            assert r.latency_mean == pytest.approx(rep.latency_mean, rel=0.15)
+
+
+class TestSimulatedCurve:
+    def test_curve_monotone_below_saturation(self, bft64):
+        cfg = SimConfig(warmup_cycles=500, measure_cycles=4000, seed=6)
+        curve = simulated_latency_curve(bft64, 16, [0.02, 0.06, 0.1], cfg)
+        lats = list(curve.latencies)
+        assert all(math.isfinite(x) for x in lats)
+        assert lats == sorted(lats)
+
+    def test_overloaded_point_is_inf(self, bft16):
+        cfg = SimConfig(
+            warmup_cycles=300, measure_cycles=2000, seed=7, drain_factor=1.5
+        )
+        curve = simulated_latency_curve(bft16, 16, [0.05, 0.9], cfg)
+        assert math.isfinite(curve.latencies[0])
+        assert math.isinf(curve.latencies[1])
+
+    def test_replicated_curve(self, bft16):
+        cfg = SimConfig(warmup_cycles=300, measure_cycles=1500, seed=8)
+        curve = simulated_latency_curve(bft16, 16, [0.05], cfg, replications=2)
+        assert math.isfinite(curve.latencies[0])
+
+
+class TestEmpiricalSaturation:
+    def test_simulated_saturation_brackets_model(self, bft64):
+        """The simulator's saturation must land in the same region as the
+        model's (the model is conservative; allow a generous band)."""
+        model_sat = saturation_flit_load(ButterflyFatTreeModel(64), 16)
+        cfg = SimConfig(
+            warmup_cycles=800, measure_cycles=3000, seed=9, drain_factor=2.0
+        )
+        sim_sat = empirical_saturation(ButterflyFatTree(64), 16, cfg, rel_tol=0.08)
+        assert 0.8 * model_sat < sim_sat.flit_load < 1.6 * model_sat
+
+    def test_saturation_result_fields(self, bft16):
+        cfg = SimConfig(
+            warmup_cycles=500, measure_cycles=2000, seed=10, drain_factor=2.0
+        )
+        res = empirical_saturation(bft16, 16, cfg, rel_tol=0.1)
+        assert res.message_flits == 16
+        assert res.lower_bound <= res.injection_rate <= res.upper_bound

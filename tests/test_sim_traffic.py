@@ -1,0 +1,162 @@
+"""Tests for traffic generation (Poisson sources, patterns, traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigurationError, Pattern, PoissonTraffic, TraceTraffic, Workload
+from repro.simulation.traffic import Arrival
+
+
+def _collect(traffic, horizon):
+    return list(traffic.arrivals(horizon))
+
+
+class TestPoissonTraffic:
+    def test_rate_matches_configuration(self):
+        wl = Workload(16, 0.01)
+        tr = PoissonTraffic(64, wl, seed=1)
+        arrivals = _collect(tr, 20_000)
+        measured = len(arrivals) / (20_000 * 64)
+        assert measured == pytest.approx(0.01, rel=0.05)
+
+    def test_time_ordered(self):
+        tr = PoissonTraffic(16, Workload(16, 0.02), seed=2)
+        times = [a.time for a in _collect(tr, 5000)]
+        assert times == sorted(times)
+
+    def test_no_self_messages(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=3)
+        assert all(a.src != a.dst for a in _collect(tr, 5000))
+
+    def test_sources_cover_all_pes(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=4)
+        srcs = {a.src for a in _collect(tr, 10_000)}
+        assert srcs == set(range(16))
+
+    def test_destinations_approximately_uniform(self):
+        tr = PoissonTraffic(8, Workload(16, 0.2), seed=5)
+        arrivals = _collect(tr, 20_000)
+        counts = np.bincount([a.dst for a in arrivals], minlength=8)
+        freq = counts / counts.sum()
+        assert np.all(np.abs(freq - 1 / 8) < 0.02)
+
+    def test_exponential_interarrivals(self):
+        # Per-PE inter-arrival times must have CV ~ 1 (exponential).
+        tr = PoissonTraffic(4, Workload(16, 0.05), seed=6)
+        arrivals = _collect(tr, 100_000)
+        per_pe = [a.time for a in arrivals if a.src == 0]
+        gaps = np.diff(per_pe)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_rate_empty(self):
+        tr = PoissonTraffic(8, Workload(16, 0.0), seed=7)
+        assert _collect(tr, 1000) == []
+
+    def test_reproducible(self):
+        wl = Workload(16, 0.02)
+        a = _collect(PoissonTraffic(8, wl, seed=42), 2000)
+        b = _collect(PoissonTraffic(8, wl, seed=42), 2000)
+        assert a == b
+
+    def test_seeds_differ(self):
+        wl = Workload(16, 0.02)
+        a = _collect(PoissonTraffic(8, wl, seed=1), 2000)
+        b = _collect(PoissonTraffic(8, wl, seed=2), 2000)
+        assert a != b
+
+    def test_requires_two_pes(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(1, Workload(16, 0.01))
+
+
+class TestPatterns:
+    def test_permutation_fixed_destination(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=8, pattern=Pattern.PERMUTATION)
+        arrivals = _collect(tr, 10_000)
+        dst_by_src: dict[int, set] = {}
+        for a in arrivals:
+            dst_by_src.setdefault(a.src, set()).add(a.dst)
+        assert all(len(d) == 1 for d in dst_by_src.values())
+
+    def test_permutation_is_derangement(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=9, pattern=Pattern.PERMUTATION)
+        perm = tr._permutation
+        assert sorted(perm) == list(range(16))
+        assert all(perm[i] != i for i in range(16))
+
+    def test_hotspot_concentration(self):
+        tr = PoissonTraffic(
+            16,
+            Workload(16, 0.05),
+            seed=10,
+            pattern=Pattern.HOTSPOT,
+            hotspot_fraction=0.5,
+            hotspot_target=3,
+        )
+        arrivals = _collect(tr, 20_000)
+        frac = sum(1 for a in arrivals if a.dst == 3) / len(arrivals)
+        assert frac > 0.4
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(
+                16, Workload(16, 0.05), pattern=Pattern.HOTSPOT, hotspot_fraction=1.5
+            )
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(
+                16, Workload(16, 0.05), pattern=Pattern.HOTSPOT, hotspot_target=99
+            )
+
+    def test_quad_local_stays_in_quad(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=11, pattern=Pattern.QUAD_LOCAL)
+        for a in _collect(tr, 10_000):
+            assert a.src // 4 == a.dst // 4
+            assert a.src != a.dst
+
+    def test_quad_local_requires_multiple_of_four(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(6, Workload(16, 0.05), pattern=Pattern.QUAD_LOCAL)
+
+
+class TestTraceTraffic:
+    def test_replay_order_and_horizon(self):
+        tr = TraceTraffic([(0.0, 0, 1), (5.0, 1, 2), (10.0, 2, 3)])
+        assert [a.time for a in tr.arrivals(10.0)] == [0.0, 5.0]
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ConfigurationError):
+            TraceTraffic([(5.0, 0, 1), (1.0, 1, 2)])
+
+    def test_rejects_self_message(self):
+        with pytest.raises(ConfigurationError):
+            TraceTraffic([(0.0, 1, 1)])
+
+    def test_floored_copy(self):
+        tr = TraceTraffic([(0.7, 0, 1), (2.3, 1, 0)])
+        fl = tr.floored()
+        assert [a.time for a in fl.arrivals(10)] == [0.0, 2.0]
+
+    def test_accepts_arrival_objects(self):
+        tr = TraceTraffic([Arrival(1.0, 0, 1)])
+        assert len(list(tr.arrivals(2.0))) == 1
+
+    @given(
+        n=st.integers(2, 32),
+        rate=st.floats(0.001, 0.1),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_arrivals_valid(self, n, rate, seed):
+        tr = PoissonTraffic(n, Workload(16, rate), seed=seed)
+        prev = -1.0
+        for a in tr.arrivals(500):
+            assert 0 <= a.src < n
+            assert 0 <= a.dst < n
+            assert a.src != a.dst
+            assert a.time >= prev
+            prev = a.time

@@ -1,0 +1,168 @@
+"""Tests for the hypercube and k-ary n-cube topologies (baseline substrates)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigurationError, Hypercube, KaryNCube
+from repro.errors import RoutingError
+from repro.topology import to_networkx
+from repro.topology.properties import (
+    average_distance_by_enumeration,
+    hypercube_average_distance,
+    kary_ncube_average_distance,
+)
+
+
+class TestHypercube:
+    def test_counts(self):
+        hc = Hypercube(4)
+        assert hc.num_processors == 16
+        assert hc.num_links == 16 * 4 + 32
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            Hypercube(0)
+
+    def test_links_flip_one_bit(self):
+        hc = Hypercube(4)
+        n = hc.num_processors
+        for u in range(n):
+            for k in range(4):
+                e = u * 4 + k
+                assert hc.link_src[e] == n + u
+                assert hc.link_dst[e] == n + (u ^ (1 << k))
+
+    def test_ecube_descending_dimension_order(self):
+        hc = Hypercube(4)
+        n = hc.num_processors
+        # From router 0 to PE 0b1010: first hop must fix bit 3.
+        opts = hc.route_options(n + 0, 0b1010)
+        assert opts.next_nodes[0] == n + 0b1000
+
+    def test_ecube_walk_delivers(self):
+        hc = Hypercube(5)
+        n = hc.num_processors
+        for src, dst in [(0, 31), (7, 20), (12, 3)]:
+            node = hc.injection_options(src).next_nodes[0]
+            hops = 1
+            while node != dst:
+                opts = hc.route_options(node, dst)
+                assert len(opts.links) == 1  # deterministic routing
+                node = opts.next_nodes[0]
+                hops += 1
+            assert hops == hc.path_length(src, dst)
+
+    def test_path_length(self):
+        hc = Hypercube(5)
+        assert hc.path_length(0, 0b10101) == 3 + 2
+        assert hc.path_length(4, 4) == 0
+
+    def test_eject_at_destination_router(self):
+        hc = Hypercube(3)
+        n = hc.num_processors
+        opts = hc.route_options(n + 5, 5)
+        assert opts.next_nodes[0] == 5
+
+    def test_all_singleton_groups(self):
+        hc = Hypercube(3)
+        assert all(len(g) == 1 for g in hc.groups)
+
+    def test_average_distance_closed_form(self):
+        for d in (2, 3, 4):
+            hc = Hypercube(d)
+            assert hypercube_average_distance(d) == pytest.approx(
+                average_distance_by_enumeration(hc)
+            )
+
+    def test_connected(self):
+        assert nx.is_strongly_connected(to_networkx(Hypercube(3)))
+
+    def test_route_rejects_bad_args(self):
+        hc = Hypercube(3)
+        with pytest.raises(RoutingError):
+            hc.route_options(0, 1)  # PE node, not a router
+        with pytest.raises(RoutingError):
+            hc.injection_options(8)
+
+    @given(d=st.integers(1, 7), seed=st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_property_path_length_is_hamming_plus_two(self, d, seed):
+        import random
+
+        rnd = random.Random(seed)
+        hc = Hypercube(d)
+        src = rnd.randrange(hc.num_processors)
+        dst = rnd.randrange(hc.num_processors)
+        if src == dst:
+            assert hc.path_length(src, dst) == 0
+        else:
+            assert hc.path_length(src, dst) == bin(src ^ dst).count("1") + 2
+
+
+class TestKaryNCube:
+    def test_counts(self):
+        t = KaryNCube(4, 3)
+        assert t.num_processors == 64
+        assert t.num_links == 64 * 3 + 128
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            KaryNCube(1, 2)
+        with pytest.raises(ConfigurationError):
+            KaryNCube(4, 0)
+
+    def test_coordinates_round_trip(self):
+        t = KaryNCube(5, 3)
+        for u in (0, 7, 31, 124):
+            coords = t.coordinates(u)
+            rebuilt = sum(c * 5**i for i, c in enumerate(coords))
+            assert rebuilt == u
+
+    def test_neighbor_wraps(self):
+        t = KaryNCube(4, 2)
+        # Node with coordinate 3 in dim 0 wraps to coordinate 0.
+        u = 3
+        assert t._neighbor(u, 0) == 0
+
+    def test_unidirectional_ring_distance(self):
+        t = KaryNCube(8, 2)
+        # going "backwards" costs k-1 hops on a unidirectional ring
+        assert t.path_length(1, 0) == 7 + 2
+        assert t.path_length(0, 1) == 1 + 2
+
+    def test_ecube_walk_delivers(self):
+        t = KaryNCube(4, 2)
+        for src, dst in [(0, 15), (5, 10), (12, 3)]:
+            node = t.injection_options(src).next_nodes[0]
+            hops = 1
+            while node != dst:
+                opts = t.route_options(node, dst)
+                node = opts.next_nodes[0]
+                hops += 1
+                assert hops < 100
+            assert hops == t.path_length(src, dst)
+
+    def test_ecube_fixes_dimension_zero_first(self):
+        t = KaryNCube(4, 2)
+        n = t.num_processors
+        # From router (0,0) to PE (2,3) -> first hop in dim 0.
+        dst = 2 + 3 * 4
+        opts = t.route_options(n + 0, dst)
+        assert opts.next_nodes[0] == n + 1
+
+    def test_average_distance_closed_form(self):
+        for k, nn in [(3, 2), (4, 2), (2, 3)]:
+            t = KaryNCube(k, nn)
+            assert kary_ncube_average_distance(k, nn) == pytest.approx(
+                average_distance_by_enumeration(t)
+            )
+
+    def test_connected(self):
+        assert nx.is_strongly_connected(to_networkx(KaryNCube(3, 2)))
+
+    def test_describe(self):
+        assert "k=4" in KaryNCube(4, 2).describe()

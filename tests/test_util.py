@@ -1,0 +1,239 @@
+"""Tests for repro.util: fixed point, RNG streams, stats, tables, validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.util import (
+    OnlineStats,
+    ascii_curve,
+    check_non_negative,
+    check_positive,
+    check_power_of,
+    check_probability,
+    fixed_point,
+    format_table,
+    mean_confidence_interval,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.util.rng import replication_seeds
+from repro.util.stats import batch_means
+
+
+class TestFixedPoint:
+    def test_linear_contraction(self):
+        res = fixed_point(lambda x: 0.5 * x + 1.0, np.array([0.0]))
+        assert res.converged
+        assert res.value[0] == pytest.approx(2.0)
+
+    def test_vector_map(self):
+        a = np.array([[0.2, 0.1], [0.0, 0.3]])
+        b = np.array([1.0, 2.0])
+        res = fixed_point(lambda x: a @ x + b, np.zeros(2))
+        expected = np.linalg.solve(np.eye(2) - a, b)
+        assert np.allclose(res.value, expected)
+
+    def test_damping_stabilises_oscillation(self):
+        # x <- -x + 4 oscillates undamped; damping 0.5 converges to 2.
+        res = fixed_point(
+            lambda x: -x + 4.0, np.array([0.0]), damping=0.5, max_iter=5000
+        )
+        assert res.value[0] == pytest.approx(2.0)
+
+    def test_divergence_raises(self):
+        with pytest.raises(ConvergenceError):
+            fixed_point(lambda x: 2.0 * x + 1.0, np.array([1.0]), max_iter=100)
+
+    def test_allow_divergence(self):
+        res = fixed_point(
+            lambda x: 2.0 * x + 1.0, np.array([1.0]), max_iter=50, allow_divergence=True
+        )
+        assert not res.converged
+
+    def test_inf_is_terminal(self):
+        res = fixed_point(lambda x: x * np.inf, np.array([1.0]))
+        assert res.converged
+        assert math.isinf(res.value[0])
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point(lambda x: x, np.array([1.0]), damping=0.0)
+
+
+class TestRng:
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(42, 2)
+        xa = a.random(1000)
+        xb = b.random(1000)
+        assert abs(np.corrcoef(xa, xb)[0, 1]) < 0.1
+
+    def test_reproducible(self):
+        a1, = spawn_rngs(7, 1)
+        a2, = spawn_rngs(7, 1)
+        assert np.array_equal(a1.random(10), a2.random(10))
+
+    def test_different_seeds_differ(self):
+        a, = spawn_rngs(1, 1)
+        b, = spawn_rngs(2, 1)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_replication_seeds_distinct(self):
+        seeds = replication_seeds(3, 10)
+        assert len(set(seeds)) == 10
+
+    def test_replication_seeds_no_cross_collision(self):
+        s1 = set(replication_seeds(1, 20))
+        s2 = set(replication_seeds(2, 20))
+        assert not (s1 & s2)
+
+
+class TestOnlineStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(10.0, 3.0, size=500)
+        s = OnlineStats()
+        s.add_many(xs)
+        assert s.mean == pytest.approx(float(np.mean(xs)))
+        assert s.variance == pytest.approx(float(np.var(xs, ddof=1)))
+        assert s.min == pytest.approx(float(np.min(xs)))
+        assert s.max == pytest.approx(float(np.max(xs)))
+
+    def test_empty(self):
+        s = OnlineStats()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+
+    def test_single_sample(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert math.isnan(s.std)
+
+    def test_merge(self):
+        rng = np.random.default_rng(1)
+        xs = rng.random(100)
+        a, b = OnlineStats(), OnlineStats()
+        a.add_many(xs[:30])
+        b.add_many(xs[30:])
+        merged = a.merge(b)
+        assert merged.count == 100
+        assert merged.mean == pytest.approx(float(np.mean(xs)))
+        assert merged.variance == pytest.approx(float(np.var(xs, ddof=1)))
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        a.add(1.0)
+        assert a.merge(OnlineStats()).mean == 1.0
+        assert OnlineStats().merge(a).mean == 1.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_property_matches_numpy(self, xs):
+        s = OnlineStats()
+        s.add_many(xs)
+        assert s.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+
+
+class TestConfidenceIntervals:
+    def test_tightens_with_samples(self):
+        rng = np.random.default_rng(2)
+        _, h1 = mean_confidence_interval(rng.normal(size=10))
+        _, h2 = mean_confidence_interval(rng.normal(size=1000))
+        assert h2 < h1
+
+    def test_single_sample_infinite(self):
+        m, h = mean_confidence_interval([3.0])
+        assert m == 3.0
+        assert math.isinf(h)
+
+    def test_empty(self):
+        m, h = mean_confidence_interval([])
+        assert math.isnan(m)
+
+    def test_batch_means_close_to_mean(self):
+        rng = np.random.default_rng(3)
+        xs = rng.normal(5.0, 1.0, size=2000)
+        m, h = batch_means(xs)
+        assert m == pytest.approx(5.0, abs=0.2)
+        assert h < 0.5
+
+    def test_batch_means_small_sample_fallback(self):
+        m, _ = batch_means([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, None]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "10" in lines[3]
+        assert "-" in lines[3]  # None cell
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_infinity_rendering(self):
+        out = format_table(["x"], [[math.inf], [-math.inf], [math.nan]])
+        assert "inf" in out and "-inf" in out and "nan" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_ascii_curve_draws_markers(self):
+        out = ascii_curve([0, 1, 2], {"m": [1.0, 2.0, 3.0], "s": [1.1, 2.1, 3.1]})
+        assert "*" in out and "o" in out
+        assert "legend" in out
+
+    def test_ascii_curve_skips_nonfinite(self):
+        out = ascii_curve([0, 1], {"m": [math.inf, 1.0]})
+        grid = "\n".join(l for l in out.splitlines() if not l.startswith("   legend"))
+        assert grid.count("*") == 1
+
+    def test_ascii_curve_empty(self):
+        assert "no finite points" in ascii_curve([0.0], {"m": [math.nan]})
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        for bad in (0, -1, math.inf, math.nan, "a"):
+            with pytest.raises(ConfigurationError):
+                check_positive("x", bad)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ConfigurationError):
+                check_probability("p", bad)
+
+    @pytest.mark.parametrize("value,base,exp", [(4, 4, 1), (64, 4, 3), (1024, 4, 5), (8, 2, 3)])
+    def test_check_power_of(self, value, base, exp):
+        assert check_power_of("n", value, base) == exp
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 5, 12, 48, 100])
+    def test_check_power_of_four_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_power_of("n", value, 4)

@@ -1,0 +1,122 @@
+"""Tests for the variable message-length extension (relaxing assumption 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ButterflyFatTree,
+    ButterflyFatTreeModel,
+    ConfigurationError,
+    PoissonTraffic,
+    SimConfig,
+    TraceTraffic,
+    Workload,
+    simulate,
+    simulate_buffered,
+    simulate_flit_level,
+)
+from repro.simulation import bimodal_lengths
+from repro.simulation.traffic import Arrival
+
+
+class TestLengthSampler:
+    def test_bimodal_two_point(self):
+        sample = bimodal_lengths(8, 56, 0.5)
+        rng = np.random.default_rng(0)
+        values = {sample(rng) for _ in range(200)}
+        assert values == {8, 56}
+
+    def test_bimodal_fraction(self):
+        sample = bimodal_lengths(8, 56, 0.75)
+        rng = np.random.default_rng(1)
+        draws = [sample(rng) for _ in range(4000)]
+        assert np.mean([d == 8 for d in draws]) == pytest.approx(0.75, abs=0.03)
+
+    def test_bimodal_validation(self):
+        with pytest.raises(ConfigurationError):
+            bimodal_lengths(0, 56, 0.5)
+        with pytest.raises(ConfigurationError):
+            bimodal_lengths(8, 56, 1.5)
+
+    def test_traffic_carries_lengths(self):
+        wl = Workload(32, 0.02)
+        tr = PoissonTraffic(16, wl, seed=2, length_sampler=bimodal_lengths(8, 56, 0.5))
+        arrivals = list(tr.arrivals(2000))
+        assert arrivals
+        assert {a.flits for a in arrivals} <= {8, 56}
+
+    def test_traffic_without_sampler_has_no_lengths(self):
+        tr = PoissonTraffic(16, Workload(32, 0.02), seed=3)
+        assert all(a.flits is None for a in tr.arrivals(1000))
+
+
+class TestEventSimVariableLengths:
+    def test_single_short_and_long_messages(self, bft64):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=500, seed=0, drain_factor=100)
+        trace = TraceTraffic(
+            [Arrival(0.0, 0, 63, 8), Arrival(200.0, 0, 63, 56)]
+        )
+        res = simulate(bft64, Workload(32, 0.0), cfg, traffic=trace)
+        # Latencies are F_i + D - 1 individually.
+        assert sorted([res.latency_min, res.latency_max]) == [8 + 5, 56 + 5]
+
+    def test_throughput_uses_actual_lengths(self, bft64):
+        wl = Workload(32, 0.002)  # nominal length 32
+        cfg = SimConfig(warmup_cycles=1000, measure_cycles=8000, seed=4)
+        traffic = PoissonTraffic(
+            64, wl, seed=4, length_sampler=bimodal_lengths(8, 56, 0.5)
+        )
+        res = simulate(bft64, wl, cfg, traffic=traffic)
+        assert res.censored_tagged == 0
+        # mean length is (8+56)/2 = 32 -> flit rate ~ 0.002*32
+        assert res.delivered_flit_rate == pytest.approx(0.064, rel=0.12)
+
+    def test_bimodal_latency_exceeds_fixed_at_same_mean(self, bft64):
+        """Higher service variability at equal mean load must not reduce
+        delay: bimodal-length traffic waits at least as long as fixed-length
+        traffic of the same mean length and rate."""
+        lam = 0.004
+        wl = Workload(32, lam)
+        cfg = SimConfig(warmup_cycles=2000, measure_cycles=10000, seed=5)
+        fixed = simulate(bft64, wl, cfg)
+        traffic = PoissonTraffic(
+            64, wl, seed=5, length_sampler=bimodal_lengths(8, 56, 0.5)
+        )
+        mixed = simulate(bft64, wl, cfg, traffic=traffic)
+        # Compare mean latency normalized by mean serialization length.
+        assert mixed.latency_mean > 0.95 * fixed.latency_mean
+
+    def test_model_with_mean_length_brackets_bimodal_sim(self, bft64):
+        """The fixed-length model evaluated at the mean length remains a
+        usable (slightly optimistic) predictor for mildly bimodal traffic."""
+        lam = 0.004
+        wl = Workload(32, lam)
+        cfg = SimConfig(warmup_cycles=2000, measure_cycles=10000, seed=6)
+        traffic = PoissonTraffic(
+            64, wl, seed=6, length_sampler=bimodal_lengths(24, 40, 0.5)
+        )
+        res = simulate(bft64, wl, cfg, traffic=traffic)
+        model = ButterflyFatTreeModel(64).latency(wl)
+        assert model == pytest.approx(res.latency_mean, rel=0.10)
+
+
+class TestFixedLengthEngineGuards:
+    def test_flit_sim_rejects_variable_lengths(self, bft16):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=100, seed=0)
+        trace = TraceTraffic([Arrival(0.0, 0, 5, 8)])
+        with pytest.raises(ConfigurationError):
+            simulate_flit_level(bft16, Workload(32, 0.0), cfg, traffic=trace)
+
+    def test_buffered_sim_rejects_variable_lengths(self, bft16):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=100, seed=0)
+        trace = TraceTraffic([Arrival(0.0, 0, 5, 8)])
+        with pytest.raises(ConfigurationError):
+            simulate_buffered(bft16, Workload(32, 0.0), cfg, traffic=trace)
+
+    def test_matching_length_is_accepted(self, bft16):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=200, seed=0, drain_factor=50)
+        trace = TraceTraffic([Arrival(0.0, 0, 5, 32)])
+        res = simulate_flit_level(bft16, Workload(32, 0.0), cfg, traffic=trace)
+        assert res.tagged_delivered == 1
