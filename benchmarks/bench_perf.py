@@ -4,11 +4,22 @@ Unlike the reproduction benches (which time one full experiment), these are
 conventional micro-benchmarks: pytest-benchmark repeats each operation and
 reports distribution statistics.  They guard against performance
 regressions in the hot paths identified by profiling (model sweeps inside
-the saturation bisection; simulator event loops).
+the saturation search; simulator event loops).
+
+The batch-engine benches compare a whole 64-point N=1024 load sweep solved
+in one ``latency_batch`` NumPy pass against the same grid looped through
+scalar ``latency`` calls, and the vectorized saturation bracket against the
+scalar bisection.  ``test_batch_baseline_json`` additionally runs the
+headless suite from :mod:`run_benchmarks` and writes
+``benchmarks/BENCH_perf.json`` so the speedups are tracked across PRs.
 """
 
 from __future__ import annotations
 
+import numpy as np
+from conftest import register_result
+
+import run_benchmarks
 from repro import (
     ButterflyFatTree,
     ButterflyFatTreeModel,
@@ -36,10 +47,57 @@ def test_generic_solver_1024(benchmark):
 
 
 def test_saturation_search_1024(benchmark):
-    """Full Eq. 26 bracket-plus-bisection at N=1024."""
+    """Full Eq. 26 search at N=1024 (vectorized bracket by default)."""
     model = ButterflyFatTreeModel(1024)
     result = benchmark(lambda: saturation_injection_rate(model, 32).flit_load)
     assert 0.02 < result < 0.06
+
+
+def test_saturation_search_scalar_1024(benchmark):
+    """The seed's scalar bracket-plus-bisection, kept as the comparison."""
+    model = ButterflyFatTreeModel(1024)
+    result = benchmark(
+        lambda: saturation_injection_rate(model, 32, vectorized=False).flit_load
+    )
+    assert 0.02 < result < 0.06
+
+
+def test_batch_sweep_64pt_1024(benchmark):
+    """One latency_batch pass over a 64-point load grid at N=1024."""
+    model = ButterflyFatTreeModel(1024)
+    rates = np.linspace(0.002, 0.05, 64) / 32
+    latencies = benchmark(lambda: model.latency_batch(rates, 32))
+    assert np.isfinite(latencies).any() and np.isinf(latencies).any()
+
+
+def test_scalar_sweep_64pt_1024(benchmark):
+    """The same 64-point grid looped through scalar latency calls."""
+    model = ButterflyFatTreeModel(1024)
+    workloads = [Workload(32, float(x)) for x in np.linspace(0.002, 0.05, 64) / 32]
+    latencies = benchmark(lambda: [model.latency(wl) for wl in workloads])
+    assert any(np.isfinite(x) for x in latencies)
+
+
+def test_batch_baseline_json(benchmark):
+    """Headless suite: asserts the batch speedup and writes a JSON report.
+
+    The report lands in the transient ``benchmarks/results/`` directory;
+    the *tracked* baseline (``benchmarks/BENCH_perf.json``) is only updated
+    by an explicit ``python benchmarks/run_benchmarks.py`` run, so a local
+    pytest session never dirties the committed perf trajectory.
+    """
+    report = benchmark.pedantic(
+        lambda: run_benchmarks.collect(repeats=3), rounds=1, iterations=1
+    )
+    path = run_benchmarks.write_baseline(
+        report, run_benchmarks.DEFAULT_OUTPUT.parent / "results" / "BENCH_perf.json"
+    )
+    register_result(path)
+    speedup = report["derived"]["batch_sweep_speedup"]
+    benchmark.extra_info["batch_sweep_speedup"] = speedup
+    benchmark.extra_info["saturation_speedup"] = report["derived"]["saturation_speedup"]
+    # Acceptance floor for the batch engine (observed ~50-70x).
+    assert speedup >= 5.0, f"batch sweep only {speedup:.1f}x faster than scalar loop"
 
 
 def test_topology_construction_1024(benchmark):

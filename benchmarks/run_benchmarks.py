@@ -1,0 +1,159 @@
+"""Headless performance benchmark runner.
+
+Runs the engineering micro-benchmarks (no pytest, no simulators) and writes
+``BENCH_perf.json`` — median wall-clock seconds per bench plus derived
+speedup ratios — so each PR leaves a machine-readable perf trajectory to
+compare against:
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+
+The headline numbers guard the batch solver engine: a 64-point N=1024 load
+sweep solved in one ``latency_batch`` pass versus the same grid looped
+through scalar ``latency`` calls, and the vectorized Eq. 26 saturation
+search versus the scalar bracket-plus-bisection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro import ButterflyFatTree, ButterflyFatTreeModel, Workload
+from repro.core.generic_model import bft_stage_graph
+from repro.core.throughput import saturation_injection_rate
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_perf.json"
+
+#: Grid used by the batch-vs-scalar sweep benches (Figure-3-like range).
+SWEEP_POINTS = 64
+SWEEP_FLITS = 32
+SWEEP_PROCESSORS = 1024
+
+
+def _sweep_rates() -> np.ndarray:
+    """64 injection rates spanning zero load to past saturation at N=1024."""
+    return np.linspace(0.002, 0.05, SWEEP_POINTS) / SWEEP_FLITS
+
+
+def bench_model_solve_1024() -> Callable[[], object]:
+    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+    wl = Workload.from_flit_load(0.02, SWEEP_FLITS)
+    return lambda: model.latency(wl)
+
+
+def bench_batch_sweep_64pt_1024() -> Callable[[], object]:
+    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+    rates = _sweep_rates()
+    return lambda: model.latency_batch(rates, SWEEP_FLITS)
+
+
+def bench_scalar_sweep_64pt_1024() -> Callable[[], object]:
+    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+    workloads = [Workload(SWEEP_FLITS, float(x)) for x in _sweep_rates()]
+    return lambda: [model.latency(wl) for wl in workloads]
+
+
+def bench_saturation_vectorized_1024() -> Callable[[], object]:
+    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+    return lambda: saturation_injection_rate(model, SWEEP_FLITS).flit_load
+
+
+def bench_saturation_scalar_1024() -> Callable[[], object]:
+    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+    return lambda: saturation_injection_rate(
+        model, SWEEP_FLITS, vectorized=False
+    ).flit_load
+
+
+def bench_generic_graph_1024() -> Callable[[], object]:
+    wl = Workload.from_flit_load(0.02, SWEEP_FLITS)
+    return lambda: bft_stage_graph(SWEEP_PROCESSORS, wl).latency()
+
+
+def bench_topology_build_1024() -> Callable[[], object]:
+    return lambda: ButterflyFatTree(SWEEP_PROCESSORS)
+
+
+BENCHES: dict[str, Callable[[], Callable[[], object]]] = {
+    "model_solve_1024": bench_model_solve_1024,
+    "batch_sweep_64pt_1024": bench_batch_sweep_64pt_1024,
+    "scalar_sweep_64pt_1024": bench_scalar_sweep_64pt_1024,
+    "saturation_vectorized_1024": bench_saturation_vectorized_1024,
+    "saturation_scalar_1024": bench_saturation_scalar_1024,
+    "generic_graph_1024": bench_generic_graph_1024,
+    "topology_build_1024": bench_topology_build_1024,
+}
+
+
+def time_median(fn: Callable[[], object], *, repeats: int = 5, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` timed runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def collect(*, repeats: int = 5) -> dict:
+    """Run every bench and return the report mapping (see module docstring)."""
+    benches = {}
+    for name, setup in BENCHES.items():
+        benches[name] = {"median_s": time_median(setup(), repeats=repeats)}
+    derived = {
+        "batch_sweep_speedup": (
+            benches["scalar_sweep_64pt_1024"]["median_s"]
+            / benches["batch_sweep_64pt_1024"]["median_s"]
+        ),
+        "saturation_speedup": (
+            benches["saturation_scalar_1024"]["median_s"]
+            / benches["saturation_vectorized_1024"]["median_s"]
+        ),
+    }
+    return {
+        "sweep_points": SWEEP_POINTS,
+        "message_flits": SWEEP_FLITS,
+        "num_processors": SWEEP_PROCESSORS,
+        "repeats": repeats,
+        "benches": benches,
+        "derived": derived,
+    }
+
+
+def write_baseline(report: dict, output: Path) -> Path:
+    """Write the JSON baseline (used headlessly and from bench_perf.py)."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON baseline path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per bench (median kept)"
+    )
+    args = parser.parse_args(argv)
+    report = collect(repeats=args.repeats)
+    path = write_baseline(report, args.output)
+    print(f"wrote {path}")
+    for name, entry in sorted(report["benches"].items()):
+        print(f"  {name:30s} {entry['median_s'] * 1e3:10.3f} ms")
+    for name, value in sorted(report["derived"].items()):
+        print(f"  {name:30s} {value:10.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ reproduction of every table and figure in the paper's evaluation.
 
 from .config import SimConfig, Workload
 from .core import (
+    BatchSolution,
     BftSolution,
     ButterflyFatTreeModel,
     ChannelGraphModel,
@@ -75,6 +76,7 @@ __version__ = "1.0.0"
 __all__ = [
     "SimConfig",
     "Workload",
+    "BatchSolution",
     "BftSolution",
     "ButterflyFatTreeModel",
     "ChannelGraphModel",

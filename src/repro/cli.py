@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="model latency-vs-load table")
     add_common(p_sweep, with_load=False)
     p_sweep.add_argument("--points", type=int, default=10, help="grid points")
+    p_sweep.add_argument(
+        "--scalar",
+        action="store_true",
+        help="force one model solve per grid point (default: one batched "
+        "NumPy solve for the whole grid)",
+    )
 
     p_sat = sub.add_parser("saturation", help="Eq. 26 saturation throughput")
     p_sat.add_argument("--processors", "-n", type=int, default=256)
@@ -140,7 +146,10 @@ def _cmd_model(args) -> str:
 def _cmd_sweep(args) -> str:
     model = ButterflyFatTreeModel(args.processors)
     grid = load_grid_to_saturation(model, args.flits, n_points=args.points)
-    curve = latency_sweep(model.latency, args.flits, grid)
+    # Handing latency_sweep the model routes the grid through the batch
+    # engine (one vectorized solve); a plain wrapper forces per-point mode.
+    evaluator = (lambda wl: model.latency(wl)) if args.scalar else model
+    curve = latency_sweep(evaluator, args.flits, grid)
     return format_table(
         ["load (fl/cyc/PE)", "latency (cycles)"],
         curve.as_rows(),

@@ -12,17 +12,20 @@
 * :mod:`repro.core.variants` — ablation switches.
 """
 
+from .batch import BatchSolution, as_injection_rates
 from .bft_model import BftSolution, ButterflyFatTreeModel
-from .blocking import blocking_probability
+from .blocking import blocking_probability, blocking_probability_batch
 from .generalized_model import (
     GeneralizedFatTreeModel,
     generalized_average_distance,
     generalized_channel_rates,
+    generalized_channel_rates_batch,
     generalized_up_probability,
 )
 from .generic_model import (
     ChannelGraphModel,
     Stage,
+    StageBatchSolution,
     StageSolution,
     Transition,
     bft_stage_graph,
@@ -31,6 +34,7 @@ from .generic_model import (
 )
 from .rates import (
     bft_channel_rates,
+    bft_channel_rates_batch,
     bft_total_up_crossings,
     conditional_up_probability,
     down_probability,
@@ -45,9 +49,15 @@ from .throughput import (
 from .variants import ModelVariant
 
 __all__ = [
+    "BatchSolution",
+    "as_injection_rates",
     "BftSolution",
     "ButterflyFatTreeModel",
     "blocking_probability",
+    "blocking_probability_batch",
+    "bft_channel_rates_batch",
+    "generalized_channel_rates_batch",
+    "StageBatchSolution",
     "GeneralizedFatTreeModel",
     "generalized_average_distance",
     "generalized_channel_rates",

@@ -21,6 +21,14 @@ Average latency then follows from Eq. 25:
 Saturated operating points (any channel utilization at or above capacity)
 yield ``inf`` waits that propagate to an ``inf`` latency; callers can test
 :attr:`BftSolution.saturated`.
+
+The recursion is implemented once, *batched*: :meth:`solve_batch` and
+:meth:`latency_batch` broadcast both sweeps over a whole vector of
+injection rates in one NumPy pass (service times, M/G/m waits and blocking
+corrections all carry a trailing load axis, with ``inf`` propagating per
+point past saturation).  The scalar :meth:`solve` / :meth:`latency` are
+thin wrappers over a one-point batch, so batch and scalar sweeps agree
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -32,13 +40,24 @@ import numpy as np
 
 from ..config import Workload
 from ..errors import ConfigurationError
-from ..queueing.distributions import ScvMode, scv_for_mode
-from ..queueing.mg1 import mg1_waiting_time
-from ..queueing.mgm import mgm_waiting_time
+from ..queueing.distributions import scv_for_mode_batch
+from ..queueing.mg1 import mg1_waiting_time_batch
+from ..queueing.mgm import mgm_waiting_time_batch
 from ..topology.properties import bft_average_distance
 from ..util.validation import check_power_of
-from .blocking import blocking_probability
-from .rates import bft_channel_rates, conditional_up_probability, up_probability
+from .batch import (
+    BatchSolution,
+    as_injection_rates,
+    assemble_level_batch,
+    charged_wait,
+    level_detail_columns,
+)
+from .blocking import blocking_probability_batch
+from .rates import (
+    bft_channel_rates_batch,
+    conditional_up_probability,
+    up_probability,
+)
 from .variants import ModelVariant
 
 __all__ = ["BftSolution", "ButterflyFatTreeModel"]
@@ -136,25 +155,30 @@ class ButterflyFatTreeModel:
 
     # --- waiting-time helpers -------------------------------------------------
 
-    def _scv(self, mean_service: float, message_flits: int) -> float:
-        if not math.isfinite(mean_service):
-            return 0.0
-        return scv_for_mode(self.variant.scv_mode, mean_service, message_flits)
+    def _scv_batch(self, service: np.ndarray, message_flits: int) -> np.ndarray:
+        """Per-point SCV of a channel class (0 past saturation)."""
+        return scv_for_mode_batch(self.variant.scv_mode, service, message_flits)
 
-    def _down_wait(self, rate: float, service: float, message_flits: int) -> float:
-        return mg1_waiting_time(rate, service, self._scv(service, message_flits))
+    def _down_wait_batch(
+        self, rate: np.ndarray, service: np.ndarray, message_flits: int
+    ) -> np.ndarray:
+        return mg1_waiting_time_batch(
+            rate, service, self._scv_batch(service, message_flits)
+        )
 
-    def _up_wait(self, rate: float, service: float, message_flits: int) -> float:
+    def _up_wait_batch(
+        self, rate: np.ndarray, service: np.ndarray, message_flits: int
+    ) -> np.ndarray:
         """Wait on an up channel: M/G/2 over the pair, or per-link M/G/1 ablation.
 
         The two-server form receives the pair's total arrival rate
         ``2 * rate`` (published correction); the no-multiserver ablation
         models each up link as an independent M/G/1 queue carrying ``rate``.
         """
-        scv = self._scv(service, message_flits)
+        scv = self._scv_batch(service, message_flits)
         if self.variant.multiserver_up:
-            return mgm_waiting_time(2.0 * rate, service, 2, scv)
-        return mg1_waiting_time(rate, service, scv)
+            return mgm_waiting_time_batch(2.0 * rate, service, 2, scv)
+        return mg1_waiting_time_batch(rate, service, scv)
 
     def _climb_probability(self, level: int) -> float:
         """Branching probability that a message at ``level`` keeps climbing."""
@@ -164,35 +188,41 @@ class ButterflyFatTreeModel:
 
     # --- the solver -----------------------------------------------------------
 
-    def solve(self, workload: Workload) -> BftSolution:
-        """Resolve all channel service and waiting times at ``workload``."""
-        if not isinstance(workload, Workload):
-            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
+    def solve_batch(
+        self, injection_rates, message_flits: int
+    ) -> BatchSolution:
+        """Resolve every channel class over a whole vector of injection rates.
+
+        Both Eq. 16-24 sweeps are broadcast over the load axis: all stage
+        service times, M/G/m waits and blocking corrections are arrays with
+        one entry per injection rate, with ``inf`` propagating per point
+        past saturation.  Column ``k`` of every per-level array is
+        bit-identical to the scalar solve at ``injection_rates[k]``.
+        """
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        inj = as_injection_rates(injection_rates)
         n = self.levels
-        flits = workload.message_flits
+        flits = message_flits
         blocking = self.variant.blocking_correction
-        rate = bft_channel_rates(n, workload.injection_rate)
+        rate = bft_channel_rates_batch(n, inj)  # (levels, K)
 
-        down_service = np.empty(n)
-        down_wait = np.empty(n)
-        up_service = np.empty(n)
-        up_wait = np.empty(n)
-
-        def charge(p_block: float, wait: float) -> float:
-            # A zero blocking probability cancels the wait even when the
-            # wait has diverged (guards against 0 * inf -> NaN in extreme
-            # clamped configurations).
-            return 0.0 if p_block == 0.0 else p_block * wait
+        down_service = np.empty_like(rate)
+        down_wait = np.empty_like(rate)
+        up_service = np.empty_like(rate)
+        up_wait = np.empty_like(rate)
 
         # ---- down sweep: ejection channel first (Eqs. 16-19) ----
         down_service[0] = float(flits)
-        down_wait[0] = self._down_wait(rate[0], down_service[0], flits)
+        down_wait[0] = self._down_wait_batch(rate[0], down_service[0], flits)
         for l in range(1, n):
-            p_block = blocking_probability(
+            p_block = blocking_probability_batch(
                 1, rate[l], rate[l - 1], 0.25, enabled=blocking
             )
-            down_service[l] = down_service[l - 1] + charge(p_block, down_wait[l - 1])
-            down_wait[l] = self._down_wait(rate[l], down_service[l], flits)
+            down_service[l] = down_service[l - 1] + charged_wait(
+                p_block, down_wait[l - 1]
+            )
+            down_wait[l] = self._down_wait_batch(rate[l], down_service[l], flits)
 
         # ---- up sweep: root level first (Eqs. 20-24) ----
         for u in range(n - 1, -1, -1):
@@ -200,7 +230,7 @@ class ButterflyFatTreeModel:
             p_up = self._climb_probability(switch_level)
             p_down = 1.0 - p_up
 
-            service = 0.0
+            service = np.zeros(inj.shape)
             if p_up > 0.0:
                 if self.variant.multiserver_up:
                     # One two-server channel per switch, total rate 2*lambda,
@@ -210,39 +240,59 @@ class ButterflyFatTreeModel:
                     # Ablation: two independent M/G/1 queues, each targeted
                     # with half the climb probability.
                     servers, group_rate, queue_prob = 1, rate[u + 1], p_up / 2.0
-                p_block_up = blocking_probability(
+                p_block_up = blocking_probability_batch(
                     servers, rate[u], group_rate, queue_prob, enabled=blocking
                 )
-                service += p_up * (
-                    up_service[u + 1] + charge(p_block_up, up_wait[u + 1])
+                service = service + p_up * (
+                    up_service[u + 1] + charged_wait(p_block_up, up_wait[u + 1])
                 )
 
             # Turn-down branch: three sibling subtrees, one single-server
             # down channel each (the top level has exactly this form, with
             # p_down == 1, reproducing Eq. 20's factor 2/3).
-            p_block_down = blocking_probability(
+            p_block_down = blocking_probability_batch(
                 1, rate[u], rate[u], p_down / 3.0, enabled=blocking
             )
-            service += p_down * (down_service[u] + charge(p_block_down, down_wait[u]))
+            service = service + p_down * (
+                down_service[u] + charged_wait(p_block_down, down_wait[u])
+            )
 
             up_service[u] = service
             if u == 0:
                 # Injection channel <0,1>: no redundant partner (Eq. 24).
-                up_wait[0] = mg1_waiting_time(
-                    rate[0], up_service[0], self._scv(up_service[0], flits)
+                up_wait[0] = mg1_waiting_time_batch(
+                    rate[0], up_service[0], self._scv_batch(up_service[0], flits)
                 )
             else:
-                up_wait[u] = self._up_wait(rate[u], up_service[u], flits)
+                up_wait[u] = self._up_wait_batch(rate[u], up_service[u], flits)
 
-        return BftSolution(
-            workload=workload,
-            levels=n,
+        return assemble_level_batch(
+            message_flits=flits,
+            injection_rates=inj,
+            average_distance=self.average_distance,
             rate=rate,
             down_service=down_service,
             down_wait=down_wait,
             up_service=up_service,
             up_wait=up_wait,
+        )
+
+    def solve(self, workload: Workload) -> BftSolution:
+        """Resolve all channel service and waiting times at ``workload``.
+
+        Thin wrapper over a one-point :meth:`solve_batch` (the recursion is
+        implemented once, batched), preserving the scalar result layout.
+        """
+        if not isinstance(workload, Workload):
+            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
+        batch = self.solve_batch(
+            np.array([workload.injection_rate]), workload.message_flits
+        )
+        return BftSolution(
+            workload=workload,
+            levels=self.levels,
             average_distance=self.average_distance,
+            **level_detail_columns(batch),
         )
 
     # --- convenience API --------------------------------------------------------
@@ -250,6 +300,20 @@ class ButterflyFatTreeModel:
     def latency(self, workload: Workload) -> float:
         """Average message latency in cycles (``inf`` past saturation)."""
         return self.solve(workload).latency
+
+    def latency_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Average latency for a whole vector of injection rates in one pass.
+
+        ``loads`` are injection rates ``lambda_0`` in messages/cycle/PE
+        (``flit_load / message_flits``, i.e. ``Workload.injection_rate``).
+        Entry ``k`` equals ``latency(Workload(message_flits, loads[k]))``
+        exactly — the scalar path is a one-point batch of this routine.
+        """
+        return self.solve_batch(loads, message_flits).latencies
+
+    def stability_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Vectorized Eq. 26 stability test (one bool per injection rate)."""
+        return self.solve_batch(loads, message_flits).stable_mask
 
     def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
         """Latency with load given in Figure-3 units (flits/cycle/PE)."""

@@ -18,9 +18,11 @@ multiple same-input messages in service.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
-__all__ = ["blocking_probability"]
+__all__ = ["blocking_probability", "blocking_probability_batch"]
 
 
 def blocking_probability(
@@ -72,3 +74,37 @@ def blocking_probability(
         return 1.0
     p = 1.0 - servers * (incoming_rate / outgoing_total_rate) * routing_probability
     return min(1.0, max(0.0, p))
+
+
+def blocking_probability_batch(
+    servers: int,
+    incoming_rate: np.ndarray,
+    outgoing_total_rate: np.ndarray,
+    routing_probability: float,
+    *,
+    enabled: bool = True,
+) -> np.ndarray:
+    """Vectorized ``P_{i|j}`` (Eq. 10) over arrays of channel rates.
+
+    Broadcasts the two rate arrays (a load axis in the batch solvers);
+    elementwise identical to :func:`blocking_probability`, including the
+    zero-traffic convention ``P = 1`` and the ``[0, 1]`` clamp.
+    """
+    if not enabled:
+        inc = np.asarray(incoming_rate, dtype=float)
+        out = np.asarray(outgoing_total_rate, dtype=float)
+        return np.ones(np.broadcast(inc, out).shape)
+    if not isinstance(servers, int) or servers < 1:
+        raise ConfigurationError(f"servers must be a positive integer, got {servers!r}")
+    if not (0.0 <= routing_probability <= 1.0):
+        raise ConfigurationError(
+            f"routing_probability must be in [0, 1], got {routing_probability!r}"
+        )
+    inc = np.asarray(incoming_rate, dtype=float)
+    out = np.asarray(outgoing_total_rate, dtype=float)
+    if np.any(inc < 0) or np.any(out < 0):
+        raise ConfigurationError("rates must be non-negative")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = 1.0 - servers * (inc / out) * routing_probability
+    p = np.minimum(1.0, np.maximum(0.0, p))
+    return np.where(out == 0.0, 1.0, p)

@@ -20,6 +20,11 @@ Setting ``(c, p) = (4, 2)`` reproduces
 :class:`~repro.core.bft_model.ButterflyFatTreeModel` to machine precision
 (a test asserts it), so this is a strict generalization, not a parallel
 implementation.
+
+Like the 4-2 model, the sweeps are implemented batched: ``solve_batch`` /
+``latency_batch`` evaluate a whole vector of injection rates in one NumPy
+pass (``inf`` propagating per point past saturation), and the scalar
+``solve`` / ``latency`` are one-point wrappers over that engine.
 """
 
 from __future__ import annotations
@@ -32,16 +37,24 @@ import numpy as np
 
 from ..config import Workload
 from ..errors import ConfigurationError
-from ..queueing.distributions import scv_for_mode
-from ..queueing.mg1 import mg1_waiting_time
-from ..queueing.mgm import mgm_waiting_time
-from .blocking import blocking_probability
+from ..queueing.distributions import scv_for_mode_batch
+from ..queueing.mg1 import mg1_waiting_time_batch
+from ..queueing.mgm import mgm_waiting_time_batch
+from .batch import (
+    BatchSolution,
+    as_injection_rates,
+    assemble_level_batch,
+    charged_wait,
+    level_detail_columns,
+)
+from .blocking import blocking_probability_batch
 from .variants import ModelVariant
 
 __all__ = [
     "GeneralizedFatTreeModel",
     "generalized_up_probability",
     "generalized_channel_rates",
+    "generalized_channel_rates_batch",
     "generalized_average_distance",
 ]
 
@@ -67,6 +80,28 @@ def generalized_channel_rates(
     c, n = float(children), levels
     probs = (c**n - c**ls) / (c**n - 1.0)
     return injection_rate * probs * (c / parents) ** ls
+
+
+def generalized_channel_rates_batch(
+    children: int, parents: int, levels: int, injection_rates: np.ndarray
+) -> np.ndarray:
+    """Per-link rates for a vector of injection rates: shape ``(levels, K)``.
+
+    Column ``k`` is elementwise identical to
+    ``generalized_channel_rates(c, p, n, injection_rates[k])``.
+    """
+    if parents < 1:
+        raise ConfigurationError("parents must be >= 1")
+    inj = np.asarray(injection_rates, dtype=float)
+    if inj.ndim != 1:
+        raise ConfigurationError("injection_rates must be a 1-D array")
+    if np.any(inj < 0):
+        raise ConfigurationError("injection_rates must be >= 0")
+    ls = np.arange(levels)
+    c, n = float(children), levels
+    probs = (c**n - c**ls) / (c**n - 1.0)
+    scale = (c / parents) ** ls
+    return (inj[np.newaxis, :] * probs[:, np.newaxis]) * scale[:, np.newaxis]
 
 
 def generalized_average_distance(children: int, levels: int) -> float:
@@ -151,10 +186,8 @@ class GeneralizedFatTreeModel:
 
     # --- helpers -------------------------------------------------------------------
 
-    def _scv(self, service: float, flits: int) -> float:
-        if not math.isfinite(service):
-            return 0.0
-        return scv_for_mode(self.variant.scv_mode, service, flits)
+    def _scv_batch(self, service: np.ndarray, flits: int) -> np.ndarray:
+        return scv_for_mode_batch(self.variant.scv_mode, service, flits)
 
     def _climb(self, level: int) -> float:
         c, n = self.children, self.levels
@@ -166,75 +199,99 @@ class GeneralizedFatTreeModel:
 
     # --- solver ----------------------------------------------------------------------
 
-    def solve(self, workload: Workload) -> GeneralizedSolution:
-        """Two-sweep resolution of all channel classes (Eqs. 16-24 shape)."""
-        if not isinstance(workload, Workload):
-            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
-        c, p, n = self.children, self.parents, self.levels
-        flits = workload.message_flits
-        blocking = self.variant.blocking_correction
-        rate = generalized_channel_rates(c, p, n, workload.injection_rate)
+    def solve_batch(self, injection_rates, message_flits: int) -> BatchSolution:
+        """Two-sweep resolution over a whole vector of injection rates.
 
-        down_service = np.empty(n)
-        down_wait = np.empty(n)
-        up_service = np.empty(n)
-        up_wait = np.empty(n)
+        The Eq. 16-24-shaped sweeps broadcast over a load axis exactly like
+        :meth:`ButterflyFatTreeModel.solve_batch
+        <repro.core.bft_model.ButterflyFatTreeModel.solve_batch>`; up
+        channels use M/G/p waits.  Column ``k`` is bit-identical to the
+        scalar solve at ``injection_rates[k]``.
+        """
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        inj = as_injection_rates(injection_rates)
+        c, p, n = self.children, self.parents, self.levels
+        flits = message_flits
+        blocking = self.variant.blocking_correction
+        rate = generalized_channel_rates_batch(c, p, n, inj)  # (levels, K)
+
+        down_service = np.empty_like(rate)
+        down_wait = np.empty_like(rate)
+        up_service = np.empty_like(rate)
+        up_wait = np.empty_like(rate)
 
         down_service[0] = float(flits)
-        down_wait[0] = mg1_waiting_time(
-            rate[0], down_service[0], self._scv(down_service[0], flits)
+        down_wait[0] = mg1_waiting_time_batch(
+            rate[0], down_service[0], self._scv_batch(down_service[0], flits)
         )
         for l in range(1, n):
-            p_block = blocking_probability(
+            p_block = blocking_probability_batch(
                 1, rate[l], rate[l - 1], 1.0 / c, enabled=blocking
             )
-            blocked = 0.0 if p_block == 0.0 else p_block * down_wait[l - 1]
-            down_service[l] = down_service[l - 1] + blocked
-            down_wait[l] = mg1_waiting_time(
-                rate[l], down_service[l], self._scv(down_service[l], flits)
+            down_service[l] = down_service[l - 1] + charged_wait(
+                p_block, down_wait[l - 1]
             )
-
-        def charge(p_block: float, wait: float) -> float:
-            # A zero blocking probability cancels the wait even when the
-            # wait itself has diverged (0 * inf would otherwise poison the
-            # sweep with NaN).
-            return 0.0 if p_block == 0.0 else p_block * wait
+            down_wait[l] = mg1_waiting_time_batch(
+                rate[l], down_service[l], self._scv_batch(down_service[l], flits)
+            )
 
         for u in range(n - 1, -1, -1):
             p_up = self._climb(u + 1)
             p_down = 1.0 - p_up
-            service = 0.0
+            service = np.zeros(inj.shape)
             if p_up > 0.0:
                 if self.variant.multiserver_up:
                     servers, group_rate, queue_prob = p, p * rate[u + 1], p_up
                 else:
                     servers, group_rate, queue_prob = 1, rate[u + 1], p_up / p
-                p_block_up = blocking_probability(
+                p_block_up = blocking_probability_batch(
                     servers, rate[u], group_rate, queue_prob, enabled=blocking
                 )
-                service += p_up * (up_service[u + 1] + charge(p_block_up, up_wait[u + 1]))
-            p_block_down = blocking_probability(
+                service = service + p_up * (
+                    up_service[u + 1] + charged_wait(p_block_up, up_wait[u + 1])
+                )
+            p_block_down = blocking_probability_batch(
                 1, rate[u], rate[u], p_down / (c - 1), enabled=blocking
             )
-            service += p_down * (down_service[u] + charge(p_block_down, down_wait[u]))
+            service = service + p_down * (
+                down_service[u] + charged_wait(p_block_down, down_wait[u])
+            )
             up_service[u] = service
-            scv = self._scv(up_service[u], flits)
+            scv = self._scv_batch(up_service[u], flits)
             if u == 0:
-                up_wait[0] = mg1_waiting_time(rate[0], up_service[0], scv)
+                up_wait[0] = mg1_waiting_time_batch(rate[0], up_service[0], scv)
             elif self.variant.multiserver_up:
-                up_wait[u] = mgm_waiting_time(p * rate[u], up_service[u], p, scv)
+                up_wait[u] = mgm_waiting_time_batch(p * rate[u], up_service[u], p, scv)
             else:
-                up_wait[u] = mg1_waiting_time(rate[u], up_service[u], scv)
+                up_wait[u] = mg1_waiting_time_batch(rate[u], up_service[u], scv)
 
-        return GeneralizedSolution(
-            workload=workload,
-            levels=n,
+        return assemble_level_batch(
+            message_flits=flits,
+            injection_rates=inj,
+            average_distance=self.average_distance,
             rate=rate,
             down_service=down_service,
             down_wait=down_wait,
             up_service=up_service,
             up_wait=up_wait,
+        )
+
+    def solve(self, workload: Workload) -> GeneralizedSolution:
+        """Two-sweep resolution of all channel classes (Eqs. 16-24 shape).
+
+        Thin wrapper over a one-point :meth:`solve_batch`.
+        """
+        if not isinstance(workload, Workload):
+            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
+        batch = self.solve_batch(
+            np.array([workload.injection_rate]), workload.message_flits
+        )
+        return GeneralizedSolution(
+            workload=workload,
+            levels=self.levels,
             average_distance=self.average_distance,
+            **level_detail_columns(batch),
         )
 
     # --- public API ---------------------------------------------------------------------
@@ -242,6 +299,18 @@ class GeneralizedFatTreeModel:
     def latency(self, workload: Workload) -> float:
         """Average message latency in cycles (``inf`` past saturation)."""
         return self.solve(workload).latency
+
+    def latency_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Average latency for a vector of injection rates in one NumPy pass.
+
+        ``loads`` are injection rates ``lambda_0`` (messages/cycle/PE);
+        entry ``k`` equals ``latency(Workload(message_flits, loads[k]))``.
+        """
+        return self.solve_batch(loads, message_flits).latencies
+
+    def stability_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Vectorized Eq. 26 stability test (one bool per injection rate)."""
+        return self.solve_batch(loads, message_flits).stable_mask
 
     def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
         """Latency with load in flits/cycle/PE."""

@@ -25,6 +25,14 @@ from this general machinery; the test suite verifies it matches the
 closed-form :class:`~repro.core.bft_model.ButterflyFatTreeModel` to machine
 precision.  :func:`hypercube_stage_graph` applies the same machinery to a
 binary hypercube — the "other networks" the paper's abstract refers to.
+
+The recursion is implemented batched: because channel rates are linear in
+the injection rate, one stage graph describes a whole load sweep, and
+``solve_batch`` / ``latency_batch`` evaluate every scale factor in one
+NumPy pass (cyclic graphs iterate a column-batched fixed point that
+freezes saturated points at ``inf`` while the rest converge).  The scalar
+``solve()`` is a cached one-point batch — the graph is immutable, so
+``latency()`` and ``injection_service()`` share a single resolution.
 """
 
 from __future__ import annotations
@@ -36,12 +44,13 @@ import numpy as np
 
 from ..config import Workload
 from ..errors import ConfigurationError
-from ..queueing.distributions import scv_for_mode
-from ..queueing.mgm import mgm_waiting_time
+from ..queueing.distributions import scv_for_mode_batch
+from ..queueing.mgm import mgm_waiting_time_batch
 from ..topology.properties import bft_average_distance, hypercube_average_distance
-from ..util.fixedpoint import fixed_point
+from ..util.fixedpoint import fixed_point_batch
 from ..util.validation import check_power_of
-from .blocking import blocking_probability
+from .batch import as_injection_rates, charged_wait
+from .blocking import blocking_probability_batch
 from .rates import bft_channel_rates, conditional_up_probability, up_probability
 from .variants import ModelVariant
 
@@ -49,6 +58,7 @@ __all__ = [
     "Transition",
     "Stage",
     "StageSolution",
+    "StageBatchSolution",
     "ChannelGraphModel",
     "bft_stage_graph",
     "generalized_fattree_stage_graph",
@@ -146,6 +156,23 @@ class StageSolution:
         return math.isfinite(self.service) and math.isfinite(self.wait)
 
 
+@dataclass(frozen=True)
+class StageBatchSolution:
+    """One stage's (service, wait) arrays over a batch of operating points.
+
+    Both arrays have shape ``(K,)`` — one entry per rate scale passed to
+    :meth:`ChannelGraphModel.solve_batch`.
+    """
+
+    service: np.ndarray
+    wait: np.ndarray
+
+    @property
+    def finite_mask(self) -> np.ndarray:
+        """True where both moments are finite (steady state per point)."""
+        return np.isfinite(self.service) & np.isfinite(self.wait)
+
+
 class ChannelGraphModel:
     """General wormhole-latency solver over a stage graph (Eqs. 3-11).
 
@@ -196,6 +223,9 @@ class ChannelGraphModel:
         self.average_distance = average_distance
         self.variant = variant or ModelVariant.paper()
         self._order = self._topological_order()
+        # The graph is immutable, so the unit-scale solution is computed at
+        # most once per instance (latency() and injection_service() share it).
+        self._solution: dict[str, StageSolution] | None = None
 
     # --- structure ------------------------------------------------------------
 
@@ -224,73 +254,111 @@ class ChannelGraphModel:
 
     # --- solving ----------------------------------------------------------------
 
-    def _wait(self, stage: Stage, service: float) -> float:
-        if not math.isfinite(service):
-            return math.inf
-        scv = scv_for_mode(self.variant.scv_mode, service, self.message_flits)
-        return mgm_waiting_time(stage.total_rate, service, stage.servers, scv)
+    def _wait_batch(self, stage: Stage, service: np.ndarray, rate: np.ndarray) -> np.ndarray:
+        """Per-point M/G/m wait of one stage (``inf`` where diverged)."""
+        scv = scv_for_mode_batch(self.variant.scv_mode, service, self.message_flits)
+        return mgm_waiting_time_batch(stage.servers * rate, service, stage.servers, scv)
 
-    def _service_of(self, stage: Stage, solved: dict[str, StageSolution]) -> float:
+    def _service_of_batch(
+        self,
+        stage: Stage,
+        solved: dict[str, StageBatchSolution],
+        rates: dict[str, np.ndarray],
+        n_points: int,
+    ) -> np.ndarray:
+        """Eq. 11 service-time mixture of one stage, over the load axis."""
         if stage.is_terminal:
-            return float(self.message_flits)
-        total = 0.0
+            return np.full(n_points, float(self.message_flits))
+        total = np.zeros(n_points)
         for t in stage.transitions:
             if t.probability == 0.0:
                 continue
             down = solved[t.target]
             target = self.stages[t.target]
-            p_block = blocking_probability(
+            p_block = blocking_probability_batch(
                 target.servers,
-                stage.rate_per_server,
-                target.total_rate,
+                rates[stage.name],
+                target.servers * rates[t.target],
                 t.effective_queue_probability,
                 enabled=self.variant.blocking_correction,
             )
-            # Guard 0 * inf -> NaN: a zero blocking probability cancels the
-            # wait even when the downstream wait has diverged.
-            blocked = 0.0 if p_block == 0.0 else p_block * down.wait
-            total += t.probability * (down.service + blocked)
+            total = total + t.probability * (
+                down.service + charged_wait(p_block, down.wait)
+            )
         return total
 
-    def solve(self) -> dict[str, StageSolution]:
-        """Resolve every stage's (service, wait) pair.
+    def solve_batch(self, rate_scales) -> dict[str, StageBatchSolution]:
+        """Resolve every stage over a vector of traffic scale factors.
 
-        Acyclic graphs are solved exactly in one reverse sweep; cyclic
-        graphs iterate Eq. 11 to a fixed point starting from the
-        contention-free service time.
+        Channel rates are linear in the injection rate, so one stage graph
+        built at a reference workload describes a whole load sweep: entry
+        ``k`` of the result scales every stage's rate by ``rate_scales[k]``.
+        Acyclic graphs are solved in one reverse sweep with all per-stage
+        arrays broadcast over the load axis; cyclic graphs iterate Eq. 11
+        with :func:`~repro.util.fixedpoint.fixed_point_batch`, freezing
+        saturated points at ``inf`` while the rest converge.
         """
+        scales = as_injection_rates(rate_scales)
+        rates = {
+            name: stage.rate_per_server * scales
+            for name, stage in self.stages.items()
+        }
         if self._order is not None:
-            solved: dict[str, StageSolution] = {}
+            solved: dict[str, StageBatchSolution] = {}
             for name in self._order:
                 stage = self.stages[name]
-                service = self._service_of(stage, solved)
-                solved[name] = StageSolution(service, self._wait(stage, service))
+                service = self._service_of_batch(stage, solved, rates, scales.size)
+                solved[name] = StageBatchSolution(
+                    service, self._wait_batch(stage, service, rates[name])
+                )
             return solved
-        return self._solve_cyclic()
+        return self._solve_cyclic_batch(rates, scales.size)
 
-    def _solve_cyclic(self) -> dict[str, StageSolution]:
+    def _solve_cyclic_batch(
+        self, rates: dict[str, np.ndarray], n_points: int
+    ) -> dict[str, StageBatchSolution]:
         names = sorted(self.stages)
         idx = {n: i for i, n in enumerate(names)}
 
         def step(x: np.ndarray) -> np.ndarray:
-            solved = {}
-            for n in names:
-                stage = self.stages[n]
-                service = float(x[idx[n]])
-                solved[n] = StageSolution(service, self._wait(stage, service))
+            solved = {
+                n: StageBatchSolution(
+                    x[idx[n]], self._wait_batch(self.stages[n], x[idx[n]], rates[n])
+                )
+                for n in names
+            }
             out = np.empty_like(x)
             for n in names:
-                out[idx[n]] = self._service_of(self.stages[n], solved)
+                out[idx[n]] = self._service_of_batch(
+                    self.stages[n], solved, rates, n_points
+                )
             return out
 
-        x0 = np.full(len(names), float(self.message_flits))
-        result = fixed_point(step, x0, tol=1e-12, max_iter=20_000, damping=0.5)
+        x0 = np.full((len(names), n_points), float(self.message_flits))
+        result = fixed_point_batch(step, x0, tol=1e-12, max_iter=20_000, damping=0.5)
         solved = {}
         for n in names:
             stage = self.stages[n]
-            service = float(result.value[idx[n]])
-            solved[n] = StageSolution(service, self._wait(stage, service))
+            service = result.value[idx[n]]
+            solved[n] = StageBatchSolution(
+                service, self._wait_batch(stage, service, rates[n])
+            )
         return solved
+
+    def solve(self) -> dict[str, StageSolution]:
+        """Resolve every stage's (service, wait) pair at the built workload.
+
+        Thin wrapper over a one-point :meth:`solve_batch` at scale 1.  The
+        stage graph is immutable, so the result is computed once and cached;
+        treat the returned mapping as read-only.
+        """
+        if self._solution is None:
+            batch = self.solve_batch(np.ones(1))
+            self._solution = {
+                name: StageSolution(float(s.service[0]), float(s.wait[0]))
+                for name, s in batch.items()
+            }
+        return self._solution
 
     # --- outputs ------------------------------------------------------------------
 
@@ -305,6 +373,35 @@ class ChannelGraphModel:
     def injection_service(self) -> float:
         """Entry-stage service time (drives the Eq. 26 saturation test)."""
         return self.solve()[self.entry].service
+
+    def latency_batch(self, loads, message_flits: int | None = None) -> np.ndarray:
+        """Average latency over a vector of injection rates in one pass.
+
+        ``loads`` are absolute injection rates ``lambda_0`` per PE; they are
+        converted to scale factors against the entry stage's built rate
+        (which therefore must be positive).  ``message_flits``, when given,
+        must match the graph's fixed worm length — the parameter exists for
+        signature parity with the closed-form models' ``latency_batch``.
+        """
+        if message_flits is not None and message_flits != self.message_flits:
+            raise ConfigurationError(
+                f"stage graph was built for message_flits={self.message_flits}, "
+                f"got {message_flits}"
+            )
+        reference = self.stages[self.entry].rate_per_server
+        if reference <= 0.0:
+            raise ConfigurationError(
+                "latency_batch needs a graph built at a positive entry rate "
+                "(rates scale linearly from that reference)"
+            )
+        rates = as_injection_rates(loads)
+        solved = self.solve_batch(rates / reference)
+        entry = solved[self.entry]
+        return np.where(
+            entry.finite_mask,
+            entry.wait + entry.service + self.average_distance - 1.0,
+            np.inf,
+        )
 
 
 # --- ready-made stage graphs -------------------------------------------------------

@@ -105,7 +105,8 @@ def run_ablations(
     rows = []
     for variant in variants:
         model = ButterflyFatTreeModel(n, variant)
-        curve = latency_sweep(model.latency, message_flits, grid, label=variant.label)
+        # Batch path: every variant's whole grid is one vectorized solve.
+        curve = latency_sweep(model, message_flits, grid, label=variant.label)
         errs = [
             abs(relative_error(float(mv), float(sv)))
             for mv, sv in zip(curve.latencies, sim_curve.latencies)

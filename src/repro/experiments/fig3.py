@@ -140,8 +140,10 @@ def run_fig3(
         sat = saturation_injection_rate(model, flits).flit_load
         grid = np.linspace(0.0, 0.97 * sat, points)
         grid[0] = 0.02 * sat
+        # Passing the model itself (not its bound method) routes the whole
+        # grid through latency_batch: one vectorized solve per series.
         model_curve = latency_sweep(
-            model.latency, flits, grid, label=f"Model {flits}-flit"
+            model, flits, grid, label=f"Model {flits}-flit"
         )
         sim_cfg = SimConfig(
             warmup_cycles=m.warmup_cycles,

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import SimConfig, Workload
 from ..core.generalized_model import GeneralizedFatTreeModel
 from ..core.throughput import saturation_injection_rate
@@ -100,8 +102,15 @@ def run_generalized(
         model = GeneralizedFatTreeModel(c, p, n)
         topo = GeneralizedFatTree(c, p, n)
         sat = saturation_injection_rate(model, message_flits).flit_load
-        for frac in load_fractions:
-            wl = Workload.from_flit_load(frac * sat, message_flits)
+        # All load fractions of one configuration are a single batched solve.
+        workloads = [
+            Workload.from_flit_load(frac * sat, message_flits)
+            for frac in load_fractions
+        ]
+        model_latencies = model.latency_batch(
+            np.array([wl.injection_rate for wl in workloads]), message_flits
+        )
+        for frac, wl, model_latency in zip(load_fractions, workloads, model_latencies):
             cfg = SimConfig(
                 warmup_cycles=m.warmup_cycles,
                 measure_cycles=m.measure_cycles,
@@ -115,7 +124,7 @@ def run_generalized(
                     levels=n,
                     load_fraction=frac,
                     flit_load=frac * sat,
-                    model_latency=model.latency(wl),
+                    model_latency=float(model_latency),
                     sim_latency=res.latency_mean if res.stable else math.inf,
                     model_saturation=sat,
                 )

@@ -11,12 +11,32 @@ Implements the waiting-time building blocks of the paper:
   used to validate the approximations.
 """
 
-from .distributions import ScvMode, ServiceTime, scv_draper_ghosh, scv_for_mode
-from .markovian import erlang_c, md1_waiting_time, mm1_waiting_time, mmc_waiting_time
-from .mg1 import mg1_utilization, mg1_waiting_time, mg1_waiting_time_wormhole
+from .distributions import (
+    ScvMode,
+    ServiceTime,
+    scv_draper_ghosh,
+    scv_draper_ghosh_batch,
+    scv_for_mode,
+    scv_for_mode_batch,
+)
+from .markovian import (
+    erlang_c,
+    erlang_c_batch,
+    md1_waiting_time,
+    mm1_waiting_time,
+    mmc_waiting_time,
+    mmc_waiting_time_batch,
+)
+from .mg1 import (
+    mg1_utilization,
+    mg1_waiting_time,
+    mg1_waiting_time_batch,
+    mg1_waiting_time_wormhole,
+)
 from .mgm import (
     hokstad_mg2_waiting_time,
     mgm_waiting_time,
+    mgm_waiting_time_batch,
     mgm_waiting_time_wormhole,
 )
 
@@ -24,15 +44,21 @@ __all__ = [
     "ScvMode",
     "ServiceTime",
     "scv_draper_ghosh",
+    "scv_draper_ghosh_batch",
     "scv_for_mode",
+    "scv_for_mode_batch",
     "erlang_c",
+    "erlang_c_batch",
     "md1_waiting_time",
     "mm1_waiting_time",
     "mmc_waiting_time",
+    "mmc_waiting_time_batch",
     "mg1_utilization",
     "mg1_waiting_time",
+    "mg1_waiting_time_batch",
     "mg1_waiting_time_wormhole",
     "hokstad_mg2_waiting_time",
     "mgm_waiting_time",
+    "mgm_waiting_time_batch",
     "mgm_waiting_time_wormhole",
 ]

@@ -24,9 +24,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
-__all__ = ["ScvMode", "scv_draper_ghosh", "scv_for_mode", "ServiceTime"]
+__all__ = [
+    "ScvMode",
+    "scv_draper_ghosh",
+    "scv_draper_ghosh_batch",
+    "scv_for_mode",
+    "scv_for_mode_batch",
+    "ServiceTime",
+]
 
 
 class ScvMode(enum.Enum):
@@ -60,6 +69,25 @@ def scv_draper_ghosh(mean_service: float, message_flits: float) -> float:
     return (blocking / mean_service) ** 2
 
 
+def scv_draper_ghosh_batch(
+    mean_service: np.ndarray, message_flits: float
+) -> np.ndarray:
+    """Vectorized Draper–Ghosh SCV (Eq. 5) over an array of mean services.
+
+    Elementwise identical to :func:`scv_draper_ghosh` at every finite entry;
+    non-finite services (saturated points) yield an SCV of 0, matching the
+    solvers' scalar convention of suppressing the SCV once a wait diverges.
+    """
+    if message_flits <= 0:
+        raise ConfigurationError(f"message_flits must be positive, got {message_flits!r}")
+    service = np.asarray(mean_service, dtype=float)
+    finite = np.isfinite(service)
+    safe = np.where(finite, service, 1.0)
+    blocking = np.maximum(safe - message_flits, 0.0)
+    ratio = blocking / safe
+    return np.where(finite, ratio * ratio, 0.0)
+
+
 def scv_for_mode(mode: ScvMode, mean_service: float, message_flits: float) -> float:
     """Evaluate the SCV under the given approximation mode."""
     if mode is ScvMode.DRAPER_GHOSH:
@@ -68,6 +96,24 @@ def scv_for_mode(mode: ScvMode, mean_service: float, message_flits: float) -> fl
         return 0.0
     if mode is ScvMode.EXPONENTIAL:
         return 1.0
+    raise ConfigurationError(f"unknown ScvMode: {mode!r}")
+
+
+def scv_for_mode_batch(
+    mode: ScvMode, mean_service: np.ndarray, message_flits: float
+) -> np.ndarray:
+    """Vectorized :func:`scv_for_mode` over an array of mean service times.
+
+    Non-finite (saturated) entries evaluate to SCV 0 under every mode, so
+    batch solvers can keep broadcasting past saturation without NaNs.
+    """
+    service = np.asarray(mean_service, dtype=float)
+    if mode is ScvMode.DRAPER_GHOSH:
+        return scv_draper_ghosh_batch(service, message_flits)
+    if mode is ScvMode.DETERMINISTIC:
+        return np.zeros_like(service)
+    if mode is ScvMode.EXPONENTIAL:
+        return np.where(np.isfinite(service), 1.0, 0.0)
     raise ConfigurationError(f"unknown ScvMode: {mode!r}")
 
 

@@ -14,12 +14,16 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 __all__ = [
     "erlang_c",
+    "erlang_c_batch",
     "mm1_waiting_time",
     "mmc_waiting_time",
+    "mmc_waiting_time_batch",
     "md1_waiting_time",
 ]
 
@@ -51,6 +55,33 @@ def erlang_c(servers: int, offered_load: float) -> float:
     return b / (1.0 - rho + rho * b)
 
 
+def erlang_c_batch(servers: int, offered_load: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`erlang_c` over an array of offered loads.
+
+    Uses the same Erlang-B recurrence elementwise (identical operation
+    order, so each entry is bit-compatible with the scalar evaluation).
+    Entries at or past saturation (``a >= servers``) evaluate to 1.0.
+    """
+    if not isinstance(servers, int) or servers <= 0:
+        raise ConfigurationError(f"servers must be a positive integer, got {servers!r}")
+    a = np.asarray(offered_load, dtype=float)
+    if np.any(a < 0):
+        raise ConfigurationError("offered_load must be >= 0")
+    # Clamp saturated/non-finite entries for the recurrence; they are
+    # overwritten by the saturation mask below.
+    saturated = ~(a < servers)
+    safe = np.where(saturated, 0.0, a)
+    b = np.ones_like(safe)
+    for k in range(1, servers + 1):
+        ab = safe * b
+        b = ab / (k + ab)
+    rho = safe / servers
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = b / (1.0 - rho + rho * b)
+    out = np.where(safe == 0.0, 0.0, out)
+    return np.where(saturated, 1.0, out)
+
+
 def mm1_waiting_time(arrival_rate: float, mean_service: float) -> float:
     """Exact mean queue wait of an M/M/1 queue: ``rho x_bar / (1 - rho)``."""
     if mean_service <= 0:
@@ -74,6 +105,27 @@ def mmc_waiting_time(arrival_rate: float, mean_service: float, servers: int) -> 
     if a == 0:
         return 0.0
     return erlang_c(servers, a) * mean_service / (servers - a)
+
+
+def mmc_waiting_time_batch(
+    arrival_rate: np.ndarray, mean_service: np.ndarray, servers: int
+) -> np.ndarray:
+    """Vectorized :func:`mmc_waiting_time`: exact M/M/c waits over load arrays.
+
+    Broadcasts ``arrival_rate`` against ``mean_service``; saturated entries
+    (``a >= servers``) and non-finite services evaluate to ``inf``.
+    """
+    rate = np.asarray(arrival_rate, dtype=float)
+    service = np.asarray(mean_service, dtype=float)
+    finite = np.isfinite(service)
+    safe_service = np.where(finite, service, 1.0)
+    a = rate * safe_service
+    saturated = ~(a < servers)
+    safe_a = np.where(saturated, 0.0, a)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = erlang_c_batch(servers, safe_a) * safe_service / (servers - safe_a)
+    out = np.where(safe_a == 0.0, 0.0, out)
+    return np.where(saturated | ~finite, np.inf, out)
 
 
 def md1_waiting_time(arrival_rate: float, mean_service: float) -> float:

@@ -14,10 +14,17 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .distributions import scv_draper_ghosh
 
-__all__ = ["mg1_waiting_time", "mg1_waiting_time_wormhole", "mg1_utilization"]
+__all__ = [
+    "mg1_waiting_time",
+    "mg1_waiting_time_batch",
+    "mg1_waiting_time_wormhole",
+    "mg1_utilization",
+]
 
 
 def mg1_utilization(arrival_rate: float, mean_service: float) -> float:
@@ -57,6 +64,30 @@ def mg1_waiting_time(arrival_rate: float, mean_service: float, scv: float = 0.0)
     if rho == 0.0:
         return 0.0
     return rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho))
+
+
+def mg1_waiting_time_batch(
+    arrival_rate: np.ndarray, mean_service: np.ndarray, scv: np.ndarray
+) -> np.ndarray:
+    """Vectorized Pollaczek–Khinchine wait over arrays of operating points.
+
+    Broadcasts all three arguments together.  Elementwise identical to
+    :func:`mg1_waiting_time` (same operation order) at finite entries;
+    ``rho >= 1`` and non-finite services evaluate to ``inf`` per point, so
+    a load sweep crosses saturation without poisoning its finite entries.
+    """
+    rate = np.asarray(arrival_rate, dtype=float)
+    service = np.asarray(mean_service, dtype=float)
+    scv_arr = np.asarray(scv, dtype=float)
+    finite = np.isfinite(service)
+    safe_service = np.where(finite, service, 1.0)
+    rho = rate * safe_service
+    saturated = ~(rho < 1.0)
+    safe_rho = np.where(saturated, 0.0, rho)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = safe_rho * safe_service * (1.0 + scv_arr) / (2.0 * (1.0 - safe_rho))
+    out = np.where(safe_rho == 0.0, 0.0, out)
+    return np.where(saturated | ~finite, np.inf, out)
 
 
 def mg1_waiting_time_wormhole(

@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .distributions import scv_draper_ghosh
-from .markovian import mmc_waiting_time
+from .markovian import mmc_waiting_time, mmc_waiting_time_batch
 
 __all__ = [
     "hokstad_mg2_waiting_time",
     "mgm_waiting_time",
+    "mgm_waiting_time_batch",
     "mgm_waiting_time_wormhole",
 ]
 
@@ -96,6 +99,26 @@ def mgm_waiting_time(
     if math.isinf(w_mmm):
         return math.inf
     return (1.0 + scv) / 2.0 * w_mmm
+
+
+def mgm_waiting_time_batch(
+    total_arrival_rate: np.ndarray,
+    mean_service: np.ndarray,
+    servers: int,
+    scv: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`mgm_waiting_time` over arrays of operating points.
+
+    Same two-moment scaling of the exact M/M/m wait, broadcast over a load
+    axis; saturated and non-finite entries evaluate to ``inf`` per point.
+    """
+    service = np.asarray(mean_service, dtype=float)
+    scv_arr = np.asarray(scv, dtype=float)
+    w_mmm = mmc_waiting_time_batch(total_arrival_rate, service, servers)
+    diverged = ~np.isfinite(w_mmm)
+    safe_w = np.where(diverged, 0.0, w_mmm)
+    out = (1.0 + scv_arr) / 2.0 * safe_w
+    return np.where(diverged | ~np.isfinite(service), np.inf, out)
 
 
 def mgm_waiting_time_wormhole(

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import ConvergenceError
 
-__all__ = ["FixedPointResult", "fixed_point"]
+__all__ = ["FixedPointResult", "fixed_point", "fixed_point_batch"]
 
 
 @dataclass(frozen=True)
@@ -91,4 +91,55 @@ def fixed_point(
         return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
     raise ConvergenceError(
         f"fixed point not reached after {max_iter} iterations (residual {residual:.3e})"
+    )
+
+
+def fixed_point_batch(
+    func: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 10_000,
+    damping: float = 1.0,
+    allow_divergence: bool = False,
+) -> FixedPointResult:
+    """Column-batched fixed point: one independent iteration per column.
+
+    ``x0`` has shape ``(S, K)`` — ``S`` state components solved jointly for
+    each of ``K`` independent operating points — and ``func`` maps the full
+    matrix to a matrix of the same shape.  Unlike :func:`fixed_point`, a
+    non-finite entry does not end the whole iteration: the offending
+    *column* is frozen at ``inf`` (per-point saturation) and excluded from
+    the residual, while the remaining columns keep iterating until every
+    active column's update drops below ``tol``.
+
+    ``func`` must tolerate ``inf`` columns in its input (the queueing maps
+    used here do: a diverged service time yields diverged waits).
+    """
+    if not (0.0 < damping <= 1.0):
+        raise ValueError(f"damping must be in (0, 1], got {damping!r}")
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 2:
+        raise ValueError(f"x0 must be 2-D (states, points), got shape {x.shape}")
+    n_points = x.shape[1]
+    active = np.ones(n_points, dtype=bool)
+    residual = np.inf
+    for it in range(1, max_iter + 1):
+        fx = np.asarray(func(x), dtype=float)
+        diverged = active & ~np.all(np.isfinite(fx), axis=0)
+        if np.any(diverged):
+            x[:, diverged] = np.inf
+            active &= ~diverged
+        if not np.any(active):
+            return FixedPointResult(value=x, iterations=it, residual=0.0, converged=True)
+        new = (1.0 - damping) * x[:, active] + damping * fx[:, active]
+        residual = float(np.max(np.abs(new - x[:, active]))) if new.size else 0.0
+        x[:, active] = new
+        if residual <= tol:
+            return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
+    if allow_divergence:
+        return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
+    raise ConvergenceError(
+        f"batched fixed point not reached after {max_iter} iterations "
+        f"(residual {residual:.3e}, active points {int(np.sum(active))}/{n_points})"
     )

@@ -11,6 +11,13 @@ parallelize trivially across processes.  :func:`parallel_map` wraps
 * graceful serial fallback for ``processes <= 1``, tiny inputs, or
   platforms without ``fork`` — results are bit-identical either way
   because every task carries its own seeded RNG stream.
+
+The division of labour with the batch solver engine: *model* sweeps batch
+the whole load grid inside one process (one NumPy pass, see
+:mod:`repro.core.batch`), while *simulator* sweeps — whose cost is
+per-point — fan the grid out across worker processes with
+:func:`parallel_map` (``chunksize`` trades dispatch overhead against
+dynamic load balance).
 """
 
 from __future__ import annotations

@@ -38,6 +38,19 @@ class TestParallelMap:
     def test_empty(self):
         assert parallel_map(_square, [], processes=4) == []
 
+    def test_chunksize_greater_than_one_preserves_results_and_order(self):
+        items = [float(x) for x in range(23)]
+        expected = [x * x for x in items]
+        for chunksize in (2, 5, 8, 23, 50):
+            out = parallel_map(_square, items, processes=3, chunksize=chunksize)
+            assert out == expected, f"chunksize={chunksize}"
+
+    def test_chunksize_matches_serial_on_grid_sweep(self):
+        items = list(np.linspace(0.0, 4.0, 17))
+        serial = parallel_map(_square, items, processes=1)
+        chunked = parallel_map(_square, items, processes=4, chunksize=5)
+        assert serial == chunked
+
 
 @pytest.mark.skipif(os.cpu_count() == 1, reason="needs multiple cores to be meaningful")
 class TestParallelCurve:
