@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Beyond uniform traffic: where the analytical model's assumptions end.
+"""Beyond uniform traffic: pattern-aware model vs. simulation.
 
-The paper's model assumes uniformly random destinations (assumption 1).
-Real workloads are rarely uniform, and the simulator substrate supports
-richer patterns.  This example drives a 64-processor fat-tree with four
-destination patterns at the same offered load and compares measured
-latency against the uniform-traffic model prediction:
+The paper's closed-form model assumes uniformly random destinations
+(assumption 1), but its Section 2 framework only needs per-channel rates
+and routing probabilities — which ``repro.traffic`` derives for any
+destination pattern by propagating a :class:`TrafficSpec` through the
+fat-tree's routing.  This example drives a 64-processor fat-tree with six
+patterns at the same offered load and compares each *pattern-aware*
+analytical prediction against simulation (plus the uniform-model
+prediction, to show what assuming uniformity would get wrong):
 
-* ``uniform``     — the paper's assumption; the model applies;
-* ``quad-local``  — all traffic stays under one level-1 switch (shorter
+* ``uniform``      — the paper's assumption; all three columns agree;
+* ``quad-local``   — all traffic stays under one level-1 switch (2-hop
   paths, no upper-level contention -> the uniform model overestimates);
-* ``permutation`` — one fixed partner per source (less destination
-  contention than uniform at the ejection channels);
-* ``hotspot``     — 20% of traffic to one node (the hot ejection channel
-  is driven to the edge of saturation; latency explodes).
+* ``permutation``  — one fixed partner per source;
+* ``transpose``    — swap address-bit halves (silent fixed points);
+* ``bit-reversal`` — reverse address bits;
+* ``hotspot``      — 20% of traffic to one node: the hot ejection channel
+  runs ~13x its fair share, latency explodes, and only the pattern-aware
+  model sees it coming.
 
 Run:  python examples/traffic_patterns.py
 """
@@ -22,12 +27,19 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro import (
+    BitReversalSpec,
     ButterflyFatTree,
     ButterflyFatTreeModel,
-    Pattern,
+    HotspotSpec,
+    PermutationSpec,
     PoissonTraffic,
+    QuadLocalSpec,
     SimConfig,
+    TransposeSpec,
+    UniformSpec,
     Workload,
     simulate,
 )
@@ -44,30 +56,44 @@ def main() -> None:
     uniform_prediction = model.latency(wl)
 
     rows = []
-    for pattern, kwargs in (
-        (Pattern.UNIFORM, {}),
-        (Pattern.QUAD_LOCAL, {}),
-        (Pattern.PERMUTATION, {}),
-        (Pattern.HOTSPOT, {"hotspot_fraction": 0.2, "hotspot_target": 0}),
+    for spec in (
+        UniformSpec(),
+        QuadLocalSpec(),
+        PermutationSpec(seed=99),
+        TransposeSpec(),
+        BitReversalSpec(),
+        HotspotSpec(fraction=0.2, target=0),
     ):
-        traffic = PoissonTraffic(n, wl, seed=99, pattern=pattern, **kwargs)
+        # The same spec drives both sides: the analytical per-channel model...
+        pattern_model = model.traffic_model(spec, flits)
+        predicted = float(
+            pattern_model.latency_batch(np.array([wl.injection_rate]), flits)[0]
+        )
+        # ...and the simulator's traffic source.
+        traffic = PoissonTraffic(n, wl, seed=99, spec=spec)
         cfg = SimConfig(
             warmup_cycles=2_000, measure_cycles=8_000, seed=99, drain_factor=2.0
         )
         res = simulate(topo, wl, cfg, traffic=traffic)
         latency = res.latency_mean if res.stable else math.inf
+        err = (
+            (predicted - latency) / latency
+            if math.isfinite(latency) and math.isfinite(predicted)
+            else math.nan
+        )
         rows.append(
             (
-                pattern.value,
+                spec.name,
+                predicted,
                 latency,
-                res.delivered_flit_rate,
+                f"{err:+.1%}" if math.isfinite(err) else "-",
                 "yes" if res.stable else "no (saturated)",
             )
         )
 
     print(
         format_table(
-            ["pattern", "sim latency", "delivered fl/cyc/PE", "steady state"],
+            ["pattern", "pattern model", "sim latency", "err", "steady state"],
             rows,
             title=(
                 f"N={n}, {flits}-flit, offered {load} flits/cycle/PE "
@@ -76,14 +102,17 @@ def main() -> None:
         )
     )
     print(
-        "\nUniform matches the model; quad-local beats it (2-hop paths only);\n"
-        "a random permutation behaves close to uniform on this topology; the\n"
-        "hotspot pattern drives one ejection channel to ~13x its fair share\n"
-        "— utilization ~1, so latency explodes ~30x and delivered throughput\n"
-        "starts falling below the offered load.  Extending the analytical\n"
-        "model to non-uniform rates means redoing Section 3.2's rate\n"
-        "derivation per channel — the Section 2 framework itself (and\n"
-        "repro.core.generic_model) already accepts arbitrary per-stage rates."
+        "\nThe pattern-aware model tracks every scenario the uniform model\n"
+        "cannot: quad-local's 2-hop paths, the lighter ejection contention\n"
+        "of fixed permutations (transpose/bit-reversal keep their fixed\n"
+        "points silent), and the 20% hotspot, whose hot ejection channel\n"
+        "runs ~13x its fair share at utilization ~1 — the pattern model\n"
+        "reports outright saturation while the simulator limps along at\n"
+        "~10x the uniform latency on the very edge of stability.\n"
+        "Each pattern's prediction comes from propagating the destination\n"
+        "distribution through the fat-tree's routing into per-channel rates\n"
+        "(repro.traffic), then solving the paper's Section 2 recursion on\n"
+        "the resulting channel graph in one batched pass."
     )
 
 

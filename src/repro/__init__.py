@@ -24,6 +24,7 @@ from .core import (
     BftSolution,
     ButterflyFatTreeModel,
     ChannelGraphModel,
+    EntryPoint,
     GeneralizedFatTreeModel,
     LatencyCurve,
     ModelVariant,
@@ -70,6 +71,22 @@ from .topology import (
     bft_average_distance,
     bft_nca_level,
 )
+from .traffic import (
+    BitComplementSpec,
+    BitReversalSpec,
+    BurstyArrivals,
+    HotspotSpec,
+    PermutationSpec,
+    QuadLocalSpec,
+    TornadoSpec,
+    TrafficSpec,
+    TransposeSpec,
+    UniformSpec,
+    available_patterns,
+    bft_traffic_stage_graph,
+    hypercube_traffic_stage_graph,
+    make_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +97,7 @@ __all__ = [
     "BftSolution",
     "ButterflyFatTreeModel",
     "ChannelGraphModel",
+    "EntryPoint",
     "LatencyCurve",
     "ModelVariant",
     "SaturationResult",
@@ -106,6 +124,20 @@ __all__ = [
     "KaryNCube",
     "bft_average_distance",
     "bft_nca_level",
+    "BitComplementSpec",
+    "BitReversalSpec",
+    "BurstyArrivals",
+    "HotspotSpec",
+    "PermutationSpec",
+    "QuadLocalSpec",
+    "TornadoSpec",
+    "TrafficSpec",
+    "TransposeSpec",
+    "UniformSpec",
+    "available_patterns",
+    "bft_traffic_stage_graph",
+    "hypercube_traffic_stage_graph",
+    "make_spec",
     "BufferedWormholeSimulator",
     "EventDrivenWormholeSimulator",
     "FlitLevelWormholeSimulator",

@@ -8,7 +8,13 @@ Gives downstream users the main entry points without writing Python:
 * ``simulate``    — one simulation run (event/flit/buffered engine);
 * ``info``        — topology summary;
 * ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
-  ablations, other-networks, crosscheck, generalized, buffering).
+  ablations, other-networks, crosscheck, generalized, buffering, traffic).
+
+``model``, ``sweep``, ``saturation`` and ``simulate`` all accept
+``--pattern`` (plus ``--hotspot-fraction`` / ``--hotspot-target``): the
+analytical commands then solve the pattern-aware per-channel model, and
+``simulate`` drives the matching non-uniform traffic source, so the two
+sides stay comparable for every registered scenario.
 
 All output is plain text on stdout; exit status 0 on success, 2 on bad
 arguments (argparse convention).
@@ -27,9 +33,11 @@ from .core.throughput import saturation_injection_rate
 from .errors import ReproError
 from .simulation.buffered_sim import BufferedWormholeSimulator
 from .simulation.flit_sim import FlitLevelWormholeSimulator
+from .simulation.traffic import PoissonTraffic
 from .simulation.wormhole_sim import EventDrivenWormholeSimulator
 from .topology.butterfly_fattree import ButterflyFatTree
 from .topology.properties import describe_topology
+from .traffic.spec import available_patterns, make_spec
 from .util.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -44,6 +52,7 @@ _EXPERIMENTS = {
     "generalized": "run_generalized",
     "buffering": "run_buffering",
     "service-times": "run_service_times",
+    "traffic": "run_traffic_scenarios",
 }
 
 _SIMULATORS = {
@@ -61,6 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(Greenberg & Guan, ICPP 1997 reproduction).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_pattern(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--pattern",
+            choices=available_patterns(),
+            default="uniform",
+            help="destination pattern (traffic scenario)",
+        )
+        p.add_argument(
+            "--hotspot-fraction",
+            type=float,
+            default=0.1,
+            help="hotspot pattern: probability of addressing the hot node",
+        )
+        p.add_argument(
+            "--hotspot-target",
+            type=int,
+            default=0,
+            help="hotspot pattern: the hot node",
+        )
 
     def add_common(p: argparse.ArgumentParser, with_load: bool = True) -> None:
         p.add_argument(
@@ -81,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                 default=0.02,
                 help="offered load in flits/cycle/PE (Figure-3 units)",
             )
+        add_pattern(p)
 
     p_model = sub.add_parser("model", help="evaluate the analytical model once")
     add_common(p_model)
@@ -104,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="16,32,64",
         help="comma-separated message lengths",
     )
+    add_pattern(p_sat)
 
     p_sim = sub.add_parser("simulate", help="run one simulation")
     add_common(p_sim)
@@ -129,60 +160,114 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _spec_from_args(args):
+    """The TrafficSpec selected by --pattern, or None for plain uniform.
+
+    Uniform keeps the closed-form fast path (and byte-identical output with
+    older versions); every other pattern builds a spec for the pattern-aware
+    model/simulator.
+    """
+    if args.pattern == "uniform":
+        return None
+    return make_spec(
+        args.pattern,
+        hotspot_fraction=args.hotspot_fraction,
+        hotspot_target=args.hotspot_target,
+    )
+
+
 def _cmd_model(args) -> str:
+    import numpy as np
+
     model = ButterflyFatTreeModel(args.processors)
     wl = Workload.from_flit_load(args.load, args.flits)
-    solution = model.solve(wl)
-    rows = list(solution.breakdown().items())
-    rows.append(("saturated", solution.saturated))
+    spec = _spec_from_args(args)
+    if spec is not None:
+        tm = model.traffic_model(spec, args.flits)
+        latency = float(tm.latency_batch(np.array([wl.injection_rate]), args.flits)[0])
+        rows = [("latency", latency), ("saturated", not (latency < float("inf")))]
+        title = f"pattern={spec.name}, load={args.load} fl/cyc/PE"
+    else:
+        solution = model.solve(wl)
+        rows = list(solution.breakdown().items())
+        rows.append(("saturated", solution.saturated))
+        title = f"load={args.load} fl/cyc/PE"
     return "\n".join(
-        [
-            model.describe(),
-            format_table(["component", "value"], rows, title=f"load={args.load} fl/cyc/PE"),
-        ]
+        [model.describe(), format_table(["component", "value"], rows, title=title)]
     )
 
 
 def _cmd_sweep(args) -> str:
+    from .errors import ConfigurationError
+
     model = ButterflyFatTreeModel(args.processors)
-    grid = load_grid_to_saturation(model, args.flits, n_points=args.points)
+    spec = _spec_from_args(args)
+    if args.scalar and spec is not None:
+        raise ConfigurationError(
+            "--scalar (the per-point batch-engine cross-check) only applies "
+            "to the uniform closed-form model; drop it or drop --pattern"
+        )
+    # A pattern builds the per-channel solver once; grid and sweep then both
+    # go through its batch engine.
+    evaluator = model.traffic_model(spec, args.flits) if spec is not None else model
+    grid = load_grid_to_saturation(evaluator, args.flits, n_points=args.points)
     # Handing latency_sweep the model routes the grid through the batch
     # engine (one vectorized solve); a plain wrapper forces per-point mode.
-    evaluator = (lambda wl: model.latency(wl)) if args.scalar else model
+    if args.scalar:
+        evaluator = lambda wl: model.latency(wl)
     curve = latency_sweep(evaluator, args.flits, grid)
+    suffix = f", {spec.name}" if spec is not None else ""
     return format_table(
         ["load (fl/cyc/PE)", "latency (cycles)"],
         curve.as_rows(),
-        title=f"N={args.processors}, {args.flits}-flit",
+        title=f"N={args.processors}, {args.flits}-flit{suffix}",
     )
 
 
 def _cmd_saturation(args) -> str:
     model = ButterflyFatTreeModel(args.processors)
+    spec = _spec_from_args(args)
     rows = []
     for flits in (int(x) for x in args.flits.split(",")):
-        sat = saturation_injection_rate(model, flits)
+        sat = saturation_injection_rate(model, flits, spec=spec)
         rows.append((flits, sat.injection_rate, sat.flit_load))
+    suffix = f", {spec.name}" if spec is not None else ""
     return format_table(
         ["flits", "lambda0 (msgs/cyc/PE)", "flit load (fl/cyc/PE)"],
         rows,
-        title=f"Saturation, N={args.processors}",
+        title=f"Saturation, N={args.processors}{suffix}",
     )
 
 
 def _cmd_simulate(args) -> str:
+    import numpy as np
+
     topo = ButterflyFatTree(args.processors)
     wl = Workload.from_flit_load(args.load, args.flits)
     cfg = SimConfig(
         warmup_cycles=args.warmup, measure_cycles=args.measure, seed=args.seed
     )
+    spec = _spec_from_args(args)
     sim_cls = _SIMULATORS[args.simulator]
-    result = sim_cls(topo, wl, cfg, keep_samples=False).run()
+    kwargs = {}
+    if spec is not None:
+        kwargs["traffic"] = PoissonTraffic(
+            args.processors, wl, seed=args.seed, spec=spec
+        )
+    result = sim_cls(topo, wl, cfg, keep_samples=False, **kwargs).run()
     model = ButterflyFatTreeModel(args.processors)
+    if spec is not None:
+        tm = model.traffic_model(spec, args.flits)
+        prediction = float(
+            tm.latency_batch(np.array([wl.injection_rate]), args.flits)[0]
+        )
+    else:
+        prediction = model.latency(wl)
     lines = [
-        f"simulator: {args.simulator}",
+        f"simulator: {args.simulator}"
+        + (f" (pattern: {spec.name})" if spec is not None else ""),
         result.summary(),
-        f"model prediction: {model.latency(wl):.3f} cycles",
+        f"model prediction: {prediction:.3f} cycles",
     ]
     return "\n".join(lines)
 

@@ -24,6 +24,7 @@ from .generalized_model import (
 )
 from .generic_model import (
     ChannelGraphModel,
+    EntryPoint,
     Stage,
     StageBatchSolution,
     StageSolution,
@@ -35,12 +36,19 @@ from .generic_model import (
 from .rates import (
     bft_channel_rates,
     bft_channel_rates_batch,
+    bft_channel_rates_for_matrix,
+    bft_matrix_up_crossings,
     bft_total_up_crossings,
     conditional_up_probability,
     down_probability,
     up_probability,
 )
-from .sweep import LatencyCurve, latency_sweep, load_grid_to_saturation
+from .sweep import (
+    LatencyCurve,
+    latency_sweep,
+    load_grid_to_saturation,
+    resolve_traffic_model,
+)
 from .throughput import (
     SaturationResult,
     saturation_flit_load,
@@ -63,6 +71,7 @@ __all__ = [
     "generalized_channel_rates",
     "generalized_up_probability",
     "ChannelGraphModel",
+    "EntryPoint",
     "Stage",
     "StageSolution",
     "Transition",
@@ -70,6 +79,8 @@ __all__ = [
     "generalized_fattree_stage_graph",
     "hypercube_stage_graph",
     "bft_channel_rates",
+    "bft_channel_rates_for_matrix",
+    "bft_matrix_up_crossings",
     "bft_total_up_crossings",
     "conditional_up_probability",
     "down_probability",
@@ -77,6 +88,7 @@ __all__ = [
     "LatencyCurve",
     "latency_sweep",
     "load_grid_to_saturation",
+    "resolve_traffic_model",
     "SaturationResult",
     "saturation_flit_load",
     "saturation_injection_rate",

@@ -315,6 +315,45 @@ class ButterflyFatTreeModel:
         """Vectorized Eq. 26 stability test (one bool per injection rate)."""
         return self.solve_batch(loads, message_flits).stable_mask
 
+    def traffic_model(
+        self, spec, message_flits: int, *, reference_rate: float | None = None
+    ):
+        """Pattern-aware per-channel solver for this network and worm length.
+
+        ``spec`` is a :class:`~repro.traffic.spec.TrafficSpec`; the result
+        is a :class:`~repro.core.generic_model.ChannelGraphModel` whose
+        stages are the *physical* channels carrying the pattern's flow
+        (so hotspots and permutations see their hot channels, not class
+        averages).  It exposes ``latency_batch`` / ``stability_batch`` and
+        therefore sweeps and saturation-searches through the batch engine
+        exactly like this model; ``latency_sweep(..., spec=...)`` and
+        ``saturation_injection_rate(..., spec=...)`` build it implicitly.
+
+        The graph shares this model's variant switches except
+        ``conditional_up_probability``: flow conservation forces the exact
+        conditional branching, so the paper's unconditional approximation
+        has no per-channel analogue.
+
+        ``reference_rate`` is the (arbitrary, positive) injection rate the
+        graph is built at; rates scale linearly, so it only anchors the
+        load-grid conversion.
+        """
+        from ..traffic.analytic import bft_traffic_stage_graph
+
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        rate = (
+            reference_rate
+            if reference_rate is not None
+            else 1.0 / (100.0 * message_flits)
+        )
+        return bft_traffic_stage_graph(
+            self.num_processors,
+            Workload(message_flits, rate),
+            spec,
+            variant=self.variant,
+        )
+
     def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
         """Latency with load given in Figure-3 units (flits/cycle/PE)."""
         return self.latency(Workload.from_flit_load(flit_load, message_flits))

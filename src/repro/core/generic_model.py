@@ -59,6 +59,7 @@ __all__ = [
     "Stage",
     "StageSolution",
     "StageBatchSolution",
+    "EntryPoint",
     "ChannelGraphModel",
     "bft_stage_graph",
     "generalized_fattree_stage_graph",
@@ -157,6 +158,32 @@ class StageSolution:
 
 
 @dataclass(frozen=True)
+class EntryPoint:
+    """One injection stage of a (possibly asymmetric) workload.
+
+    ``weight`` is the share of total traffic injected through the stage
+    (normalized by the model); ``distance`` is the mean channel count —
+    injection and ejection channels included — of messages entering there,
+    so the Eq. 25 latency generalizes to
+    ``L = sum_e w_e * (W_e + x_e + D_e) - 1``.
+    """
+
+    name: str
+    weight: float
+    distance: float
+
+    def __post_init__(self) -> None:
+        if not (self.weight > 0.0) or not math.isfinite(self.weight):
+            raise ConfigurationError(
+                f"entry {self.name!r}: weight must be positive, got {self.weight!r}"
+            )
+        if not (self.distance > 0.0) or not math.isfinite(self.distance):
+            raise ConfigurationError(
+                f"entry {self.name!r}: distance must be positive, got {self.distance!r}"
+            )
+
+
+@dataclass(frozen=True)
 class StageBatchSolution:
     """One stage's (service, wait) arrays over a batch of operating points.
 
@@ -185,12 +212,24 @@ class ChannelGraphModel:
         Worm length ``s/f``.
     entry:
         Name of the injection stage; its wait/service feed the latency
-        formula (Eq. 1).
+        formula (Eq. 1).  Symmetric-workload form — exactly one of
+        ``entry`` and ``entries`` must be given.
     average_distance:
         Mean path length ``D_bar`` in channels (including injection and
-        ejection channels), used by Eq. 2.
+        ejection channels), used by Eq. 2.  Required with ``entry``.
+    entries:
+        Asymmetric-workload form: several weighted :class:`EntryPoint`
+        records (one per injection stage), each with its own mean channel
+        distance.  Latency and the Eq. 26 stability test are evaluated per
+        entry and traffic-weighted (the pattern-aware builders in
+        :mod:`repro.traffic.analytic` use this).
     variant:
         Approximation switches shared with the closed-form model.
+    reference_rate:
+        The per-PE injection rate the graph's stage rates were built at;
+        ``latency_batch`` / ``stability_batch`` convert absolute load grids
+        to scale factors against it.  Defaults to the entry stage's
+        ``rate_per_server``.
     """
 
     def __init__(
@@ -198,9 +237,11 @@ class ChannelGraphModel:
         stages: list[Stage],
         *,
         message_flits: int,
-        entry: str,
-        average_distance: float,
+        entry: str | None = None,
+        average_distance: float | None = None,
+        entries: tuple[EntryPoint, ...] | None = None,
         variant: ModelVariant | None = None,
+        reference_rate: float | None = None,
     ) -> None:
         names = [s.name for s in stages]
         if len(set(names)) != len(names):
@@ -212,16 +253,37 @@ class ChannelGraphModel:
                     raise ConfigurationError(
                         f"stage {s.name!r} references unknown target {t.target!r}"
                     )
-        if entry not in self.stages:
-            raise ConfigurationError(f"entry stage {entry!r} not defined")
+        if (entry is None) == (entries is None):
+            raise ConfigurationError(
+                "exactly one of entry and entries must be provided"
+            )
+        if entries is None:
+            if average_distance is None:
+                raise ConfigurationError("average_distance is required with entry")
+            entries = (EntryPoint(entry, 1.0, average_distance),)
+        elif not entries:
+            raise ConfigurationError("entries must be non-empty")
+        total_weight = sum(e.weight for e in entries)
+        entries = tuple(
+            EntryPoint(e.name, e.weight / total_weight, e.distance) for e in entries
+        )
+        for e in entries:
+            if e.name not in self.stages:
+                raise ConfigurationError(f"entry stage {e.name!r} not defined")
         if not isinstance(message_flits, int) or message_flits <= 0:
             raise ConfigurationError("message_flits must be a positive integer")
+        if average_distance is None:
+            average_distance = sum(e.weight * e.distance for e in entries)
         if average_distance <= 0:
             raise ConfigurationError("average_distance must be positive")
+        if reference_rate is not None and reference_rate <= 0.0:
+            raise ConfigurationError("reference_rate must be positive")
         self.message_flits = message_flits
-        self.entry = entry
+        self.entries = entries
+        self.entry = entry if entry is not None else max(entries, key=lambda e: e.weight).name
         self.average_distance = average_distance
         self.variant = variant or ModelVariant.paper()
+        self.reference_rate = reference_rate
         self._order = self._topological_order()
         # The graph is immutable, so the unit-scale solution is computed at
         # most once per instance (latency() and injection_service() share it).
@@ -362,45 +424,112 @@ class ChannelGraphModel:
 
     # --- outputs ------------------------------------------------------------------
 
-    def latency(self) -> float:
-        """Average latency via Eqs. 1-2 (``inf`` past saturation)."""
-        solved = self.solve()
-        entry = solved[self.entry]
-        if not entry.finite:
-            return math.inf
-        return entry.wait + entry.service + self.average_distance - 1.0
-
-    def injection_service(self) -> float:
-        """Entry-stage service time (drives the Eq. 26 saturation test)."""
-        return self.solve()[self.entry].service
-
-    def latency_batch(self, loads, message_flits: int | None = None) -> np.ndarray:
-        """Average latency over a vector of injection rates in one pass.
-
-        ``loads`` are absolute injection rates ``lambda_0`` per PE; they are
-        converted to scale factors against the entry stage's built rate
-        (which therefore must be positive).  ``message_flits``, when given,
-        must match the graph's fixed worm length — the parameter exists for
-        signature parity with the closed-form models' ``latency_batch``.
-        """
+    def _check_flits(self, message_flits: int | None) -> None:
         if message_flits is not None and message_flits != self.message_flits:
             raise ConfigurationError(
                 f"stage graph was built for message_flits={self.message_flits}, "
                 f"got {message_flits}"
             )
-        reference = self.stages[self.entry].rate_per_server
+
+    def _reference_rate(self) -> float:
+        reference = (
+            self.reference_rate
+            if self.reference_rate is not None
+            else self.stages[self.entry].rate_per_server
+        )
         if reference <= 0.0:
             raise ConfigurationError(
-                "latency_batch needs a graph built at a positive entry rate "
-                "(rates scale linearly from that reference)"
+                "load-grid evaluation needs a graph built at a positive "
+                "reference rate (rates scale linearly from that reference)"
             )
+        return reference
+
+    def _finite_mask(self, solved: dict[str, StageBatchSolution]) -> np.ndarray:
+        """Per-point steady state over *all* stages (matching the closed-form
+        models, whose solutions count as saturated when any channel class
+        diverged)."""
+        masks = [s.finite_mask for s in solved.values()]
+        out = masks[0].copy()
+        for m in masks[1:]:
+            out &= m
+        return out
+
+    def _latency_from(self, solved: dict[str, StageBatchSolution]) -> np.ndarray:
+        """Traffic-weighted Eq. 25 over the entry points (``inf`` past saturation)."""
+        finite = self._finite_mask(solved)
+        total = np.zeros_like(finite, dtype=float)
+        with np.errstate(invalid="ignore"):
+            for e in self.entries:
+                stage = solved[e.name]
+                total = total + e.weight * (stage.wait + stage.service + e.distance)
+        return np.where(finite, total - 1.0, np.inf)
+
+    def latency(self) -> float:
+        """Average latency via Eqs. 1-2 (``inf`` past saturation).
+
+        With several entry points this is the traffic-weighted mean of the
+        per-source latencies ``W_e + x_e + D_e - 1``.
+        """
+        solved = self.solve()
+        if any(not s.finite for s in solved.values()):
+            return math.inf
+        return (
+            sum(
+                e.weight * (solved[e.name].wait + solved[e.name].service + e.distance)
+                for e in self.entries
+            )
+            - 1.0
+        )
+
+    def injection_service(self) -> float:
+        """Traffic-weighted entry service time (drives the Eq. 26 test)."""
+        solved = self.solve()
+        return sum(e.weight * solved[e.name].service for e in self.entries)
+
+    def latency_batch(self, loads, message_flits: int | None = None) -> np.ndarray:
+        """Average latency over a vector of injection rates in one pass.
+
+        ``loads`` are absolute injection rates ``lambda_0`` per PE; they are
+        converted to scale factors against :attr:`reference_rate` (by
+        default the entry stage's built rate, which therefore must be
+        positive).  ``message_flits``, when given, must match the graph's
+        fixed worm length — the parameter exists for signature parity with
+        the closed-form models' ``latency_batch``.
+        """
+        self._check_flits(message_flits)
         rates = as_injection_rates(loads)
+        return self._latency_from(self.solve_batch(rates / self._reference_rate()))
+
+    def stability_batch(self, loads, message_flits: int | None = None) -> np.ndarray:
+        """Vectorized Eq. 26 stability test (one bool per injection rate).
+
+        A point is stable when every stage admits a steady state *and*
+        every entry keeps up with its own offered rate
+        (``lambda_e * x_e < 1``).  This is the API the vectorized
+        saturation search (:func:`repro.core.throughput.saturation_injection_rate`)
+        consumes, so stage-graph models — including the pattern-aware ones —
+        saturation-search through the batch engine.
+        """
+        self._check_flits(message_flits)
+        rates = as_injection_rates(loads)
+        reference = self._reference_rate()
         solved = self.solve_batch(rates / reference)
-        entry = solved[self.entry]
-        return np.where(
-            entry.finite_mask,
-            entry.wait + entry.service + self.average_distance - 1.0,
-            np.inf,
+        ok = self._finite_mask(solved)
+        for e in self.entries:
+            stage = solved[e.name]
+            entry_rate = self.stages[e.name].rate_per_server * rates / reference
+            with np.errstate(invalid="ignore"):
+                keeps_up = entry_rate * stage.service < 1.0
+            ok &= np.where(np.isfinite(stage.service), keeps_up, False)
+        return ok
+
+    def is_stable(self, workload: Workload) -> bool:
+        """Eq. 26 stability of one operating point (enables saturation search)."""
+        if not isinstance(workload, Workload):
+            raise ConfigurationError(f"workload must be a Workload, got {workload!r}")
+        self._check_flits(workload.message_flits)
+        return bool(
+            self.stability_batch(np.array([workload.injection_rate]))[0]
         )
 
 

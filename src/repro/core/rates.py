@@ -32,6 +32,8 @@ __all__ = [
     "bft_channel_rates",
     "bft_channel_rates_batch",
     "bft_total_up_crossings",
+    "bft_matrix_up_crossings",
+    "bft_channel_rates_for_matrix",
 ]
 
 
@@ -104,6 +106,56 @@ def bft_channel_rates_batch(levels: int, injection_rates: np.ndarray) -> np.ndar
     ls = np.arange(levels)
     probs = (4.0**levels - 4.0**ls) / (4.0**levels - 1.0)
     return (inj[np.newaxis, :] * probs[:, np.newaxis]) * (2.0**ls)[:, np.newaxis]
+
+
+def bft_matrix_up_crossings(levels: int, matrix: np.ndarray) -> np.ndarray:
+    """Aggregate level crossings of an arbitrary destination distribution.
+
+    Generalizes the counting argument behind Eq. 14: element ``l`` is the
+    total message mass (per unit ``lambda_0``) crossing from level ``l`` to
+    ``l + 1`` — every message whose nearest common ancestor with its source
+    sits above level ``l``, i.e. whose destination lies outside the
+    source's level-``l`` leaf block.  ``matrix`` is a
+    :meth:`~repro.traffic.spec.TrafficSpec.destination_matrix`-style
+    ``(N, N)`` row-stochastic (or row-zero for silent sources) array.
+    """
+    _check_levels(levels)
+    n = 4**levels
+    m = np.asarray(matrix, dtype=float)
+    if m.shape != (n, n):
+        raise ConfigurationError(f"matrix must have shape ({n}, {n}), got {m.shape}")
+    if np.any(m < 0):
+        raise ConfigurationError("matrix entries must be non-negative")
+    total = float(m.sum())
+    crossings = np.empty(levels)
+    for l in range(levels):
+        block = 4**l
+        blocks = m.reshape(n // block, block, n // block, block)
+        # mass staying inside a level-l block never crosses level l
+        within = float(np.einsum("ijik->", blocks))
+        crossings[l] = total - within
+    return crossings
+
+
+def bft_channel_rates_for_matrix(
+    levels: int, injection_rate: float, matrix: np.ndarray
+) -> np.ndarray:
+    """Class-*average* per-link rates under an arbitrary destination matrix.
+
+    The Eq. 14 generalization: the ``bft_matrix_up_crossings`` mass at
+    level ``l`` spreads over the ``4**n / 2**l`` up links of that level, so
+    the mean per-link rate is ``lambda_0 * crossings_l * 2**l / 4**n`` (by
+    flow balance the same average holds for the mirroring down links).
+    For the uniform matrix this reproduces :func:`bft_channel_rates`
+    exactly.  Note this is the *average* over a class — heterogeneous
+    patterns (hotspots) have per-channel spreads that only the flow-level
+    accounting in :mod:`repro.traffic.flows` resolves.
+    """
+    if injection_rate < 0:
+        raise ConfigurationError(f"injection_rate must be >= 0, got {injection_rate!r}")
+    crossings = bft_matrix_up_crossings(levels, matrix)
+    ls = np.arange(levels)
+    return injection_rate * crossings * (2.0**ls) / (4.0**levels)
 
 
 def bft_total_up_crossings(levels: int, injection_rate: float) -> np.ndarray:

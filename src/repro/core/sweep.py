@@ -24,9 +24,14 @@ import numpy as np
 from ..config import Workload
 from ..errors import ConfigurationError
 from ..util.parallel import parallel_map
-from .throughput import saturation_injection_rate
+from .throughput import resolve_traffic_model, saturation_injection_rate
 
-__all__ = ["LatencyCurve", "latency_sweep", "load_grid_to_saturation"]
+__all__ = [
+    "LatencyCurve",
+    "latency_sweep",
+    "load_grid_to_saturation",
+    "resolve_traffic_model",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +112,7 @@ def latency_sweep(
     label: str = "model",
     processes: int = 1,
     chunksize: int = 1,
+    spec=None,
 ) -> LatencyCurve:
     """Evaluate a latency curve over a load grid.
 
@@ -117,12 +123,23 @@ def latency_sweep(
     in one vectorized pass (bit-identical to the per-point loop);
     everything else is evaluated point by point, fanned out over
     ``processes`` workers in chunks of ``chunksize`` when requested.
+
+    ``spec`` (a :class:`~repro.traffic.spec.TrafficSpec`) redirects a
+    batch-capable model through its pattern-aware solver — the whole
+    non-uniform sweep still runs as one batched evaluation.
     """
     loads = np.asarray(list(flit_loads), dtype=float)
     if loads.ndim != 1 or loads.size == 0:
         raise ConfigurationError("flit_loads must be a non-empty 1-D sequence")
     if np.any(loads < 0):
         raise ConfigurationError("flit_loads must be non-negative")
+    if spec is not None:
+        target = _batch_evaluator(latency_fn)
+        if target is None:
+            raise ConfigurationError(
+                "spec= requires a batch-capable model, not a per-point callable"
+            )
+        latency_fn = resolve_traffic_model(target, spec, message_flits)
     model = _batch_evaluator(latency_fn)
     if model is not None:
         # One batched solve; flit_load -> injection rate exactly as
@@ -155,25 +172,34 @@ def load_grid_to_saturation(
     n_points: int = 10,
     fraction: float = 0.98,
     include_zero_limit: bool = True,
+    spec=None,
 ) -> np.ndarray:
     """Build a load grid from near zero up to ``fraction`` of model saturation.
 
     This mirrors how Figure 3's x-range terminates just past the knee of the
     curves.  The lowest point is placed at 2% of saturation rather than 0
-    (zero load is a degenerate operating point for rate-based simulators)
-    unless ``include_zero_limit`` is False, in which case the grid starts at
-    the first uniform step.  The returned grid always holds exactly
-    ``n_points`` loads, whichever convention is chosen.
+    (zero load is a degenerate operating point for rate-based simulators) —
+    clamped below the second grid point so the grid stays strictly
+    increasing on dense grids — unless ``include_zero_limit`` is False, in
+    which case the grid starts at the first uniform step.  The returned
+    grid always holds exactly ``n_points`` loads, whichever convention is
+    chosen.  A ``spec`` anchors the grid to the *pattern-aware* saturation
+    point instead of the uniform one.
     """
     if n_points < 2:
         raise ConfigurationError("n_points must be >= 2")
     if not (0.0 < fraction < 1.0):
         raise ConfigurationError("fraction must be in (0, 1)")
+    if spec is not None:
+        model = resolve_traffic_model(model, spec, message_flits)
     sat = saturation_injection_rate(model, message_flits).flit_load
     top = fraction * sat
     if include_zero_limit:
         grid = np.linspace(0.0, top, n_points)
-        grid[0] = 0.02 * sat
+        # On dense grids the first uniform step falls below 2% of
+        # saturation; clamp the floor so the grid stays strictly
+        # increasing (n_points >= ~51 used to yield grid[0] > grid[1]).
+        grid[0] = min(0.02 * sat, grid[1] / 2.0)
     else:
         # Drop the degenerate zero point but keep the promised point count:
         # n_points uniform steps ending at the top of the range.

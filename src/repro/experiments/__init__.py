@@ -10,7 +10,9 @@
 * :mod:`repro.experiments.other_networks` — the general model on the
   hypercube plus the Dally torus baseline;
 * :mod:`repro.experiments.crosscheck` — event-driven vs flit-level
-  simulator validation.
+  simulator validation;
+* :mod:`repro.experiments.traffic_scenarios` — pattern-aware model vs
+  simulation under non-uniform traffic (hotspot, transpose, ...).
 
 All experiments honour ``REPRO_FULL=1`` for paper-scale runs and default to
 quick mode (see :mod:`repro.experiments.common`).
@@ -27,6 +29,12 @@ from .report import default_results_dir, write_report
 from .scaling import ScalingResult, run_scaling
 from .service_times import ServiceTimeResult, run_service_times
 from .throughput_table import ThroughputResult, run_throughput_table
+from .traffic_scenarios import (
+    TrafficScenarioRow,
+    TrafficScenariosResult,
+    default_scenarios,
+    run_traffic_scenarios,
+)
 
 __all__ = [
     "AblationResult",
@@ -54,4 +62,8 @@ __all__ = [
     "run_service_times",
     "ThroughputResult",
     "run_throughput_table",
+    "TrafficScenarioRow",
+    "TrafficScenariosResult",
+    "default_scenarios",
+    "run_traffic_scenarios",
 ]

@@ -9,7 +9,7 @@ confidence intervals, and sweep a load grid into a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Sequence
 
@@ -69,13 +69,9 @@ def run_replications(
     """Run ``replications`` independently seeded simulations of one point."""
     results = []
     for seed in replication_seeds(config.seed, replications):
-        cfg = SimConfig(
-            warmup_cycles=config.warmup_cycles,
-            measure_cycles=config.measure_cycles,
-            max_cycles=config.max_cycles,
-            seed=seed,
-            drain_factor=config.drain_factor,
-        )
+        # replace() reseeds without hand-copying fields (a hand-written copy
+        # silently dropped `extra` and would drop any future field).
+        cfg = replace(config, seed=seed)
         results.append(
             simulator_cls(topology, workload, cfg, keep_samples=keep_samples).run()
         )

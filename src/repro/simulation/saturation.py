@@ -14,7 +14,7 @@ replications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..config import SimConfig, Workload
 from ..core.throughput import SaturationResult, saturation_injection_rate
@@ -37,13 +37,8 @@ class _SimStability:
         seeds = replication_seeds(self.config.seed, self.replications)
         stable_votes = 0
         for seed in seeds:
-            cfg = SimConfig(
-                warmup_cycles=self.config.warmup_cycles,
-                measure_cycles=self.config.measure_cycles,
-                max_cycles=self.config.max_cycles,
-                seed=seed,
-                drain_factor=self.config.drain_factor,
-            )
+            # replace() reseeds without hand-copying (and dropping) fields.
+            cfg = replace(self.config, seed=seed)
             result = EventDrivenWormholeSimulator(
                 self.topology, workload, cfg, keep_samples=False
             ).run()

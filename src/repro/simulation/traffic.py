@@ -3,14 +3,23 @@
 The paper's workload is Poisson arrivals with uniformly random destinations
 (assumption 1).  :class:`PoissonTraffic` reproduces it exactly — each PE
 generates messages with exponential inter-arrival times at rate
-``lambda_0`` — and additionally offers the destination patterns commonly
-used in interconnect studies (random permutation, hotspot, quad-local) as
-extensions for the example applications.
+``lambda_0`` — and generalizes it along two orthogonal axes:
 
-A traffic source is consumed through :meth:`arrivals`, a time-ordered
-iterator of ``(time, src, dst)`` triples; :class:`TraceTraffic` replays an
-explicit list, which is how the two simulators are driven with identical
-inputs for cross-validation.
+* **destinations** come from a :class:`~repro.traffic.spec.TrafficSpec`
+  (uniform, permutation, hotspot, quad-local, transpose, bit-reversal,
+  bit-complement, tornado, or any custom spec).  The same spec drives the
+  analytical side (:mod:`repro.traffic.analytic`), so model and simulator
+  always describe the *same* workload;
+* **arrival timing** can be modulated by
+  :class:`~repro.traffic.spec.BurstyArrivals`, a two-state ON-OFF Poisson
+  process with the configured long-run rate but bursty short-term
+  behaviour.
+
+The legacy ``pattern=Pattern.X`` keyword survives as a thin alias that
+builds the matching spec.  A traffic source is consumed through
+:meth:`arrivals`, a time-ordered iterator of ``(time, src, dst)`` triples;
+:class:`TraceTraffic` replays an explicit list, which is how the two
+simulators are driven with identical inputs for cross-validation.
 """
 
 from __future__ import annotations
@@ -24,13 +33,18 @@ import numpy as np
 
 from ..config import Workload
 from ..errors import ConfigurationError
+from ..traffic.spec import BurstyArrivals, PermutationSpec, TrafficSpec, make_spec
 from ..util.rng import spawn_rngs
 
 __all__ = ["Pattern", "PoissonTraffic", "TraceTraffic", "Arrival", "bimodal_lengths"]
 
 
 class Pattern(enum.Enum):
-    """Destination-selection patterns."""
+    """Destination-selection patterns (aliases for the spec registry).
+
+    Values match the registry names of :mod:`repro.traffic.spec`; use
+    ``spec=`` for parametrized or custom patterns.
+    """
 
     #: Uniformly random destination, excluding the source (the paper's).
     UNIFORM = "uniform"
@@ -40,6 +54,14 @@ class Pattern(enum.Enum):
     HOTSPOT = "hotspot"
     #: Uniform within the source's 4-leaf quad (shares a level-1 switch).
     QUAD_LOCAL = "quad-local"
+    #: Swap the two halves of the address bits (matrix transpose).
+    TRANSPOSE = "transpose"
+    #: Reverse the address bits (FFT exchange).
+    BIT_REVERSAL = "bit-reversal"
+    #: Complement every address bit.
+    BIT_COMPLEMENT = "bit-complement"
+    #: Offset by half the machine.
+    TORNADO = "tornado"
 
 
 @dataclass(frozen=True)
@@ -70,14 +92,23 @@ class PoissonTraffic:
     seed:
         Root seed; arrival times, destinations, and the permutation (when
         used) draw from independent spawned streams.
+    spec:
+        Destination distribution (a :class:`TrafficSpec`); defaults to the
+        paper's uniform traffic.  Sources the spec marks silent (fixed
+        points of deterministic permutations) inject nothing.
     pattern:
-        Destination pattern; defaults to the paper's uniform traffic.
+        Legacy alias: a :class:`Pattern` member or registry name that is
+        resolved to a built-in spec.  Mutually exclusive with ``spec``.
     hotspot_fraction / hotspot_target:
-        Parameters of :attr:`Pattern.HOTSPOT`.
+        Parameters of the hotspot pattern alias.
     length_sampler:
         Optional callable ``rng -> int`` drawing a per-message length in
         flits (relaxes the paper's fixed-length assumption 2; supported by
         the event-driven simulator).  See :func:`bimodal_lengths`.
+    bursty:
+        Optional :class:`BurstyArrivals` modifier: each source alternates
+        exponentially distributed ON/OFF periods and injects at
+        ``rate / duty`` while ON, preserving the long-run rate.
     """
 
     def __init__(
@@ -86,79 +117,115 @@ class PoissonTraffic:
         workload: Workload,
         seed: int = 0,
         *,
-        pattern: Pattern = Pattern.UNIFORM,
+        spec: TrafficSpec | None = None,
+        pattern: Pattern | str | None = None,
         hotspot_fraction: float = 0.1,
         hotspot_target: int = 0,
         length_sampler=None,
+        bursty: BurstyArrivals | None = None,
     ) -> None:
         if num_pes < 2:
             raise ConfigurationError("traffic requires at least 2 PEs")
-        if pattern is Pattern.HOTSPOT and not (0.0 <= hotspot_fraction <= 1.0):
-            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
-        if pattern is Pattern.HOTSPOT and not (0 <= hotspot_target < num_pes):
-            raise ConfigurationError("hotspot_target out of range")
-        if pattern is Pattern.QUAD_LOCAL and num_pes % 4 != 0:
-            raise ConfigurationError("QUAD_LOCAL requires num_pes divisible by 4")
+        if spec is not None and pattern is not None:
+            raise ConfigurationError("pass either spec or pattern, not both")
+        if bursty is not None and not isinstance(bursty, BurstyArrivals):
+            raise ConfigurationError(
+                f"bursty must be a BurstyArrivals, got {bursty!r}"
+            )
         self.num_pes = num_pes
         self.workload = workload
-        self.pattern = pattern
-        self.hotspot_fraction = hotspot_fraction
-        self.hotspot_target = hotspot_target
         self.length_sampler = length_sampler
+        self.bursty = bursty
         self._arrival_rng, self._dst_rng, perm_rng, self._len_rng = spawn_rngs(seed, 4)
+        if spec is None:
+            name = pattern.value if isinstance(pattern, Pattern) else pattern
+            if name is None:
+                name = Pattern.UNIFORM.value
+            if name == Pattern.PERMUTATION.value:
+                # Derive the derangement seed from this source's own spawned
+                # stream so different traffic seeds get different mappings.
+                spec = PermutationSpec(seed=int(perm_rng.integers(2**63)))
+            else:
+                spec = make_spec(
+                    name,
+                    hotspot_fraction=hotspot_fraction,
+                    hotspot_target=hotspot_target,
+                )
+        spec.validate(num_pes)
+        self.spec = spec
+        self.pattern = (
+            pattern
+            if isinstance(pattern, Pattern)
+            else next((p for p in Pattern if p.value == spec.name), None)
+        )
+        self._activity = np.asarray(spec.source_activity(num_pes), dtype=float)
+        #: Back-compat: the concrete permutation when the spec is one.
         self._permutation = (
-            self._derangement(perm_rng, num_pes)
-            if pattern is Pattern.PERMUTATION
+            spec.permutation_for(num_pes)
+            if isinstance(spec, PermutationSpec)
             else None
         )
-
-    @staticmethod
-    def _derangement(rng: np.random.Generator, n: int) -> np.ndarray:
-        """A uniformly-ish random permutation with no fixed points."""
-        while True:
-            perm = rng.permutation(n)
-            if not np.any(perm == np.arange(n)):
-                return perm
 
     # --- destination sampling ---------------------------------------------------
 
     def sample_destination(self, src: int) -> int:
         """Draw the destination for a message sourced at ``src``."""
-        rng = self._dst_rng
-        if self.pattern is Pattern.PERMUTATION:
-            return int(self._permutation[src])
-        if self.pattern is Pattern.HOTSPOT:
-            if rng.random() < self.hotspot_fraction and self.hotspot_target != src:
-                return self.hotspot_target
-            return self._uniform_excluding(src, 0, self.num_pes)
-        if self.pattern is Pattern.QUAD_LOCAL:
-            quad = src - src % 4
-            return self._uniform_excluding(src, quad, quad + 4)
-        return self._uniform_excluding(src, 0, self.num_pes)
-
-    def _uniform_excluding(self, src: int, lo: int, hi: int) -> int:
-        d = int(self._dst_rng.integers(lo, hi - 1))
-        return d + 1 if d >= src else d
+        return self.spec.sample_destination(src, self.num_pes, self._dst_rng)
 
     # --- the arrival stream --------------------------------------------------------
 
     def arrivals(self, horizon: float) -> Iterator[Arrival]:
         """Yield time-ordered arrivals with ``time < horizon``.
 
-        Per-PE exponential inter-arrival streams are merged through a heap,
-        so the global stream is a superposition of independent Poisson
-        processes — exactly the paper's arrival model.  A zero injection
-        rate yields an empty stream.
+        Per-PE inter-arrival streams are merged through a heap.  Without a
+        ``bursty`` modifier each PE is an independent Poisson process of
+        rate ``lambda_0`` — exactly the paper's arrival model; with one,
+        each PE is a two-state modulated Poisson process with the same
+        long-run rate.  Sources the spec marks silent generate nothing, as
+        does a zero injection rate.
         """
         lam = self.workload.injection_rate
         if lam <= 0.0:
             return
         rng = self._arrival_rng
+        bursty = self.bursty
+        activity = self._activity
         scale = 1.0 / lam
+        window_end: np.ndarray | None = None
+        if bursty is not None:
+            scale = scale * bursty.duty  # per-PE rate while ON is lam / duty
+            # Every PE starts a fresh ON window at time 0.
+            window_end = rng.exponential(bursty.burst_cycles, size=self.num_pes)
+
+        def next_time(pe: int, t: float) -> float:
+            # Fractional activity scales the per-PE rate (matching the
+            # analytical flow accounting); scaling an Exp(scale) draw by
+            # 1/activity is an exact Exp(scale/activity) draw, and keeps
+            # the stream bit-identical to older versions when activity is 1.
+            if bursty is None:
+                return t + float(rng.exponential(scale)) / activity[pe]
+            while True:
+                t = t + float(rng.exponential(scale)) / activity[pe]
+                if t < window_end[pe]:
+                    return t
+                # Jump to the next ON window; the exponential's memorylessness
+                # makes restarting the draw at the window start exact.
+                t = window_end[pe] + float(rng.exponential(bursty.off_cycles))
+                window_end[pe] = t + float(rng.exponential(bursty.burst_cycles))
+
         heap: list[tuple[float, int]] = []
-        first = rng.exponential(scale, size=self.num_pes)
-        for pe in range(self.num_pes):
-            t = float(first[pe])
+        if bursty is None:
+            first = rng.exponential(scale, size=self.num_pes)
+            starts = [
+                float(first[pe]) / activity[pe] if activity[pe] > 0.0 else horizon
+                for pe in range(self.num_pes)
+            ]
+        else:
+            starts = [
+                next_time(pe, 0.0) if activity[pe] > 0.0 else horizon
+                for pe in range(self.num_pes)
+            ]
+        for pe, t in enumerate(starts):
             if t < horizon:
                 heap.append((t, pe))
         heapq.heapify(heap)
@@ -167,7 +234,7 @@ class PoissonTraffic:
             t, pe = heapq.heappop(heap)
             flits = int(sampler(self._len_rng)) if sampler is not None else None
             yield Arrival(t, pe, self.sample_destination(pe), flits)
-            nxt = t + float(rng.exponential(scale))
+            nxt = next_time(pe, t)
             if nxt < horizon:
                 heapq.heappush(heap, (nxt, pe))
 
@@ -211,7 +278,13 @@ class TraceTraffic:
             yield a
 
     def floored(self) -> "TraceTraffic":
-        """A copy with integer (floor) arrival times, for the cycle-level sim."""
-        floored = [Arrival(float(int(a.time)), a.src, a.dst) for a in self._items]
+        """A copy with integer (floor) arrival times, for the cycle-level sim.
+
+        Per-message ``flits`` overrides are preserved, so variable-length
+        traces stay variable-length across the cycle-level cross-check.
+        """
+        floored = [
+            Arrival(float(int(a.time)), a.src, a.dst, a.flits) for a in self._items
+        ]
         floored.sort(key=lambda a: a.time)
         return TraceTraffic(floored)

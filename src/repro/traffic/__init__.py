@@ -1,0 +1,54 @@
+"""Traffic scenarios: destination patterns shared by model and simulators.
+
+``repro.traffic`` makes non-uniform workloads first-class: a
+:class:`TrafficSpec` describes a per-source destination distribution once,
+and both layers consume it — the simulators sample from it
+(``PoissonTraffic(..., spec=...)``) while the analytical side propagates it
+into per-channel rates and a solvable Section 2 stage graph
+(:func:`bft_traffic_stage_graph` / :func:`hypercube_traffic_stage_graph`,
+or ``ButterflyFatTreeModel.traffic_model``).
+"""
+
+from .analytic import (
+    bft_traffic_stage_graph,
+    hypercube_traffic_stage_graph,
+    stage_graph_from_flows,
+)
+from .flows import ChannelFlows, bft_channel_flows, single_path_flows
+from .spec import (
+    BitComplementSpec,
+    BitReversalSpec,
+    BurstyArrivals,
+    HotspotSpec,
+    PermutationSpec,
+    QuadLocalSpec,
+    TornadoSpec,
+    TrafficSpec,
+    TransposeSpec,
+    UniformSpec,
+    available_patterns,
+    make_spec,
+    register_spec,
+)
+
+__all__ = [
+    "BitComplementSpec",
+    "BitReversalSpec",
+    "BurstyArrivals",
+    "ChannelFlows",
+    "HotspotSpec",
+    "PermutationSpec",
+    "QuadLocalSpec",
+    "TornadoSpec",
+    "TrafficSpec",
+    "TransposeSpec",
+    "UniformSpec",
+    "available_patterns",
+    "bft_channel_flows",
+    "bft_traffic_stage_graph",
+    "hypercube_traffic_stage_graph",
+    "make_spec",
+    "register_spec",
+    "single_path_flows",
+    "stage_graph_from_flows",
+]

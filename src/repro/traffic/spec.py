@@ -1,0 +1,498 @@
+"""Traffic scenarios: destination patterns as first-class specifications.
+
+The paper's analysis assumes uniformly random destinations (assumption 1),
+but its channel-rate derivation (Eq. 14) is just flow accounting and works
+for *any* per-source destination distribution.  A :class:`TrafficSpec`
+captures exactly that distribution — for every source PE, a probability
+vector over destinations — in a form both layers of the library consume:
+
+* the simulators sample destinations from it
+  (:class:`~repro.simulation.traffic.PoissonTraffic` takes a ``spec``), and
+* the analytical side propagates it through a network's routing function to
+  obtain per-channel arrival rates and routing probabilities
+  (:mod:`repro.traffic.flows` / :mod:`repro.traffic.analytic`).
+
+Built-in patterns (registry names in parentheses):
+
+* :class:`UniformSpec` (``uniform``) — the paper's assumption 1;
+* :class:`PermutationSpec` (``permutation``) — a fixed random derangement;
+* :class:`HotspotSpec` (``hotspot``) — probability ``f`` to one hot node,
+  the remainder uniform over the others;
+* :class:`QuadLocalSpec` (``quad-local``) — uniform within the source's
+  4-leaf quad;
+* :class:`TransposeSpec` (``transpose``) — swap the two halves of the
+  address bits (matrix-transpose communication);
+* :class:`BitReversalSpec` (``bit-reversal``) — reverse the address bits
+  (FFT communication);
+* :class:`BitComplementSpec` (``bit-complement``) — complement every bit
+  (worst-case distance permutation);
+* :class:`TornadoSpec` (``tornado``) — offset by half the machine.
+
+Deterministic patterns may have fixed points (``destination == source``,
+e.g. node 0 under transpose); those sources are *silent* — they inject no
+traffic — following the usual interconnect-benchmark convention.  A spec
+reports this through :meth:`TrafficSpec.source_activity`.
+
+:class:`BurstyArrivals` is an orthogonal *arrival-process* modifier: a
+two-state modulated Poisson process (ON-OFF) with the same long-run rate
+but bursty short-term behaviour.  It changes message timing, not
+destinations, and is honoured by the simulators only — the analytical model
+keeps the Poisson arrival assumption and sees the long-run mean rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TrafficSpec",
+    "UniformSpec",
+    "PermutationSpec",
+    "HotspotSpec",
+    "QuadLocalSpec",
+    "TransposeSpec",
+    "BitReversalSpec",
+    "BitComplementSpec",
+    "TornadoSpec",
+    "BurstyArrivals",
+    "make_spec",
+    "register_spec",
+    "available_patterns",
+]
+
+
+def _check_num_pes(num_pes: int) -> None:
+    if not isinstance(num_pes, int) or num_pes < 2:
+        raise ConfigurationError(f"num_pes must be an integer >= 2, got {num_pes!r}")
+
+
+def _uniform_excluding(src: int, lo: int, hi: int, rng: np.random.Generator) -> int:
+    """Uniform draw from ``[lo, hi)`` excluding ``src`` (must lie inside)."""
+    d = int(rng.integers(lo, hi - 1))
+    return d + 1 if d >= src else d
+
+
+class TrafficSpec:
+    """A per-source destination distribution (plus optional silent sources).
+
+    Subclasses implement :meth:`destination_matrix`; the base class derives
+    sampling and activity from it (built-ins override both with closed
+    forms, so the dense matrix is only materialized when the analytical
+    path needs it).  Specs are stateless with respect to the network size:
+    the same instance can describe a 16-PE and a 1024-PE machine.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    def validate(self, num_pes: int) -> None:
+        """Raise :class:`ConfigurationError` when the pattern cannot apply."""
+        _check_num_pes(num_pes)
+
+    # --- the distribution ----------------------------------------------------
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        """``(N, N)`` matrix: row ``s`` is the destination distribution of
+        source ``s``.  Rows sum to 1 for active sources and to 0 for silent
+        ones; the diagonal is always 0 (no self-addressed messages)."""
+        raise NotImplementedError
+
+    def source_activity(self, num_pes: int) -> np.ndarray:
+        """Per-source injection-rate multiplier (the row sums).
+
+        Built-ins use 1 (active) or 0 (silent fixed point); custom specs
+        may use fractional values — both the analytical flow accounting and
+        :class:`~repro.simulation.traffic.PoissonTraffic` scale that
+        source's rate by the same factor.
+        """
+        self.validate(num_pes)
+        return self.destination_matrix(num_pes).sum(axis=1)
+
+    def sample_destination(self, src: int, num_pes: int, rng: np.random.Generator) -> int:
+        """Draw one destination for a message sourced at ``src``.
+
+        The generic implementation inverts the cumulative row of
+        :meth:`destination_matrix` (cached per network size); calling it for
+        a silent source is an error.
+        """
+        cdf = self._cached_cdf(num_pes)[src]
+        if cdf[-1] <= 0.0:
+            raise ConfigurationError(
+                f"source {src} is silent under pattern {self.name!r}"
+            )
+        return int(np.searchsorted(cdf, rng.random() * cdf[-1], side="right"))
+
+    def _cached_cdf(self, num_pes: int) -> np.ndarray:
+        cache = getattr(self, "_cdf_cache", None)
+        if cache is None or cache[0] != num_pes:
+            self.validate(num_pes)
+            cache = (num_pes, np.cumsum(self.destination_matrix(num_pes), axis=1))
+            # Specs are otherwise immutable; the cache is a pure memo.
+            object.__setattr__(self, "_cdf_cache", cache)
+        return cache[1]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return self.name
+
+
+class _PermutationLike(TrafficSpec):
+    """Shared machinery for deterministic one-destination-per-source patterns."""
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        """The fixed destination of ``src`` (may equal ``src``: silent)."""
+        raise NotImplementedError
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        m = np.zeros((num_pes, num_pes))
+        for s in range(num_pes):
+            d = self.destination_of(s, num_pes)
+            if d != s:
+                m[s, d] = 1.0
+        return m
+
+    def source_activity(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        return np.array(
+            [
+                0.0 if self.destination_of(s, num_pes) == s else 1.0
+                for s in range(num_pes)
+            ]
+        )
+
+    def sample_destination(self, src: int, num_pes: int, rng: np.random.Generator) -> int:
+        d = self.destination_of(src, num_pes)
+        if d == src:
+            raise ConfigurationError(
+                f"source {src} is silent under pattern {self.name!r}"
+            )
+        return d
+
+
+@dataclass(frozen=True)
+class UniformSpec(TrafficSpec):
+    """Uniformly random destination excluding the source (assumption 1)."""
+
+    name: str = "uniform"
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        m = np.full((num_pes, num_pes), 1.0 / (num_pes - 1))
+        np.fill_diagonal(m, 0.0)
+        return m
+
+    def source_activity(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        return np.ones(num_pes)
+
+    def sample_destination(self, src: int, num_pes: int, rng: np.random.Generator) -> int:
+        return _uniform_excluding(src, 0, num_pes, rng)
+
+
+@dataclass(frozen=True)
+class PermutationSpec(_PermutationLike):
+    """A fixed random derangement: PE ``i`` always sends to ``pi(i)``.
+
+    ``seed`` makes the derangement reproducible; pass ``permutation``
+    explicitly to pin a specific mapping (entries equal to their index are
+    treated as silent sources).
+    """
+
+    seed: int = 0
+    permutation: tuple[int, ...] | None = None
+    name: str = "permutation"
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        if self.permutation is not None:
+            perm = tuple(self.permutation)
+            if sorted(perm) != list(range(num_pes)):
+                raise ConfigurationError(
+                    f"permutation must be a permutation of 0..{num_pes - 1}"
+                )
+
+    def permutation_for(self, num_pes: int) -> np.ndarray:
+        """The concrete permutation applied to an ``num_pes``-PE machine.
+
+        Cached per network size (for explicit permutations too — this is
+        the per-message sampling hot path).
+        """
+        cache = getattr(self, "_perm_cache", None)
+        if cache is None or cache[0] != num_pes:
+            self.validate(num_pes)
+            if self.permutation is not None:
+                perm = np.asarray(self.permutation, dtype=int)
+            else:
+                rng = np.random.default_rng(self.seed)
+                while True:
+                    perm = rng.permutation(num_pes)
+                    if not np.any(perm == np.arange(num_pes)):
+                        break
+            cache = (num_pes, perm)
+            object.__setattr__(self, "_perm_cache", cache)
+        return cache[1]
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        return int(self.permutation_for(num_pes)[src])
+
+
+@dataclass(frozen=True)
+class HotspotSpec(TrafficSpec):
+    """With probability ``fraction`` send to ``target``; else uniform.
+
+    The uniform remainder excludes both the source and the target, so the
+    probability of hitting the hot node is *exactly* ``fraction`` for every
+    other source (the naive fallback-includes-target construction inflates
+    it to ``f + (1 - f) / (N - 1)``).  The target itself sends uniformly.
+    """
+
+    fraction: float = 0.1
+    target: int = 0
+    name: str = "hotspot"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
+        if not isinstance(self.target, int) or self.target < 0:
+            raise ConfigurationError("hotspot_target must be a non-negative integer")
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        if self.target >= num_pes:
+            raise ConfigurationError("hotspot_target out of range")
+        if num_pes < 3 and self.fraction < 1.0:
+            raise ConfigurationError("hotspot with fraction < 1 requires >= 3 PEs")
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        f, t = self.fraction, self.target
+        m = np.full((num_pes, num_pes), (1.0 - f) / (num_pes - 2))
+        m[:, t] = f
+        m[t, :] = 1.0 / (num_pes - 1)
+        np.fill_diagonal(m, 0.0)
+        m[t, t] = 0.0
+        return m
+
+    def source_activity(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        return np.ones(num_pes)
+
+    def sample_destination(self, src: int, num_pes: int, rng: np.random.Generator) -> int:
+        t = self.target
+        if src == t:
+            return _uniform_excluding(src, 0, num_pes, rng)
+        if rng.random() < self.fraction:
+            return t
+        # Uniform over the N-2 destinations that are neither src nor target.
+        d = int(rng.integers(0, num_pes - 2))
+        a, b = (src, t) if src < t else (t, src)
+        if d >= a:
+            d += 1
+        if d >= b:
+            d += 1
+        return d
+
+
+@dataclass(frozen=True)
+class QuadLocalSpec(TrafficSpec):
+    """Uniform within the source's 4-leaf quad (shares a level-1 switch)."""
+
+    name: str = "quad-local"
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        if num_pes % 4 != 0:
+            raise ConfigurationError("quad-local requires num_pes divisible by 4")
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        m = np.zeros((num_pes, num_pes))
+        for s in range(num_pes):
+            quad = s - s % 4
+            m[s, quad : quad + 4] = 1.0 / 3.0
+            m[s, s] = 0.0
+        return m
+
+    def source_activity(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        return np.ones(num_pes)
+
+    def sample_destination(self, src: int, num_pes: int, rng: np.random.Generator) -> int:
+        quad = src - src % 4
+        return _uniform_excluding(src, quad, quad + 4, rng)
+
+
+def _bits_of(num_pes: int, pattern: str) -> int:
+    bits = num_pes.bit_length() - 1
+    if num_pes < 2 or (1 << bits) != num_pes:
+        raise ConfigurationError(f"{pattern} requires num_pes to be a power of 2")
+    return bits
+
+
+@dataclass(frozen=True)
+class TransposeSpec(_PermutationLike):
+    """Swap the high and low halves of the address bits (matrix transpose).
+
+    Requires ``N = 2**(2k)``; the ``2**k`` sources whose halves coincide are
+    fixed points and stay silent.
+    """
+
+    name: str = "transpose"
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        if _bits_of(num_pes, self.name) % 2 != 0:
+            raise ConfigurationError(
+                "transpose requires num_pes to be an even power of 2"
+            )
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        half = _bits_of(num_pes, self.name) // 2
+        lo = src & ((1 << half) - 1)
+        return (src >> half) | (lo << half)
+
+
+@dataclass(frozen=True)
+class BitReversalSpec(_PermutationLike):
+    """Reverse the address bits (the FFT butterfly exchange pattern).
+
+    Palindromic addresses are fixed points and stay silent.
+    """
+
+    name: str = "bit-reversal"
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        _bits_of(num_pes, self.name)
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        bits = _bits_of(num_pes, self.name)
+        out = 0
+        for k in range(bits):
+            out = (out << 1) | ((src >> k) & 1)
+        return out
+
+
+@dataclass(frozen=True)
+class BitComplementSpec(_PermutationLike):
+    """Complement every address bit (no fixed points; maximal distances)."""
+
+    name: str = "bit-complement"
+
+    def validate(self, num_pes: int) -> None:
+        super().validate(num_pes)
+        _bits_of(num_pes, self.name)
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        return src ^ (num_pes - 1)
+
+
+@dataclass(frozen=True)
+class TornadoSpec(_PermutationLike):
+    """Send halfway around the machine: ``dst = (src + N // 2) mod N``.
+
+    The classic adversarial pattern for rings/tori; on indirect networks it
+    is simply a fixed long-range permutation with no fixed points.
+    """
+
+    name: str = "tornado"
+
+    def destination_of(self, src: int, num_pes: int) -> int:
+        return (src + num_pes // 2) % num_pes
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state modulated Poisson (ON-OFF) arrival modifier.
+
+    Each source alternates between exponentially distributed ON periods
+    (mean ``burst_cycles``) during which it injects at ``rate / duty``, and
+    OFF periods (mean ``burst_cycles * (1 - duty) / duty``) during which it
+    is silent.  The long-run mean rate equals the workload's configured
+    injection rate; only the short-term variability changes (inter-arrival
+    CV > 1).  Consumed by the simulators; the analytical model keeps the
+    Poisson assumption and sees the mean rate.
+    """
+
+    duty: float = 0.25
+    burst_cycles: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.duty <= 1.0):
+            raise ConfigurationError(f"duty must be in (0, 1], got {self.duty!r}")
+        if self.burst_cycles <= 0.0:
+            raise ConfigurationError(
+                f"burst_cycles must be positive, got {self.burst_cycles!r}"
+            )
+
+    @property
+    def on_rate_factor(self) -> float:
+        """Rate multiplier while ON (``1 / duty``)."""
+        return 1.0 / self.duty
+
+    @property
+    def off_cycles(self) -> float:
+        """Mean OFF duration preserving the long-run rate."""
+        return self.burst_cycles * (1.0 - self.duty) / self.duty
+
+
+# --- registry -----------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[TrafficSpec]] = {}
+
+
+def register_spec(cls: type[TrafficSpec]) -> type[TrafficSpec]:
+    """Add a spec class to the pattern registry (keyed by ``cls.name``)."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    UniformSpec,
+    PermutationSpec,
+    HotspotSpec,
+    QuadLocalSpec,
+    TransposeSpec,
+    BitReversalSpec,
+    BitComplementSpec,
+    TornadoSpec,
+):
+    register_spec(_cls)
+
+
+def available_patterns() -> list[str]:
+    """Registered pattern names (the CLI's ``--pattern`` choices)."""
+    return sorted(_REGISTRY)
+
+
+def make_spec(
+    name: str,
+    *,
+    hotspot_fraction: float = 0.1,
+    hotspot_target: int = 0,
+    permutation_seed: int = 0,
+    permutation=None,
+) -> TrafficSpec:
+    """Instantiate a registered pattern by name.
+
+    Pattern-specific parameters are accepted uniformly and ignored by
+    patterns that do not use them, so callers (the CLI in particular) can
+    forward one flag set for every pattern.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic pattern {name!r}; known: {', '.join(available_patterns())}"
+        ) from None
+    if cls is HotspotSpec:
+        return HotspotSpec(fraction=hotspot_fraction, target=hotspot_target)
+    if cls is PermutationSpec:
+        perm = tuple(permutation) if permutation is not None else None
+        return PermutationSpec(seed=permutation_seed, permutation=perm)
+    return cls()

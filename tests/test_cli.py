@@ -44,6 +44,74 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "flit load" in out
 
+    def test_model_with_pattern(self, capsys):
+        assert main(
+            [
+                "model",
+                "-n",
+                "16",
+                "-f",
+                "16",
+                "-l",
+                "0.05",
+                "--pattern",
+                "hotspot",
+                "--hotspot-fraction",
+                "0.2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pattern=hotspot" in out
+        assert "latency" in out
+
+    def test_sweep_with_pattern(self, capsys):
+        assert main(
+            ["sweep", "-n", "16", "-f", "16", "--points", "4", "--pattern", "tornado"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tornado" in out
+        assert out.count("\n") >= 5
+
+    def test_saturation_with_pattern(self, capsys):
+        assert main(
+            ["saturation", "-n", "16", "-f", "16", "--pattern", "bit-reversal"]
+        ) == 0
+        assert "bit-reversal" in capsys.readouterr().out
+
+    def test_simulate_with_pattern(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "-n",
+                "16",
+                "-f",
+                "16",
+                "-l",
+                "0.04",
+                "--pattern",
+                "transpose",
+                "--warmup",
+                "300",
+                "--measure",
+                "1200",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pattern: transpose" in out
+        assert "model prediction" in out
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "--pattern", "zipf"])
+
+    def test_scalar_with_pattern_is_clean_error(self, capsys):
+        rc = main(
+            ["sweep", "-n", "16", "-f", "16", "--pattern", "tornado", "--scalar"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
     @pytest.mark.parametrize("engine", ["event", "flit", "buffered"])
     def test_simulate_all_engines(self, capsys, engine):
         rc = main(

@@ -178,3 +178,15 @@ class TestSweep:
             load_grid_to_saturation(model, 32, n_points=1)
         with pytest.raises(ConfigurationError):
             load_grid_to_saturation(model, 32, fraction=1.5)
+
+    @pytest.mark.parametrize("n_points", [10, 50, 64, 200])
+    def test_load_grid_strictly_increasing_when_dense(self, n_points):
+        """Regression: dense grids used to start at 0.02*sat > grid[1]
+        (e.g. n_points=64 yielded [0.020, 0.0156, ...])."""
+        model = ButterflyFatTreeModel(64)
+        grid = load_grid_to_saturation(model, 32, n_points=n_points)
+        assert len(grid) == n_points
+        assert np.all(np.diff(grid) > 0)
+        assert grid[0] > 0.0
+        sat = saturation_flit_load(model, 32)
+        assert grid[0] <= 0.02 * sat + 1e-15

@@ -118,6 +118,68 @@ class TestReplications:
             assert r.latency_mean == pytest.approx(rep.latency_mean, rel=0.15)
 
 
+class TestReplicationConfigPropagation:
+    """Regression: the replication helpers used to hand-copy SimConfig
+    field by field, silently dropping `extra` (and any future field)."""
+
+    class _CapturingSim:
+        captured: list[SimConfig] = []
+
+        def __init__(self, topology, workload, config, *, keep_samples=False):
+            type(self).captured.append(config)
+
+        def run(self):
+            import types
+
+            return types.SimpleNamespace(stable=True)
+
+    def test_run_replications_preserves_all_fields(self, bft16):
+        self._CapturingSim.captured = []
+        cfg = SimConfig(
+            warmup_cycles=100,
+            measure_cycles=400,
+            max_cycles=10_000,
+            seed=3,
+            drain_factor=2.5,
+            extra={"router": "vc4"},
+        )
+        run_replications(
+            bft16,
+            Workload(16, 0.01),
+            cfg,
+            replications=3,
+            simulator_cls=self._CapturingSim,
+        )
+        assert len(self._CapturingSim.captured) == 3
+        seeds = {c.seed for c in self._CapturingSim.captured}
+        assert len(seeds) == 3
+        for c in self._CapturingSim.captured:
+            assert c.extra == {"router": "vc4"}
+            assert c.max_cycles == 10_000
+            assert c.drain_factor == 2.5
+
+    def test_sim_stability_probe_preserves_all_fields(self, bft16, monkeypatch):
+        from repro.simulation import saturation as sat_module
+
+        self._CapturingSim.captured = []
+        monkeypatch.setattr(
+            sat_module, "EventDrivenWormholeSimulator", self._CapturingSim
+        )
+        cfg = SimConfig(
+            warmup_cycles=100,
+            measure_cycles=400,
+            max_cycles=9_000,
+            seed=5,
+            extra={"knob": 1},
+        )
+        probe = sat_module._SimStability(bft16, cfg, replications=2)
+        assert probe.is_stable(Workload(16, 0.01))
+        assert len(self._CapturingSim.captured) == 2
+        for c in self._CapturingSim.captured:
+            assert c.extra == {"knob": 1}
+            assert c.max_cycles == 9_000
+
+
 class TestSimulatedCurve:
     def test_curve_monotone_below_saturation(self, bft64):
         cfg = SimConfig(warmup_cycles=500, measure_cycles=4000, seed=6)

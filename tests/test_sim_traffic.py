@@ -122,6 +122,65 @@ class TestPatterns:
         with pytest.raises(ConfigurationError):
             PoissonTraffic(6, Workload(16, 0.05), pattern=Pattern.QUAD_LOCAL)
 
+    def test_hotspot_fraction_is_exact(self):
+        """The fallback excludes the target, so among messages from other
+        sources the hot node is hit with probability exactly f (the old
+        construction inflated it to f + (1-f)/(N-1) ~ 0.253 here)."""
+        tr = PoissonTraffic(
+            16,
+            Workload(16, 0.2),
+            seed=12,
+            pattern=Pattern.HOTSPOT,
+            hotspot_fraction=0.2,
+            hotspot_target=3,
+        )
+        arrivals = [a for a in _collect(tr, 20_000) if a.src != 3]
+        frac = sum(1 for a in arrivals if a.dst == 3) / len(arrivals)
+        assert frac == pytest.approx(0.2, abs=0.015)
+
+    def test_transpose_fixed_points_are_silent(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=13, pattern=Pattern.TRANSPOSE)
+        arrivals = _collect(tr, 20_000)
+        srcs = {a.src for a in arrivals}
+        assert srcs == set(range(16)) - {0b0000, 0b0101, 0b1010, 0b1111}
+        for a in arrivals:
+            lo, hi = a.src & 0b11, a.src >> 2
+            assert a.dst == (lo << 2) | hi
+
+    def test_bit_complement_pattern(self):
+        tr = PoissonTraffic(
+            16, Workload(16, 0.05), seed=14, pattern=Pattern.BIT_COMPLEMENT
+        )
+        assert all(a.dst == a.src ^ 15 for a in _collect(tr, 5000))
+
+    def test_tornado_pattern(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=15, pattern=Pattern.TORNADO)
+        assert all(a.dst == (a.src + 8) % 16 for a in _collect(tr, 5000))
+
+    def test_pattern_accepts_registry_name(self):
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=16, pattern="bit-reversal")
+        assert tr.spec.name == "bit-reversal"
+        assert tr.pattern is Pattern.BIT_REVERSAL
+
+    def test_spec_and_pattern_are_exclusive(self):
+        from repro.traffic import UniformSpec
+
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(
+                16,
+                Workload(16, 0.05),
+                spec=UniformSpec(),
+                pattern=Pattern.UNIFORM,
+            )
+
+    def test_shared_spec_instance_drives_sampling(self):
+        from repro.traffic import PermutationSpec
+
+        spec = PermutationSpec(seed=5)
+        tr = PoissonTraffic(16, Workload(16, 0.05), seed=17, spec=spec)
+        perm = spec.permutation_for(16)
+        assert all(a.dst == perm[a.src] for a in _collect(tr, 5000))
+
 
 class TestTraceTraffic:
     def test_replay_order_and_horizon(self):
@@ -144,6 +203,14 @@ class TestTraceTraffic:
     def test_accepts_arrival_objects(self):
         tr = TraceTraffic([Arrival(1.0, 0, 1)])
         assert len(list(tr.arrivals(2.0))) == 1
+
+    def test_floored_preserves_flits(self):
+        """Regression: floored() used to drop per-message lengths, silently
+        reverting variable-length traces to the workload length."""
+        tr = TraceTraffic([Arrival(0.7, 0, 1, flits=8), Arrival(2.3, 1, 0, flits=56)])
+        fl = list(tr.floored().arrivals(10))
+        assert [a.time for a in fl] == [0.0, 2.0]
+        assert [a.flits for a in fl] == [8, 56]
 
     @given(
         n=st.integers(2, 32),

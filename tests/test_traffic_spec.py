@@ -1,0 +1,239 @@
+"""Tests for the traffic-scenario specifications (repro.traffic.spec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, Workload
+from repro.simulation.traffic import PoissonTraffic
+from repro.traffic import (
+    BitComplementSpec,
+    BitReversalSpec,
+    BurstyArrivals,
+    HotspotSpec,
+    PermutationSpec,
+    QuadLocalSpec,
+    TornadoSpec,
+    TrafficSpec,
+    TransposeSpec,
+    UniformSpec,
+    available_patterns,
+    make_spec,
+)
+
+ALL_NAMES = [
+    "uniform",
+    "permutation",
+    "hotspot",
+    "quad-local",
+    "transpose",
+    "bit-reversal",
+    "bit-complement",
+    "tornado",
+]
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert available_patterns() == sorted(ALL_NAMES)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_make_spec_roundtrip(self, name):
+        spec = make_spec(name)
+        assert spec.name == name
+        spec.validate(64)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec("zipfian")
+
+    def test_make_spec_forwards_hotspot_params(self):
+        spec = make_spec("hotspot", hotspot_fraction=0.3, hotspot_target=5)
+        assert spec.fraction == 0.3 and spec.target == 5
+
+    def test_make_spec_forwards_permutation(self):
+        spec = make_spec("permutation", permutation=[1, 0, 3, 2])
+        assert spec.destination_of(0, 4) == 1
+        assert spec.destination_of(3, 4) == 2
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_rows_are_distributions(self, name):
+        n = 64
+        spec = make_spec(name)
+        m = spec.destination_matrix(n)
+        assert m.shape == (n, n)
+        assert np.all(m >= 0)
+        assert np.all(np.diagonal(m) == 0.0)
+        sums = m.sum(axis=1)
+        # Each row sums to 1 (active) or 0 (silent fixed point).
+        assert np.all((np.abs(sums - 1.0) < 1e-12) | (sums == 0.0))
+        assert np.allclose(sums, spec.source_activity(n))
+
+    def test_hotspot_probability_is_exact(self):
+        spec = HotspotSpec(fraction=0.05, target=3)
+        m = spec.destination_matrix(64)
+        col = np.delete(m[:, 3], 3)
+        assert np.allclose(col, 0.05)
+        # the remainder is uniform over the other 62 destinations
+        row = m[0]
+        others = np.delete(row, [0, 3])
+        assert np.allclose(others, 0.95 / 62)
+
+    def test_transpose_destinations(self):
+        spec = TransposeSpec()
+        # 16 PEs = 4 bits; transpose swaps the two 2-bit halves.
+        assert spec.destination_of(0b0110, 16) == 0b1001
+        assert spec.destination_of(0b0101, 16) == 0b0101  # fixed point
+        silent = np.nonzero(spec.source_activity(16) == 0.0)[0]
+        assert list(silent) == [0b0000, 0b0101, 0b1010, 0b1111]
+
+    def test_bit_reversal_destinations(self):
+        spec = BitReversalSpec()
+        assert spec.destination_of(0b0001, 16) == 0b1000
+        assert spec.destination_of(0b1001, 16) == 0b1001  # palindrome
+
+    def test_bit_complement_has_no_fixed_points(self):
+        spec = BitComplementSpec()
+        assert np.all(spec.source_activity(64) == 1.0)
+        assert spec.destination_of(0, 64) == 63
+
+    def test_tornado_offset(self):
+        spec = TornadoSpec()
+        assert spec.destination_of(0, 64) == 32
+        assert spec.destination_of(63, 64) == 31
+
+    def test_quad_local_stays_in_quad(self):
+        m = QuadLocalSpec().destination_matrix(16)
+        for s in range(16):
+            quad = s - s % 4
+            outside = np.delete(m[s], range(quad, quad + 4))
+            assert np.all(outside == 0.0)
+
+    def test_permutation_is_derangement(self):
+        spec = PermutationSpec(seed=3)
+        perm = spec.permutation_for(32)
+        assert sorted(perm) == list(range(32))
+        assert np.all(perm != np.arange(32))
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            TransposeSpec().validate(8)  # odd power of two
+        with pytest.raises(ConfigurationError):
+            BitReversalSpec().validate(12)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            QuadLocalSpec().validate(6)
+        with pytest.raises(ConfigurationError):
+            HotspotSpec(fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            HotspotSpec(target=9).validate(8)
+        with pytest.raises(ConfigurationError):
+            PermutationSpec(permutation=(0, 0, 1)).validate(3)
+
+
+class TestSampling:
+    def test_generic_sampler_matches_matrix(self):
+        """A custom spec with only a matrix must sample that distribution."""
+
+        class Lopsided(TrafficSpec):
+            name = "lopsided"
+
+            def destination_matrix(self, num_pes):
+                m = np.zeros((num_pes, num_pes))
+                m[:, 1] = 0.75
+                m[:, 2] = 0.25
+                m[1] = 0.0
+                m[1, 2] = 1.0
+                np.fill_diagonal(m, 0.0)
+                m[2, 1] = 1.0  # keep row 2 a distribution
+                m[2, 2] = 0.0
+                return m
+
+        spec = Lopsided()
+        rng = np.random.default_rng(0)
+        draws = [spec.sample_destination(0, 8, rng) for _ in range(4000)]
+        frac = np.mean(np.asarray(draws) == 1)
+        assert frac == pytest.approx(0.75, abs=0.03)
+
+    def test_silent_source_sampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransposeSpec().sample_destination(0, 16, np.random.default_rng(0))
+
+    def test_hotspot_empirical_fraction(self):
+        """The hot node must be hit with probability exactly f, not
+        f + (1-f)/(N-1) (the old fallback drew it twice)."""
+        spec = HotspotSpec(fraction=0.2, target=3)
+        rng = np.random.default_rng(42)
+        draws = np.array([spec.sample_destination(0, 16, rng) for _ in range(40_000)])
+        frac = np.mean(draws == 3)
+        # the buggy construction yields 0.2 + 0.8/15 = 0.253
+        assert frac == pytest.approx(0.2, abs=0.012)
+        assert 0 not in draws
+
+
+class TestBurstyArrivals:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstyArrivals(duty=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstyArrivals(duty=1.2)
+        with pytest.raises(ConfigurationError):
+            BurstyArrivals(burst_cycles=0.0)
+
+    def test_rate_preserved(self):
+        wl = Workload(16, 0.02)
+        tr = PoissonTraffic(
+            16, wl, seed=5, bursty=BurstyArrivals(duty=0.25, burst_cycles=80.0)
+        )
+        arrivals = list(tr.arrivals(60_000))
+        measured = len(arrivals) / (60_000 * 16)
+        assert measured == pytest.approx(0.02, rel=0.06)
+
+    def test_interarrivals_are_bursty(self):
+        """ON-OFF modulation must push the per-PE inter-arrival CV above 1."""
+        wl = Workload(16, 0.02)
+        tr = PoissonTraffic(
+            4, wl, seed=6, bursty=BurstyArrivals(duty=0.2, burst_cycles=100.0)
+        )
+        times = [a.time for a in tr.arrivals(200_000) if a.src == 0]
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_deterministic_under_fixed_seed(self):
+        wl = Workload(16, 0.03)
+        mk = lambda: PoissonTraffic(
+            8, wl, seed=11, bursty=BurstyArrivals(duty=0.3, burst_cycles=40.0)
+        )
+        a = list(mk().arrivals(5000))
+        b = list(mk().arrivals(5000))
+        assert a == b
+
+    def test_fractional_activity_scales_injection_rate(self):
+        """A custom spec with rows summing to 0.5 must halve each source's
+        rate in the simulator, matching the analytical flow weighting."""
+
+        class HalfRate(TrafficSpec):
+            name = "half-rate"
+
+            def destination_matrix(self, num_pes):
+                m = np.full((num_pes, num_pes), 0.5 / (num_pes - 1))
+                np.fill_diagonal(m, 0.0)
+                return m
+
+        wl = Workload(16, 0.02)
+        tr = PoissonTraffic(16, wl, seed=9, spec=HalfRate())
+        arrivals = list(tr.arrivals(50_000))
+        measured = len(arrivals) / (50_000 * 16)
+        assert measured == pytest.approx(0.01, rel=0.06)
+
+    def test_duty_one_is_plain_poisson_rate(self):
+        wl = Workload(16, 0.02)
+        tr = PoissonTraffic(
+            8, wl, seed=8, bursty=BurstyArrivals(duty=1.0, burst_cycles=50.0)
+        )
+        arrivals = list(tr.arrivals(30_000))
+        measured = len(arrivals) / (30_000 * 8)
+        assert measured == pytest.approx(0.02, rel=0.08)
