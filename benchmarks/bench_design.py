@@ -1,0 +1,63 @@
+"""Bench DESIGN — throughput of the design-space exploration engine.
+
+The explorer's promise is "answers in milliseconds per configuration":
+this bench measures candidates evaluated per second on a mixed space
+(two topology families × uniform + hotspot traffic × two message
+lengths), cold metrics cache per round, and a memoized re-exploration of
+the same space (which should be effectively free).
+
+The rendered exploration report lands in
+``benchmarks/results/design_exploration.txt``; the canonical perf
+baseline (``benchmarks/BENCH_perf.json``, written by
+:mod:`run_benchmarks`) tracks the same engine through its
+``design_explore`` entry.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import register_result
+
+import run_benchmarks
+from repro.design import Requirements, clear_metrics_cache, explore
+from repro.experiments import write_report
+
+REQUIREMENTS = Requirements(demand_flit_load=0.02, latency_slo=75.0)
+
+
+def _space():
+    return run_benchmarks.design_space_for(run_benchmarks.BenchConfig())
+
+
+def test_design_explore_cold(benchmark):
+    """Full exploration with a cold metrics cache each round."""
+    space = _space()
+    n_candidates = len(space.candidates())
+
+    def run():
+        clear_metrics_cache()
+        return explore(space, REQUIREMENTS)
+
+    result = benchmark(run)
+    assert len(result.evaluations) == n_candidates
+    benchmark.extra_info["candidates"] = n_candidates
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["candidates_per_s"] = (
+            n_candidates / benchmark.stats["median"]
+        )
+    path = write_report("design_exploration", result.render())
+    register_result(path)
+
+
+def test_design_explore_memoized(benchmark):
+    """Re-exploring an already-evaluated space costs only bookkeeping."""
+    space = _space()
+    explore(space, REQUIREMENTS)  # warm the cache once
+    result = benchmark(lambda: explore(space, REQUIREMENTS))
+    assert result.cheapest_feasible is not None
+    # The memoized pass must be at least an order of magnitude faster than
+    # a per-candidate model solve could ever be (pure dict lookups).
+    start = time.perf_counter()
+    explore(space, REQUIREMENTS)
+    assert time.perf_counter() - start < 0.5

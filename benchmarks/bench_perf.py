@@ -79,19 +79,17 @@ def test_scalar_sweep_64pt_1024(benchmark):
 
 
 def test_batch_baseline_json(benchmark):
-    """Headless suite: asserts the batch speedup and writes a JSON report.
+    """Headless suite: asserts the batch speedup and refreshes the baseline.
 
-    The report lands in the transient ``benchmarks/results/`` directory;
-    the *tracked* baseline (``benchmarks/BENCH_perf.json``) is only updated
-    by an explicit ``python benchmarks/run_benchmarks.py`` run, so a local
-    pytest session never dirties the committed perf trajectory.
+    ``benchmarks/BENCH_perf.json`` is the single canonical baseline path —
+    this test and an explicit ``python benchmarks/run_benchmarks.py`` run
+    both write it, so there is exactly one perf trajectory to diff across
+    PRs (run the perf bench deliberately; it updates the tracked file).
     """
     report = benchmark.pedantic(
         lambda: run_benchmarks.collect(repeats=3), rounds=1, iterations=1
     )
-    path = run_benchmarks.write_baseline(
-        report, run_benchmarks.DEFAULT_OUTPUT.parent / "results" / "BENCH_perf.json"
-    )
+    path = run_benchmarks.write_baseline(report, run_benchmarks.DEFAULT_OUTPUT)
     register_result(path)
     speedup = report["derived"]["batch_sweep_speedup"]
     benchmark.extra_info["batch_sweep_speedup"] = speedup

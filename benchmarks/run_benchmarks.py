@@ -1,24 +1,32 @@
 """Headless performance benchmark runner.
 
 Runs the engineering micro-benchmarks (no pytest, no simulators) and writes
-``BENCH_perf.json`` — median wall-clock seconds per bench plus derived
-speedup ratios — so each PR leaves a machine-readable perf trajectory to
-compare against:
+the canonical perf baseline ``benchmarks/BENCH_perf.json`` — median
+wall-clock seconds per bench plus derived speedup ratios — so each PR
+leaves a machine-readable perf trajectory to compare against:
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
 
+``--quick`` shrinks the grids (256-PE sweeps, a smaller design space) for
+CI smoke runs; pair it with ``--output`` to keep the committed baseline
+untouched.
+
 The headline numbers guard the batch solver engine: a 64-point N=1024 load
 sweep solved in one ``latency_batch`` pass versus the same grid looped
-through scalar ``latency`` calls, and the vectorized Eq. 26 saturation
-search versus the scalar bracket-plus-bisection.
+through scalar ``latency`` calls, the vectorized Eq. 26 saturation search
+versus the scalar bracket-plus-bisection, and the design-space explorer's
+candidate throughput (candidates evaluated per second, cold metrics
+cache).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import statistics
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -27,67 +35,127 @@ import numpy as np
 from repro import ButterflyFatTree, ButterflyFatTreeModel, Workload
 from repro.core.generic_model import bft_stage_graph
 from repro.core.throughput import saturation_injection_rate
+from repro.design import (
+    DesignSpace,
+    Requirements,
+    bft_space,
+    clear_metrics_cache,
+    explore,
+    hypercube_space,
+)
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_perf.json"
 
-#: Grid used by the batch-vs-scalar sweep benches (Figure-3-like range).
-SWEEP_POINTS = 64
-SWEEP_FLITS = 32
-SWEEP_PROCESSORS = 1024
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Grid sizes shared by the benches (``quick`` shrinks them for CI)."""
+
+    sweep_points: int = 64
+    sweep_flits: int = 32
+    sweep_processors: int = 1024
+    design_bft_sizes: tuple[int, ...] = (16, 64)
+    design_hypercube_dims: tuple[int, ...] = (4, 5)
+    design_flits: tuple[int, ...] = (16, 32)
+    design_patterns: tuple[str, ...] = ("uniform", "hotspot")
+    repeats: int = 5
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        return cls(
+            sweep_points=16,
+            sweep_processors=256,
+            design_bft_sizes=(16, 64),
+            design_hypercube_dims=(4,),
+            design_flits=(16,),
+            design_patterns=("uniform", "hotspot"),
+            repeats=2,
+        )
 
 
-def _sweep_rates() -> np.ndarray:
-    """64 injection rates spanning zero load to past saturation at N=1024."""
-    return np.linspace(0.002, 0.05, SWEEP_POINTS) / SWEEP_FLITS
+def _sweep_rates(cfg: BenchConfig) -> np.ndarray:
+    """Injection rates spanning zero load to past saturation."""
+    return np.linspace(0.002, 0.05, cfg.sweep_points) / cfg.sweep_flits
 
 
-def bench_model_solve_1024() -> Callable[[], object]:
-    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
-    wl = Workload.from_flit_load(0.02, SWEEP_FLITS)
+def bench_model_solve(cfg: BenchConfig) -> Callable[[], object]:
+    model = ButterflyFatTreeModel(cfg.sweep_processors)
+    wl = Workload.from_flit_load(0.02, cfg.sweep_flits)
     return lambda: model.latency(wl)
 
 
-def bench_batch_sweep_64pt_1024() -> Callable[[], object]:
-    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
-    rates = _sweep_rates()
-    return lambda: model.latency_batch(rates, SWEEP_FLITS)
+def bench_batch_sweep(cfg: BenchConfig) -> Callable[[], object]:
+    model = ButterflyFatTreeModel(cfg.sweep_processors)
+    rates = _sweep_rates(cfg)
+    return lambda: model.latency_batch(rates, cfg.sweep_flits)
 
 
-def bench_scalar_sweep_64pt_1024() -> Callable[[], object]:
-    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
-    workloads = [Workload(SWEEP_FLITS, float(x)) for x in _sweep_rates()]
+def bench_scalar_sweep(cfg: BenchConfig) -> Callable[[], object]:
+    model = ButterflyFatTreeModel(cfg.sweep_processors)
+    workloads = [Workload(cfg.sweep_flits, float(x)) for x in _sweep_rates(cfg)]
     return lambda: [model.latency(wl) for wl in workloads]
 
 
-def bench_saturation_vectorized_1024() -> Callable[[], object]:
-    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
-    return lambda: saturation_injection_rate(model, SWEEP_FLITS).flit_load
+def bench_saturation_vectorized(cfg: BenchConfig) -> Callable[[], object]:
+    model = ButterflyFatTreeModel(cfg.sweep_processors)
+    return lambda: saturation_injection_rate(model, cfg.sweep_flits).flit_load
 
 
-def bench_saturation_scalar_1024() -> Callable[[], object]:
-    model = ButterflyFatTreeModel(SWEEP_PROCESSORS)
+def bench_saturation_scalar(cfg: BenchConfig) -> Callable[[], object]:
+    model = ButterflyFatTreeModel(cfg.sweep_processors)
     return lambda: saturation_injection_rate(
-        model, SWEEP_FLITS, vectorized=False
+        model, cfg.sweep_flits, vectorized=False
     ).flit_load
 
 
-def bench_generic_graph_1024() -> Callable[[], object]:
-    wl = Workload.from_flit_load(0.02, SWEEP_FLITS)
-    return lambda: bft_stage_graph(SWEEP_PROCESSORS, wl).latency()
+def bench_generic_graph(cfg: BenchConfig) -> Callable[[], object]:
+    wl = Workload.from_flit_load(0.02, cfg.sweep_flits)
+    return lambda: bft_stage_graph(cfg.sweep_processors, wl).latency()
 
 
-def bench_topology_build_1024() -> Callable[[], object]:
-    return lambda: ButterflyFatTree(SWEEP_PROCESSORS)
+def bench_topology_build(cfg: BenchConfig) -> Callable[[], object]:
+    return lambda: ButterflyFatTree(cfg.sweep_processors)
 
 
-BENCHES: dict[str, Callable[[], Callable[[], object]]] = {
-    "model_solve_1024": bench_model_solve_1024,
-    "batch_sweep_64pt_1024": bench_batch_sweep_64pt_1024,
-    "scalar_sweep_64pt_1024": bench_scalar_sweep_64pt_1024,
-    "saturation_vectorized_1024": bench_saturation_vectorized_1024,
-    "saturation_scalar_1024": bench_saturation_scalar_1024,
-    "generic_graph_1024": bench_generic_graph_1024,
-    "topology_build_1024": bench_topology_build_1024,
+def design_space_for(cfg: BenchConfig) -> DesignSpace:
+    """The design space the explorer bench searches."""
+    return DesignSpace(
+        families=(
+            bft_space(cfg.design_bft_sizes),
+            hypercube_space(cfg.design_hypercube_dims),
+        ),
+        message_lengths=cfg.design_flits,
+        patterns=cfg.design_patterns,
+    )
+
+
+def bench_design_explore(cfg: BenchConfig) -> Callable[[], object]:
+    """Full exploration, cold metrics cache each run.
+
+    Flow propagation stays cached across runs (it is keyed per
+    size/pattern, not per run), so this times the evaluation pipeline —
+    batched latency solves, vectorized saturation searches, costing and
+    selection — exactly what repeated explorations pay.
+    """
+    space = design_space_for(cfg)
+    requirements = Requirements(demand_flit_load=0.02, latency_slo=75.0)
+
+    def run() -> object:
+        clear_metrics_cache()
+        return explore(space, requirements)
+
+    return run
+
+
+BENCHES: dict[str, Callable[[BenchConfig], Callable[[], object]]] = {
+    "model_solve": bench_model_solve,
+    "batch_sweep": bench_batch_sweep,
+    "scalar_sweep": bench_scalar_sweep,
+    "saturation_vectorized": bench_saturation_vectorized,
+    "saturation_scalar": bench_saturation_scalar,
+    "generic_graph": bench_generic_graph,
+    "topology_build": bench_topology_build,
+    "design_explore": bench_design_explore,
 }
 
 
@@ -103,26 +171,34 @@ def time_median(fn: Callable[[], object], *, repeats: int = 5, warmup: int = 1) 
     return statistics.median(samples)
 
 
-def collect(*, repeats: int = 5) -> dict:
+def collect(*, repeats: int | None = None, quick: bool = False) -> dict:
     """Run every bench and return the report mapping (see module docstring)."""
+    cfg = BenchConfig.quick() if quick else BenchConfig()
+    if repeats is not None:
+        cfg = dataclasses.replace(cfg, repeats=repeats)
     benches = {}
     for name, setup in BENCHES.items():
-        benches[name] = {"median_s": time_median(setup(), repeats=repeats)}
+        benches[name] = {"median_s": time_median(setup(cfg), repeats=cfg.repeats)}
+    n_candidates = len(design_space_for(cfg).candidates())
     derived = {
         "batch_sweep_speedup": (
-            benches["scalar_sweep_64pt_1024"]["median_s"]
-            / benches["batch_sweep_64pt_1024"]["median_s"]
+            benches["scalar_sweep"]["median_s"] / benches["batch_sweep"]["median_s"]
         ),
         "saturation_speedup": (
-            benches["saturation_scalar_1024"]["median_s"]
-            / benches["saturation_vectorized_1024"]["median_s"]
+            benches["saturation_scalar"]["median_s"]
+            / benches["saturation_vectorized"]["median_s"]
+        ),
+        "design_candidates_per_s": (
+            n_candidates / benches["design_explore"]["median_s"]
         ),
     }
     return {
-        "sweep_points": SWEEP_POINTS,
-        "message_flits": SWEEP_FLITS,
-        "num_processors": SWEEP_PROCESSORS,
-        "repeats": repeats,
+        "quick": quick,
+        "sweep_points": cfg.sweep_points,
+        "message_flits": cfg.sweep_flits,
+        "num_processors": cfg.sweep_processors,
+        "design_candidates": n_candidates,
+        "repeats": cfg.repeats,
         "benches": benches,
         "derived": derived,
     }
@@ -142,16 +218,22 @@ def main(argv=None) -> int:
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON baseline path"
     )
     parser.add_argument(
-        "--repeats", type=int, default=5, help="timed runs per bench (median kept)"
+        "--repeats", type=int, default=None, help="timed runs per bench (median kept)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grids for CI smoke runs (256-PE sweeps, reduced design space)",
     )
     args = parser.parse_args(argv)
-    report = collect(repeats=args.repeats)
+    report = collect(repeats=args.repeats, quick=args.quick)
     path = write_baseline(report, args.output)
     print(f"wrote {path}")
     for name, entry in sorted(report["benches"].items()):
         print(f"  {name:30s} {entry['median_s'] * 1e3:10.3f} ms")
     for name, value in sorted(report["derived"].items()):
-        print(f"  {name:30s} {value:10.1f}x")
+        unit = "x" if name.endswith("_speedup") else "/s"
+        print(f"  {name:30s} {value:10.1f}{unit}")
     return 0
 
 

@@ -4,18 +4,20 @@
 The scenario that motivated fat-tree machines (CM-5, Meiko CS-2): given a
 per-processor bandwidth demand and a latency budget for fine-grained
 messages, which machine sizes can sustain the workload, and how much
-headroom do they have?  The analytical model answers in milliseconds per
-configuration — no simulation required — which is exactly why such models
-matter for design-space exploration.
+headroom do they have?
+
+This example is a thin client of :mod:`repro.design`: declare the space
+(machine sizes × message lengths), state the requirements, and let
+:func:`repro.design.explore` evaluate every candidate through the batch
+engine — the whole sweep, including each candidate's batched-ladder
+saturation search, is one call.
 
 Run:  python examples/capacity_planning.py
 """
 
 from __future__ import annotations
 
-import math
-
-from repro import ButterflyFatTreeModel, Workload, saturation_injection_rate
+from repro.design import DesignSpace, Requirements, bft_space, explore
 from repro.util.tables import format_table
 
 #: Design requirements.
@@ -30,28 +32,26 @@ def main() -> None:
         f"Requirement: <= {LATENCY_BUDGET_CYCLES:.0f} cycles average latency "
         f"at {BANDWIDTH_DEMAND} flits/cycle/PE\n"
     )
-    rows = []
-    feasible: list[tuple[int, int]] = []
-    for n in MACHINE_SIZES:
-        model = ButterflyFatTreeModel(n)
-        for flits in MESSAGE_LENGTHS:
-            wl = Workload.from_flit_load(BANDWIDTH_DEMAND, flits)
-            latency = model.latency(wl)
-            sat = saturation_injection_rate(model, flits).flit_load
-            headroom = sat / BANDWIDTH_DEMAND
-            ok = math.isfinite(latency) and latency <= LATENCY_BUDGET_CYCLES
-            if ok:
-                feasible.append((n, flits))
-            rows.append(
-                (
-                    n,
-                    flits,
-                    latency,
-                    model.zero_load_latency(flits),
-                    headroom,
-                    "yes" if ok else "no",
-                )
-            )
+    space = DesignSpace(
+        families=(bft_space(MACHINE_SIZES),),
+        message_lengths=MESSAGE_LENGTHS,
+    )
+    requirements = Requirements(
+        demand_flit_load=BANDWIDTH_DEMAND, latency_slo=LATENCY_BUDGET_CYCLES
+    )
+    result = explore(space, requirements)
+
+    rows = [
+        (
+            e.candidate.num_processors,
+            e.candidate.message_flits,
+            e.latency,
+            e.metrics.zero_load_latency,
+            e.headroom,
+            "yes" if e.feasible else "no",
+        )
+        for e in result.evaluations
+    ]
     print(
         format_table(
             [
@@ -67,17 +67,30 @@ def main() -> None:
         )
     )
 
-    if feasible:
-        largest = max(feasible)
+    largest = result.largest_feasible()
+    if largest is not None:
         print(
-            f"\nLargest feasible configuration: N={largest[0]} with "
-            f"{largest[1]}-flit messages."
+            f"\nLargest feasible configuration: N={largest.candidate.num_processors} "
+            f"with {largest.candidate.message_flits}-flit messages."
+        )
+    cheapest = result.cheapest_feasible
+    if cheapest is not None:
+        print(
+            f"Cheapest feasible configuration: {cheapest.candidate.label()} "
+            f"at cost {cheapest.cost.total:.4g}."
+        )
+    frontier = result.pareto()
+    print(f"\nLatency/cost/headroom Pareto frontier ({len(frontier)} designs):")
+    for e in frontier:
+        print(
+            f"  {e.candidate.label()}: latency {e.latency:.4g} cycles, "
+            f"cost {e.cost.total:.4g}, headroom {e.headroom:.3g}x"
         )
     print(
         "\nReading the table: zero-load latency grows with message length\n"
         "(serialization) and with N (average distance, D_bar); headroom\n"
         "shrinks as N grows because per-level link bandwidth is shared by\n"
-        "more processors.  The model makes the latency/size/message-length\n"
+        "more processors.  The explorer makes the latency/size/message-length\n"
         "trade-off explicit before any hardware or simulation time is spent."
     )
 

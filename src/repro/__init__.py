@@ -39,6 +39,18 @@ from .core import (
     saturation_flit_load,
     saturation_injection_rate,
 )
+from .design import (
+    DesignSpace,
+    ExplorationResult,
+    FamilySpace,
+    LinearCostModel,
+    Requirements,
+    bft_space,
+    explore,
+    generalized_fattree_space,
+    hypercube_space,
+    kary_ncube_space,
+)
 from .errors import (
     ConfigurationError,
     ConvergenceError,
@@ -86,6 +98,7 @@ from .traffic import (
     bft_traffic_stage_graph,
     hypercube_traffic_stage_graph,
     make_spec,
+    pattern_descriptions,
 )
 
 __version__ = "1.0.0"
@@ -110,6 +123,16 @@ __all__ = [
     "load_grid_to_saturation",
     "saturation_flit_load",
     "saturation_injection_rate",
+    "DesignSpace",
+    "ExplorationResult",
+    "FamilySpace",
+    "LinearCostModel",
+    "Requirements",
+    "bft_space",
+    "explore",
+    "generalized_fattree_space",
+    "hypercube_space",
+    "kary_ncube_space",
     "ConfigurationError",
     "ConvergenceError",
     "ReproError",
@@ -138,6 +161,7 @@ __all__ = [
     "bft_traffic_stage_graph",
     "hypercube_traffic_stage_graph",
     "make_spec",
+    "pattern_descriptions",
     "BufferedWormholeSimulator",
     "EventDrivenWormholeSimulator",
     "FlitLevelWormholeSimulator",

@@ -7,8 +7,12 @@ Gives downstream users the main entry points without writing Python:
 * ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
 * ``simulate``    — one simulation run (event/flit/buffered engine);
 * ``info``        — topology summary;
+* ``patterns``    — list the registered traffic scenarios;
+* ``design``      — SLO-driven design-space exploration (feasible set,
+  cheapest design, Pareto frontier) over topology families and patterns;
 * ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
-  ablations, other-networks, crosscheck, generalized, buffering, traffic).
+  ablations, other-networks, crosscheck, generalized, buffering, traffic,
+  design).
 
 ``model``, ``sweep``, ``saturation`` and ``simulate`` all accept
 ``--pattern`` (plus ``--hotspot-fraction`` / ``--hotspot-target``): the
@@ -53,6 +57,7 @@ _EXPERIMENTS = {
     "buffering": "run_buffering",
     "service-times": "run_service_times",
     "traffic": "run_traffic_scenarios",
+    "design": "run_design_exploration",
 }
 
 _SIMULATORS = {
@@ -150,6 +155,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="topology summary")
     p_info.add_argument("--processors", "-n", type=int, default=256)
+
+    sub.add_parser(
+        "patterns", help="list registered traffic scenarios (--pattern choices)"
+    )
+
+    p_design = sub.add_parser(
+        "design",
+        help="SLO-driven design-space exploration over topology families",
+    )
+    p_design.add_argument(
+        "--families",
+        default="bft",
+        help="comma-separated topology families "
+        "(bft, generalized-fattree, hypercube, kary-ncube)",
+    )
+    p_design.add_argument(
+        "--sizes",
+        default="16,64,256,1024",
+        help="comma-separated machine sizes; sizes a family cannot realize "
+        "are dropped for that family",
+    )
+    p_design.add_argument(
+        "--flits", "-f", default="16,32,64", help="comma-separated message lengths"
+    )
+    p_design.add_argument(
+        "--patterns",
+        default="uniform",
+        help="comma-separated traffic patterns (see `repro patterns`)",
+    )
+    p_design.add_argument(
+        "--buffer-depths",
+        default="1",
+        help="comma-separated per-port buffer depths (cost-model knob)",
+    )
+    p_design.add_argument(
+        "--children", type=int, default=4, help="generalized-fattree block radix"
+    )
+    p_design.add_argument(
+        "--parents", type=int, default=2, help="generalized-fattree up-link count"
+    )
+    p_design.add_argument("--radix", type=int, default=4, help="kary-ncube radix")
+    p_design.add_argument(
+        "--demand",
+        type=float,
+        default=0.02,
+        help="demand operating point in flits/cycle/PE",
+    )
+    p_design.add_argument(
+        "--slo",
+        type=float,
+        default=75.0,
+        help="latency SLO (cycles) at the demand point",
+    )
+    p_design.add_argument(
+        "--min-headroom",
+        type=float,
+        default=1.0,
+        help="minimum saturation-load / demand ratio",
+    )
+    p_design.add_argument(
+        "--max-cost", type=float, default=None, help="optional budget cap"
+    )
+    p_design.add_argument(
+        "--processes", type=int, default=1, help="worker processes for evaluation"
+    )
+    p_design.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    p_design.add_argument(
+        "--hotspot-fraction",
+        type=float,
+        default=0.1,
+        help="hotspot pattern: probability of addressing the hot node",
+    )
+    p_design.add_argument(
+        "--hotspot-target", type=int, default=0, help="hotspot pattern: the hot node"
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -286,6 +368,111 @@ def _cmd_info(args) -> str:
     )
 
 
+def _cmd_patterns(args) -> str:
+    from .traffic.spec import pattern_descriptions
+
+    rows = sorted(pattern_descriptions().items())
+    return format_table(
+        ["pattern", "description"],
+        rows,
+        title="Registered traffic scenarios (usable as --pattern / --patterns)",
+    )
+
+
+def _split_ints(text: str, flag: str) -> list[int]:
+    from .errors import ConfigurationError
+
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise ConfigurationError(f"{flag} expects comma-separated integers, got {text!r}")
+
+
+def _exact_exponent(base: int, value: int) -> int | None:
+    """``e`` with ``base ** e == value`` (``e >= 1``), or None."""
+    if base < 2 or value < base:
+        return None
+    e, v = 0, value
+    while v % base == 0:
+        v //= base
+        e += 1
+    return e if v == 1 else None
+
+
+def _design_family_spaces(args) -> list:
+    """Map the shared --sizes axis onto each requested family's parameters.
+
+    Sizes a family cannot realize (e.g. 32 PEs for a power-of-four fat
+    tree) are dropped for that family; a family left with no sizes at all
+    is an error.
+    """
+    from .design import FamilySpace, design_family
+    from .errors import ConfigurationError
+
+    sizes = _split_ints(args.sizes, "--sizes")
+    spaces = []
+    for name in [f.strip() for f in args.families.split(",") if f.strip()]:
+        fam = design_family(name)
+        if name == "generalized-fattree":
+            assignments = [
+                {"children": args.children, "parents": args.parents, "levels": lv}
+                for lv in (_exact_exponent(args.children, n) for n in sizes)
+                if lv is not None
+            ]
+        elif name == "kary-ncube":
+            assignments = [
+                {"radix": args.radix, "dimensions": d}
+                for d in (_exact_exponent(args.radix, n) for n in sizes)
+                if d is not None
+            ]
+        else:
+            assignments = [
+                p for p in (fam.sizes_to_params(n) for n in sizes) if p is not None
+            ]
+        if not assignments:
+            raise ConfigurationError(
+                f"family {name!r} cannot realize any of the requested sizes {sizes}"
+            )
+        grid = {
+            key: tuple(dict.fromkeys(a[key] for a in assignments))
+            for key in fam.param_names
+        }
+        spaces.append(FamilySpace.build(name, **grid))
+    return spaces
+
+
+def _cmd_design(args) -> str:
+    import json
+
+    from .design import DesignSpace, Requirements, explore
+
+    patterns = tuple(
+        make_spec(
+            name.strip(),
+            hotspot_fraction=args.hotspot_fraction,
+            hotspot_target=args.hotspot_target,
+        )
+        for name in args.patterns.split(",")
+        if name.strip()
+    )
+    space = DesignSpace(
+        families=tuple(_design_family_spaces(args)),
+        message_lengths=tuple(_split_ints(args.flits, "--flits")),
+        patterns=patterns,
+        buffer_depths=tuple(_split_ints(args.buffer_depths, "--buffer-depths")),
+    )
+    requirements = Requirements(
+        demand_flit_load=args.demand,
+        latency_slo=args.slo,
+        min_headroom=args.min_headroom,
+        max_cost=args.max_cost,
+    )
+    result = explore(space, requirements, processes=args.processes)
+    if args.json:
+        return json.dumps(result.to_json(), indent=2, sort_keys=True)
+    return result.render()
+
+
 def _cmd_experiment(args) -> str:
     import os
 
@@ -307,6 +494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "saturation": _cmd_saturation,
         "simulate": _cmd_simulate,
         "info": _cmd_info,
+        "patterns": _cmd_patterns,
+        "design": _cmd_design,
         "experiment": _cmd_experiment,
     }
     try:

@@ -1,0 +1,89 @@
+"""Design-space exploration: SLO-driven search over topologies and cost.
+
+The paper's pitch is that an accurate analytical model makes design-space
+exploration cheap — "which fat-tree sustains this workload?" answered in
+milliseconds instead of simulation-hours.  This package is that product
+layer:
+
+* declare a :class:`DesignSpace` (topology-family parameter grids ×
+  message lengths × traffic patterns × buffer depths),
+* state :class:`Requirements` (latency SLO at a demand point, minimum
+  saturation headroom, optional budget),
+* call :func:`explore` — candidates evaluate through the batch engine
+  (memoized, optionally across worker processes), hardware is priced by a
+  pluggable :class:`~repro.design.cost.CostModel`, and the result exposes
+  the feasible set, the cheapest feasible design, the largest feasible
+  configuration and the latency/cost/headroom Pareto frontier.
+
+>>> from repro.design import DesignSpace, Requirements, bft_space, explore
+>>> space = DesignSpace(
+...     families=(bft_space((16, 64, 256)),),
+...     message_lengths=(16, 32),
+... )
+>>> result = explore(space, Requirements(demand_flit_load=0.02, latency_slo=75.0))
+>>> result.largest_feasible() is not None
+True
+"""
+
+from .cost import PORT_COUNT_COST, CostBreakdown, CostModel, LinearCostModel
+from .evaluate import (
+    CandidateMetrics,
+    Evaluation,
+    clear_metrics_cache,
+    evaluate_candidate,
+    metrics_cache_size,
+    metrics_for,
+)
+from .families import (
+    DesignFamily,
+    Hardware,
+    available_families,
+    design_family,
+    register_family,
+)
+from .pareto import Objective, dominates, pareto_frontier
+from .search import ExplorationResult, Requirements, explore
+from .space import (
+    Candidate,
+    DesignSpace,
+    Expansion,
+    FamilySpace,
+    SkippedCandidate,
+    bft_space,
+    generalized_fattree_space,
+    hypercube_space,
+    kary_ncube_space,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateMetrics",
+    "CostBreakdown",
+    "CostModel",
+    "DesignFamily",
+    "DesignSpace",
+    "Evaluation",
+    "Expansion",
+    "ExplorationResult",
+    "FamilySpace",
+    "Hardware",
+    "LinearCostModel",
+    "Objective",
+    "PORT_COUNT_COST",
+    "Requirements",
+    "SkippedCandidate",
+    "available_families",
+    "bft_space",
+    "clear_metrics_cache",
+    "design_family",
+    "dominates",
+    "evaluate_candidate",
+    "explore",
+    "generalized_fattree_space",
+    "hypercube_space",
+    "kary_ncube_space",
+    "metrics_cache_size",
+    "metrics_for",
+    "pareto_frontier",
+    "register_family",
+]

@@ -1,0 +1,89 @@
+"""Pluggable hardware cost models (Solnushkin-style).
+
+Solnushkin's automated fat-tree design procedure attaches a cost figure to
+every enumerated network and returns the cheapest design meeting the
+requirement.  This module provides the same ingredient for the explorer: a
+cost model is any object with a ``cost(candidate, hardware)`` method
+returning a :class:`CostBreakdown`; the hardware inventory (switch, link
+and port counts) comes from :class:`~repro.design.families.Hardware`.
+
+:class:`LinearCostModel` is the default — a linear price over switches,
+links, ports and buffer storage (``ports * buffer_depth`` flits, making
+buffer depth a real cost/performance trade-off even though the analytical
+latency model is buffer-independent).  :data:`PORT_COUNT_COST` prices by
+port count alone, the classic proxy for switch silicon area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ConfigurationError
+from .families import Hardware
+from .space import Candidate
+
+__all__ = ["CostBreakdown", "CostModel", "LinearCostModel", "PORT_COUNT_COST"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One candidate's priced bill of materials."""
+
+    switches: float
+    links: float
+    ports: float
+    buffers: float
+
+    @property
+    def total(self) -> float:
+        return self.switches + self.links + self.ports + self.buffers
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "switches": self.switches,
+            "links": self.links,
+            "ports": self.ports,
+            "buffers": self.buffers,
+            "total": self.total,
+        }
+
+
+class CostModel(Protocol):
+    """Anything that can price a candidate's hardware inventory."""
+
+    def cost(self, candidate: Candidate, hardware: Hardware) -> CostBreakdown: ...
+
+
+@dataclass(frozen=True)
+class LinearCostModel:
+    """Linear price per switch, link, port and buffered flit of storage.
+
+    The defaults keep the components on comparable scales for the machine
+    sizes the paper studies; they are unit-free weights, not dollars —
+    swap in site-specific figures for real procurement studies.
+    """
+
+    switch_cost: float = 50.0
+    link_cost: float = 2.0
+    port_cost: float = 5.0
+    buffer_flit_cost: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("switch_cost", "link_cost", "port_cost", "buffer_flit_cost"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def cost(self, candidate: Candidate, hardware: Hardware) -> CostBreakdown:
+        return CostBreakdown(
+            switches=self.switch_cost * hardware.switches,
+            links=self.link_cost * hardware.links,
+            ports=self.port_cost * hardware.ports,
+            buffers=self.buffer_flit_cost * hardware.ports * candidate.buffer_depth,
+        )
+
+
+#: Price by switch-port count only (the silicon-area proxy).
+PORT_COUNT_COST = LinearCostModel(
+    switch_cost=0.0, link_cost=0.0, port_cost=1.0, buffer_flit_cost=0.0
+)

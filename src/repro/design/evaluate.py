@@ -1,0 +1,272 @@
+"""Candidate evaluation: batch-engine metrics, memoized and fanned out.
+
+Each candidate costs two model-side quantities:
+
+* the mean latency at the requirement's demand point — one
+  ``latency_batch`` evaluation for batch-capable evaluators (every fat-tree
+  and stage-graph model), scalar ``latency`` for the Dally torus baseline;
+* the saturation flit load — the vectorized Eq. 26 bracket
+  (:func:`~repro.core.throughput.saturation_injection_rate`, a handful of
+  ``stability_batch`` solves) where available, the closed-form capacity
+  bound where the evaluator provides one, the scalar bisection otherwise.
+
+Results are *memoized* in two layers keyed by the model identity
+``(family, params, message_flits, spec)``: the saturation search and the
+zero-load limit are demand-independent and cached once per model, while
+the demand-point latency is cached per ``(model, demand)``.  Candidates
+differing only in buffer depth (a cost-model knob) share one evaluation,
+repeated :func:`~repro.design.search.explore` calls over overlapping
+spaces only pay for the new points, and re-exploring the same space at a
+*different* demand re-runs only the cheap single-point latency solves —
+never the saturation ladders.  Uncached work fans out across worker
+processes through :func:`~repro.util.parallel.parallel_map`; the parent
+merges the returned metrics back into the caches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import Workload
+from ..errors import ConfigurationError, SaturatedError
+from ..util.parallel import parallel_map
+from .cost import CostBreakdown
+from .families import Hardware, design_family
+from .space import Candidate
+
+__all__ = [
+    "CandidateMetrics",
+    "Evaluation",
+    "evaluate_candidate",
+    "metrics_for",
+    "clear_metrics_cache",
+    "metrics_cache_size",
+]
+
+
+@dataclass(frozen=True)
+class CandidateMetrics:
+    """Model-side performance of one candidate at one demand point.
+
+    ``latency`` is the mean latency (cycles) at the demand flit load
+    (``inf`` past saturation); ``saturation_flit_load`` the Eq. 26 boundary
+    in flits/cycle/PE; ``zero_load_latency`` the contention-free limit.
+    """
+
+    latency: float
+    zero_load_latency: float
+    saturation_flit_load: float
+
+    def headroom(self, demand_flit_load: float) -> float:
+        """Saturation load over demand (>= 1 means the demand is inside)."""
+        return self.saturation_flit_load / demand_flit_load
+
+
+def _model_key(candidate: Candidate):
+    # buffer_depth deliberately excluded: it never enters the latency model.
+    return (
+        candidate.family,
+        candidate.params,
+        candidate.message_flits,
+        candidate.spec,
+    )
+
+
+def _metrics_key(candidate: Candidate, demand_flit_load: float):
+    return (_model_key(candidate), demand_flit_load)
+
+
+#: Demand-independent memo: model key -> (zero_load_latency, saturation).
+_SATURATION_CACHE: dict[tuple, tuple[float, float]] = {}
+#: Demand-dependent memo: (model key, demand) -> latency at that demand.
+_LATENCY_CACHE: dict[tuple, float] = {}
+
+
+def clear_metrics_cache() -> None:
+    """Drop every memoized evaluation (tests and long-lived services)."""
+    _SATURATION_CACHE.clear()
+    _LATENCY_CACHE.clear()
+
+
+def metrics_cache_size() -> int:
+    """Number of memoized ``(model, demand)`` latency evaluations."""
+    return len(_LATENCY_CACHE)
+
+
+def _latency_at(model, flit_load: float, message_flits: int) -> float:
+    """Mean latency at one operating point through the batch engine."""
+    if hasattr(model, "latency_batch"):
+        rates = np.array([flit_load / message_flits])
+        return float(model.latency_batch(rates, message_flits)[0])
+    return model.latency(Workload.from_flit_load(flit_load, message_flits))
+
+
+def _saturation_flit_load(model, message_flits: int) -> float:
+    """Eq. 26 saturation load; closed form when the evaluator has one."""
+    closed_form = getattr(model, "saturation_flit_load", None)
+    if callable(closed_form):
+        return closed_form(message_flits)
+    from ..core.throughput import saturation_injection_rate
+
+    try:
+        return saturation_injection_rate(model, message_flits).flit_load
+    except SaturatedError:
+        # Unstable at every probed rate: no usable operating range.
+        return 0.0
+
+
+def _check_demand(demand_flit_load: float) -> None:
+    if not (demand_flit_load > 0.0) or not math.isfinite(demand_flit_load):
+        raise ConfigurationError(
+            f"demand_flit_load must be positive and finite, got {demand_flit_load!r}"
+        )
+
+
+def compute_metrics(
+    candidate: Candidate, demand_flit_load: float, need_saturation: bool = True
+) -> CandidateMetrics:
+    """Evaluate one candidate from scratch (no cache interaction).
+
+    ``need_saturation=False`` skips the (comparatively expensive) Eq. 26
+    search and reports ``nan`` for the demand-independent fields — the
+    memo layer uses this when only the latency at a new demand is missing.
+    """
+    _check_demand(demand_flit_load)
+    fam = design_family(candidate.family)
+    model = fam.evaluator(
+        candidate.params_dict, candidate.spec, candidate.message_flits
+    )
+    flits = candidate.message_flits
+    return CandidateMetrics(
+        latency=_latency_at(model, demand_flit_load, flits),
+        zero_load_latency=(
+            float(flits) + model.average_distance - 1.0
+            if need_saturation
+            else math.nan
+        ),
+        saturation_flit_load=(
+            _saturation_flit_load(model, flits) if need_saturation else math.nan
+        ),
+    )
+
+
+def _metrics_worker(task: tuple[Candidate, float, bool]) -> CandidateMetrics:
+    """Module-level worker so tasks pickle for process fan-out."""
+    return compute_metrics(*task)
+
+
+def metrics_for(
+    candidates: Sequence[Candidate],
+    demand_flit_load: float,
+    *,
+    processes: int = 1,
+    chunksize: int = 1,
+) -> dict[tuple, CandidateMetrics]:
+    """Metrics for every candidate, memoized, computed in parallel.
+
+    Deduplicates by model key (candidates differing only in buffer depth
+    collapse to one evaluation), fans the uncached work out over
+    ``processes`` workers — skipping the saturation search for models
+    whose demand-independent half is already cached — merges the results
+    into the per-process caches, and returns a ``{key: metrics}`` mapping
+    covering all inputs; read it back through :func:`_metrics_key`.
+    """
+    _check_demand(demand_flit_load)
+    fresh: dict[tuple, tuple[Candidate, bool]] = {}
+    for c in candidates:
+        mk = _model_key(c)
+        need_saturation = mk not in _SATURATION_CACHE
+        need_latency = (mk, demand_flit_load) not in _LATENCY_CACHE
+        if (need_saturation or need_latency) and mk not in fresh:
+            fresh[mk] = (c, need_saturation)
+    if fresh:
+        tasks = [(c, demand_flit_load, sat) for c, sat in fresh.values()]
+        results = parallel_map(
+            _metrics_worker, tasks, processes=processes, chunksize=chunksize
+        )
+        for (mk, (_, need_saturation)), metrics in zip(fresh.items(), results):
+            _LATENCY_CACHE[(mk, demand_flit_load)] = metrics.latency
+            if need_saturation:
+                _SATURATION_CACHE[mk] = (
+                    metrics.zero_load_latency,
+                    metrics.saturation_flit_load,
+                )
+    out: dict[tuple, CandidateMetrics] = {}
+    for c in candidates:
+        mk = _model_key(c)
+        zero_load, saturation = _SATURATION_CACHE[mk]
+        out[(mk, demand_flit_load)] = CandidateMetrics(
+            latency=_LATENCY_CACHE[(mk, demand_flit_load)],
+            zero_load_latency=zero_load,
+            saturation_flit_load=saturation,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One candidate joined with its metrics, hardware, cost and verdict.
+
+    ``headroom`` is demand-relative (saturation load over the requirement's
+    demand load) and is attached by the search so the record stays
+    self-contained.
+    """
+
+    candidate: Candidate
+    metrics: CandidateMetrics
+    hardware: Hardware
+    cost: CostBreakdown
+    headroom: float
+    violations: tuple[str, ...]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    @property
+    def latency(self) -> float:
+        return self.metrics.latency
+
+    @property
+    def saturation_flit_load(self) -> float:
+        return self.metrics.saturation_flit_load
+
+    def as_json(self) -> dict:
+        """JSON-safe record (non-finite floats become None)."""
+
+        def num(x: float):
+            return float(x) if math.isfinite(x) else None
+
+        return {
+            "family": self.candidate.family,
+            "params": dict(self.candidate.params),
+            "num_processors": self.candidate.num_processors,
+            "message_flits": self.candidate.message_flits,
+            "pattern": self.candidate.pattern,
+            "buffer_depth": self.candidate.buffer_depth,
+            "latency": num(self.metrics.latency),
+            "zero_load_latency": num(self.metrics.zero_load_latency),
+            "saturation_flit_load": num(self.metrics.saturation_flit_load),
+            "headroom": num(self.headroom),
+            "hardware": {
+                "switches": self.hardware.switches,
+                "links": self.hardware.links,
+                "ports": self.hardware.ports,
+            },
+            "cost": self.cost.as_dict(),
+            "feasible": self.feasible,
+            "violations": list(self.violations),
+        }
+
+
+def evaluate_candidate(
+    candidate: Candidate, demand_flit_load: float
+) -> CandidateMetrics:
+    """Memoized metrics of one candidate (single-point convenience API)."""
+    return metrics_for([candidate], demand_flit_load)[
+        _metrics_key(candidate, demand_flit_load)
+    ]

@@ -1,0 +1,365 @@
+"""Topology families the design-space explorer can instantiate.
+
+A :class:`DesignFamily` bundles everything the search driver needs to know
+about one network family:
+
+* which structural parameters describe a member (``param_names``) and how
+  to validate a concrete assignment;
+* how large the machine is (``num_processors``);
+* how much hardware a member uses (``hardware`` — switch / link / port
+  counts, read off the constructed topology so the cost models and the
+  simulators always agree on what was built);
+* how to build the *evaluator* — the analytical model object whose
+  ``latency_batch`` / ``stability_batch`` (or scalar fallbacks) the batch
+  engine consumes — for a given traffic spec and message length.
+
+Four families ship by default:
+
+* ``bft`` — the paper's 4-2 butterfly fat-tree
+  (:class:`~repro.core.bft_model.ButterflyFatTreeModel`), pattern-aware via
+  ``traffic_model``;
+* ``generalized-fattree`` — the (children, parents) generalization
+  (:class:`~repro.core.generalized_model.GeneralizedFatTreeModel`),
+  uniform traffic only;
+* ``hypercube`` — the Section 2 general model on a binary e-cube hypercube,
+  pattern-aware via
+  :func:`~repro.traffic.analytic.hypercube_traffic_stage_graph`;
+* ``kary-ncube`` — the Dally torus baseline
+  (:class:`~repro.baselines.dally.DallyKaryNCubeModel`), uniform traffic
+  only (the search's scalar path exercises it).
+
+``register_family`` admits project-specific families without touching this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+from ..config import Workload
+from ..errors import ConfigurationError
+from ..util.validation import check_power_of
+
+__all__ = [
+    "Hardware",
+    "DesignFamily",
+    "register_family",
+    "design_family",
+    "available_families",
+]
+
+
+@dataclass(frozen=True)
+class Hardware:
+    """Hardware inventory of one candidate network.
+
+    ``switches`` counts routing nodes, ``links`` unidirectional channels
+    (injection and ejection channels included, matching the topology
+    objects), and ``ports`` switch-side link endpoints — each
+    switch-to-switch channel occupies two ports, each injection or
+    ejection channel one.  These are the quantities Solnushkin-style cost
+    models price.
+    """
+
+    switches: int
+    links: int
+    ports: int
+
+
+def _hardware_of(topology) -> Hardware:
+    """Read the inventory off a constructed topology object."""
+    n = topology.num_processors
+    return Hardware(
+        switches=topology.num_nodes - n,
+        links=topology.num_links,
+        # Every link endpoint that lands on a switch is a port; the 2*N
+        # PE-side endpoints of the injection/ejection channels are not.
+        ports=2 * topology.num_links - 2 * n,
+    )
+
+
+class DesignFamily:
+    """One searchable topology family (see module docstring).
+
+    Subclasses set :attr:`name`, :attr:`param_names` and
+    :attr:`supports_patterns`, and implement the four hooks below.
+    ``params`` is always a plain ``{name: int}`` mapping covering exactly
+    ``param_names``.
+    """
+
+    name: str = "base"
+    param_names: tuple[str, ...] = ()
+    #: Whether non-uniform TrafficSpecs have a pattern-aware evaluator.
+    supports_patterns: bool = False
+
+    def validate(self, params: Mapping[str, int]) -> None:
+        """Raise :class:`ConfigurationError` for an invalid assignment."""
+        missing = [p for p in self.param_names if p not in params]
+        extra = [p for p in params if p not in self.param_names]
+        if missing or extra:
+            raise ConfigurationError(
+                f"family {self.name!r} takes parameters {self.param_names}, "
+                f"got {tuple(sorted(params))}"
+            )
+        for p in self.param_names:
+            if not isinstance(params[p], int):
+                raise ConfigurationError(
+                    f"family {self.name!r}: parameter {p!r} must be an "
+                    f"integer, got {params[p]!r}"
+                )
+
+    def num_processors(self, params: Mapping[str, int]) -> int:
+        """Machine size of the assignment (validates first)."""
+        raise NotImplementedError
+
+    def topology(self, params: Mapping[str, int]):
+        """Construct the concrete topology object (hardware accounting)."""
+        raise NotImplementedError
+
+    def evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        """Build the analytical evaluator for ``spec`` at ``message_flits``.
+
+        For ``uniform`` specs this is the family's closed-form (or
+        uniform stage-graph) model; for other patterns it is the
+        pattern-aware channel graph.  Raises when the family has no
+        pattern-aware form and a non-uniform spec is requested (the
+        expansion layer normally filters these earlier).
+        """
+        raise NotImplementedError
+
+    def hardware(self, params: Mapping[str, int]) -> Hardware:
+        """Switch/link/port inventory (memoized per assignment)."""
+        self.validate(params)
+        return _cached_hardware(self.name, tuple(sorted(params.items())))
+
+    def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
+        """Parameter assignment realizing ``num_processors``, or None.
+
+        Lets callers sweep an abstract machine-size axis across families
+        (the CLI's ``--sizes``); families whose size grid does not contain
+        the value return None.
+        """
+        raise NotImplementedError
+
+    def _reject_pattern(self, spec) -> None:
+        if spec is not None and spec.name != "uniform":
+            raise ConfigurationError(
+                f"family {self.name!r} has no pattern-aware model; "
+                f"pattern {spec.name!r} is only supported on families "
+                f"{tuple(f for f, fam in _REGISTRY.items() if fam.supports_patterns)}"
+            )
+
+
+@lru_cache(maxsize=256)
+def _cached_hardware(family: str, params_items: tuple[tuple[str, int], ...]) -> Hardware:
+    fam = design_family(family)
+    return _hardware_of(fam.topology(dict(params_items)))
+
+
+def _reference_workload(message_flits: int) -> Workload:
+    """The (arbitrary) rate stage graphs are built at; rates scale linearly."""
+    return Workload(message_flits, 1.0 / (100.0 * message_flits))
+
+
+# Flow propagation (spec -> per-channel rates) is the dominant cost of a
+# pattern-aware evaluation and is independent of message length, so the
+# explorer caches ChannelFlows per (size, spec) — the message-length axis of
+# a design space then reuses one propagation.  TrafficSpec instances are
+# frozen dataclasses, hence usable as cache keys.
+
+
+@lru_cache(maxsize=64)
+def _cached_bft_flows(num_processors: int, spec):
+    from ..topology.butterfly_fattree import ButterflyFatTree
+    from ..traffic.flows import bft_channel_flows
+
+    return bft_channel_flows(ButterflyFatTree(num_processors), spec)
+
+
+@lru_cache(maxsize=64)
+def _cached_hypercube_flows(dimension: int, spec):
+    from ..topology.hypercube import Hypercube
+    from ..traffic.flows import single_path_flows
+
+    return single_path_flows(Hypercube(dimension), spec)
+
+
+class _BftFamily(DesignFamily):
+    name = "bft"
+    param_names = ("processors",)
+    supports_patterns = True
+
+    def validate(self, params: Mapping[str, int]) -> None:
+        super().validate(params)
+        check_power_of("processors", params["processors"], 4)
+
+    def num_processors(self, params: Mapping[str, int]) -> int:
+        self.validate(params)
+        return params["processors"]
+
+    def topology(self, params: Mapping[str, int]):
+        from ..topology.butterfly_fattree import ButterflyFatTree
+
+        return ButterflyFatTree(params["processors"])
+
+    def evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..core.bft_model import ButterflyFatTreeModel
+        from ..traffic.analytic import stage_graph_from_flows
+
+        self.validate(params)
+        if spec is None or spec.name == "uniform":
+            return ButterflyFatTreeModel(params["processors"])
+        flows = _cached_bft_flows(params["processors"], spec)
+        return stage_graph_from_flows(flows, _reference_workload(message_flits))
+
+    def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
+        try:
+            check_power_of("processors", num_processors, 4)
+        except ConfigurationError:
+            return None
+        return {"processors": num_processors}
+
+
+class _GeneralizedFatTreeFamily(DesignFamily):
+    name = "generalized-fattree"
+    param_names = ("children", "parents", "levels")
+    supports_patterns = False
+
+    def validate(self, params: Mapping[str, int]) -> None:
+        super().validate(params)
+        if params["children"] < 2:
+            raise ConfigurationError("children must be >= 2")
+        if params["parents"] < 1:
+            raise ConfigurationError("parents must be >= 1")
+        if params["levels"] < 1:
+            raise ConfigurationError("levels must be >= 1")
+
+    def num_processors(self, params: Mapping[str, int]) -> int:
+        self.validate(params)
+        return params["children"] ** params["levels"]
+
+    def topology(self, params: Mapping[str, int]):
+        from ..topology.generalized_fattree import GeneralizedFatTree
+
+        return GeneralizedFatTree(
+            params["children"], params["parents"], params["levels"]
+        )
+
+    def evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..core.generalized_model import GeneralizedFatTreeModel
+
+        self.validate(params)
+        self._reject_pattern(spec)
+        return GeneralizedFatTreeModel(
+            params["children"], params["parents"], params["levels"]
+        )
+
+    def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
+        # The size axis alone does not pin (children, parents); families
+        # with free arity are swept through explicit FamilySpace grids.
+        return None
+
+
+class _HypercubeFamily(DesignFamily):
+    name = "hypercube"
+    param_names = ("dimension",)
+    supports_patterns = True
+
+    def validate(self, params: Mapping[str, int]) -> None:
+        super().validate(params)
+        if params["dimension"] < 1:
+            raise ConfigurationError("dimension must be >= 1")
+
+    def num_processors(self, params: Mapping[str, int]) -> int:
+        self.validate(params)
+        return 1 << params["dimension"]
+
+    def topology(self, params: Mapping[str, int]):
+        from ..topology.hypercube import Hypercube
+
+        return Hypercube(params["dimension"])
+
+    def evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..core.generic_model import hypercube_stage_graph
+        from ..traffic.analytic import stage_graph_from_flows
+
+        self.validate(params)
+        wl = _reference_workload(message_flits)
+        if spec is None or spec.name == "uniform":
+            return hypercube_stage_graph(params["dimension"], wl)
+        flows = _cached_hypercube_flows(params["dimension"], spec)
+        return stage_graph_from_flows(flows, wl)
+
+    def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
+        if num_processors < 2:
+            return None
+        d = num_processors.bit_length() - 1
+        return {"dimension": d} if (1 << d) == num_processors else None
+
+
+class _KaryNCubeFamily(DesignFamily):
+    name = "kary-ncube"
+    param_names = ("radix", "dimensions")
+    supports_patterns = False
+
+    def validate(self, params: Mapping[str, int]) -> None:
+        super().validate(params)
+        if params["radix"] < 2:
+            raise ConfigurationError("radix must be >= 2")
+        if params["dimensions"] < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+
+    def num_processors(self, params: Mapping[str, int]) -> int:
+        self.validate(params)
+        return params["radix"] ** params["dimensions"]
+
+    def topology(self, params: Mapping[str, int]):
+        from ..topology.kary_ncube import KaryNCube
+
+        return KaryNCube(params["radix"], params["dimensions"])
+
+    def evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..baselines.dally import DallyKaryNCubeModel
+
+        self.validate(params)
+        self._reject_pattern(spec)
+        return DallyKaryNCubeModel(params["radix"], params["dimensions"])
+
+    def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
+        # Free radix: like the generalized fat-tree, swept explicitly.
+        return None
+
+
+_REGISTRY: dict[str, DesignFamily] = {}
+
+
+def register_family(family: DesignFamily) -> DesignFamily:
+    """Add a family to the registry (keyed by ``family.name``)."""
+    _REGISTRY[family.name] = family
+    return family
+
+
+for _fam in (
+    _BftFamily(),
+    _GeneralizedFatTreeFamily(),
+    _HypercubeFamily(),
+    _KaryNCubeFamily(),
+):
+    register_family(_fam)
+
+
+def design_family(name: str) -> DesignFamily:
+    """Look up a registered family by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown design family {name!r}; known: {', '.join(available_families())}"
+        ) from None
+
+
+def available_families() -> list[str]:
+    """Registered family names (the CLI's ``--families`` choices)."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,67 @@
+"""Pareto-dominance utilities for multi-objective design selection.
+
+The explorer reports the latency / cost / headroom trade-off surface as a
+Pareto frontier: a design is kept when no other design is at least as good
+on every objective and strictly better on one.  The helpers here are
+objective-agnostic — objectives are ``(key, sense)`` pairs — so callers can
+add axes (e.g. power, switch count) without touching the algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+__all__ = ["Objective", "pareto_frontier", "dominates"]
+
+
+class Objective:
+    """One optimization axis: a value extractor plus a direction.
+
+    ``sense`` is ``"min"`` or ``"max"``; values are compared after negating
+    maximized axes, so dominance is uniformly "smaller or equal".
+    """
+
+    def __init__(self, key: Callable[[T], float], sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ConfigurationError(f"sense must be 'min' or 'max', got {sense!r}")
+        self.key = key
+        self.sense = sense
+
+    def value(self, item: T) -> float:
+        v = float(self.key(item))
+        return v if self.sense == "min" else -v
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimize all)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(
+    items: Sequence[T], objectives: Sequence[Objective]
+) -> tuple[T, ...]:
+    """The non-dominated subset of ``items`` under ``objectives``.
+
+    Items with a non-finite value on any axis are excluded up front — a
+    saturated design (infinite latency) cannot trade off against anything.
+    Input order is preserved; duplicates on every axis all survive (they
+    tie, and ties never dominate).
+    """
+    if not objectives:
+        raise ConfigurationError("objectives must be non-empty")
+    scored = []
+    for item in items:
+        vec = [obj.value(item) for obj in objectives]
+        if all(math.isfinite(v) for v in vec):
+            scored.append((item, vec))
+    frontier = [
+        item
+        for item, vec in scored
+        if not any(dominates(other, vec) for _, other in scored if other is not vec)
+    ]
+    return tuple(frontier)

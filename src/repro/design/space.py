@@ -1,0 +1,312 @@
+"""Declarative design spaces: what the explorer enumerates.
+
+A :class:`DesignSpace` is the cross product of
+
+* one or more :class:`FamilySpace` parameter grids (topology family plus a
+  value list per structural parameter — BFT sizes, generalized fat-tree
+  arities, hypercube dimensions, torus radix/dimension),
+* a message-length axis,
+* a traffic-pattern axis (:class:`~repro.traffic.spec.TrafficSpec`
+  instances, or registry names resolved through
+  :func:`~repro.traffic.spec.make_spec`), and
+* a buffer-depth axis (a structural knob priced by the cost models; the
+  analytical latency model is buffer-independent, so candidates differing
+  only in depth share one memoized evaluation).
+
+Expansion validates every combination: structurally invalid parameter
+assignments raise immediately, while combinations a pattern cannot apply to
+(a family without a pattern-aware model, or a size the pattern rejects —
+e.g. transpose on an odd power of two) are *skipped* and reported, never
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from ..traffic.spec import TrafficSpec, make_spec
+from .families import design_family
+
+__all__ = [
+    "FamilySpace",
+    "DesignSpace",
+    "Candidate",
+    "Expansion",
+    "SkippedCandidate",
+    "bft_space",
+    "generalized_fattree_space",
+    "hypercube_space",
+    "kary_ncube_space",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete design point of a :class:`DesignSpace`.
+
+    ``params`` is a sorted, hashable ``((name, value), ...)`` tuple so
+    candidates can key caches and cross process boundaries; ``spec`` is the
+    concrete traffic pattern (``uniform`` routes to the family's closed
+    form).  ``buffer_depth`` (flits per port) only enters the cost models.
+    """
+
+    family: str
+    params: tuple[tuple[str, int], ...]
+    message_flits: int
+    spec: TrafficSpec
+    buffer_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.message_flits, int) or self.message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        if not isinstance(self.buffer_depth, int) or self.buffer_depth < 1:
+            raise ConfigurationError("buffer_depth must be a positive integer")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @property
+    def pattern(self) -> str:
+        return self.spec.name
+
+    @property
+    def params_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def num_processors(self) -> int:
+        return design_family(self.family).num_processors(self.params_dict)
+
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. ``bft(processors=64)``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        tail = f", b={self.buffer_depth}" if self.buffer_depth != 1 else ""
+        return f"{self.family}({inner}) f={self.message_flits} {self.pattern}{tail}"
+
+
+@dataclass(frozen=True)
+class SkippedCandidate:
+    """A combination the expansion rejected, with the reason."""
+
+    family: str
+    params: tuple[tuple[str, int], ...]
+    message_flits: int
+    pattern: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """The outcome of enumerating a space: valid candidates plus skips."""
+
+    candidates: tuple[Candidate, ...]
+    skipped: tuple[SkippedCandidate, ...]
+
+
+def _as_value_tuple(name: str, values: Iterable[int]) -> tuple[int, ...]:
+    out = tuple(values)
+    if not out:
+        raise ConfigurationError(f"{name} must be a non-empty value list")
+    if len(set(out)) != len(out):
+        raise ConfigurationError(f"{name} contains duplicate values: {out!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class FamilySpace:
+    """The parameter grid of one topology family.
+
+    ``parameters`` maps each of the family's parameter names to the value
+    list swept for it; the family's full cross product is enumerated.
+    """
+
+    family: str
+    parameters: tuple[tuple[str, tuple[int, ...]], ...]
+
+    def __post_init__(self) -> None:
+        fam = design_family(self.family)
+        params = dict(self.parameters)
+        if tuple(sorted(params)) != tuple(sorted(fam.param_names)):
+            raise ConfigurationError(
+                f"family {self.family!r} takes parameters {fam.param_names}, "
+                f"got {tuple(sorted(params))}"
+            )
+        normalized = tuple(
+            (name, _as_value_tuple(f"{self.family}.{name}", params[name]))
+            for name in fam.param_names
+        )
+        object.__setattr__(self, "parameters", normalized)
+
+    @classmethod
+    def build(cls, family: str, **parameters: Iterable[int]) -> "FamilySpace":
+        """Keyword-argument constructor (``FamilySpace.build("bft", processors=(16, 64))``)."""
+        return cls(family, tuple((k, tuple(v)) for k, v in parameters.items()))
+
+    def assignments(self) -> list[dict[str, int]]:
+        """Every concrete ``{param: value}`` assignment of the grid."""
+        names = [name for name, _ in self.parameters]
+        grids = [values for _, values in self.parameters]
+        return [dict(zip(names, combo)) for combo in itertools.product(*grids)]
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for _, values in self.parameters:
+            out *= len(values)
+        return out
+
+
+def bft_space(processors: Iterable[int]) -> FamilySpace:
+    """Butterfly fat-tree grid over machine sizes (powers of four)."""
+    return FamilySpace.build("bft", processors=processors)
+
+
+def generalized_fattree_space(
+    children: Iterable[int], parents: Iterable[int], levels: Iterable[int]
+) -> FamilySpace:
+    """Generalized (c, p) fat-tree grid over arities and heights."""
+    return FamilySpace.build(
+        "generalized-fattree", children=children, parents=parents, levels=levels
+    )
+
+
+def hypercube_space(dimensions: Iterable[int]) -> FamilySpace:
+    """Binary hypercube grid over dimensions."""
+    return FamilySpace.build("hypercube", dimension=dimensions)
+
+
+def kary_ncube_space(radix: Iterable[int], dimensions: Iterable[int]) -> FamilySpace:
+    """Unidirectional k-ary n-cube grid over radix and dimension."""
+    return FamilySpace.build("kary-ncube", radix=radix, dimensions=dimensions)
+
+
+def _normalize_patterns(patterns) -> tuple[TrafficSpec, ...]:
+    out: list[TrafficSpec] = []
+    for p in patterns:
+        if isinstance(p, str):
+            out.append(make_spec(p))
+        elif isinstance(p, TrafficSpec):
+            out.append(p)
+        else:
+            raise ConfigurationError(
+                f"patterns must be TrafficSpec instances or registry names, got {p!r}"
+            )
+    if not out:
+        raise ConfigurationError("patterns must be non-empty")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A declarative search space (see module docstring).
+
+    Attributes
+    ----------
+    families:
+        One or more :class:`FamilySpace` grids (a bare :class:`FamilySpace`
+        is promoted to a one-element tuple).
+    message_lengths:
+        Worm lengths in flits.
+    patterns:
+        Traffic scenarios — spec instances or registry names.  Defaults to
+        the paper's uniform assumption.
+    buffer_depths:
+        Per-port buffer depths in flits (cost-model knob).
+    """
+
+    families: tuple[FamilySpace, ...]
+    message_lengths: tuple[int, ...]
+    patterns: tuple[TrafficSpec, ...] = field(default=("uniform",))
+    buffer_depths: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        families = (
+            (self.families,)
+            if isinstance(self.families, FamilySpace)
+            else tuple(self.families)
+        )
+        if not families:
+            raise ConfigurationError("families must be non-empty")
+        object.__setattr__(self, "families", families)
+        object.__setattr__(
+            self, "message_lengths", _as_value_tuple("message_lengths", self.message_lengths)
+        )
+        for f in self.message_lengths:
+            if not isinstance(f, int) or f <= 0:
+                raise ConfigurationError(
+                    f"message_lengths must be positive integers, got {f!r}"
+                )
+        object.__setattr__(self, "patterns", _normalize_patterns(self.patterns))
+        object.__setattr__(
+            self, "buffer_depths", _as_value_tuple("buffer_depths", self.buffer_depths)
+        )
+        for b in self.buffer_depths:
+            if not isinstance(b, int) or b < 1:
+                raise ConfigurationError(
+                    f"buffer_depths must be positive integers, got {b!r}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Upper bound on the candidate count (before pattern skips)."""
+        return (
+            sum(f.size for f in self.families)
+            * len(self.message_lengths)
+            * len(self.patterns)
+            * len(self.buffer_depths)
+        )
+
+    def expand(self) -> Expansion:
+        """Enumerate the space: validated candidates plus reported skips.
+
+        Structural errors (an invalid parameter assignment) raise; pattern
+        incompatibilities — a family without a pattern-aware model, or a
+        machine size the spec itself rejects — become
+        :class:`SkippedCandidate` records so no combination disappears
+        silently.
+        """
+        candidates: list[Candidate] = []
+        skipped: list[SkippedCandidate] = []
+        for fspace in self.families:
+            fam = design_family(fspace.family)
+            for params in fspace.assignments():
+                fam.validate(params)
+                n = fam.num_processors(params)
+                items = tuple(sorted(params.items()))
+                for spec in self.patterns:
+                    reason = self._pattern_reason(fam, spec, n)
+                    for flits in self.message_lengths:
+                        if reason is not None:
+                            skipped.append(
+                                SkippedCandidate(
+                                    fam.name, items, flits, spec.name, reason
+                                )
+                            )
+                            continue
+                        for depth in self.buffer_depths:
+                            candidates.append(
+                                Candidate(
+                                    family=fam.name,
+                                    params=items,
+                                    message_flits=flits,
+                                    spec=spec,
+                                    buffer_depth=depth,
+                                )
+                            )
+        return Expansion(tuple(candidates), tuple(skipped))
+
+    @staticmethod
+    def _pattern_reason(fam, spec: TrafficSpec, num_processors: int) -> str | None:
+        """Why ``spec`` cannot run on this family member (None when it can)."""
+        if spec.name != "uniform" and not fam.supports_patterns:
+            return f"family {fam.name!r} has no pattern-aware model"
+        try:
+            spec.validate(num_processors)
+        except ConfigurationError as exc:
+            return f"pattern {spec.name!r} rejects N={num_processors}: {exc}"
+        return None
+
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The valid candidates of :meth:`expand` (skips discarded)."""
+        return self.expand().candidates

@@ -12,7 +12,9 @@
 * :mod:`repro.experiments.crosscheck` — event-driven vs flit-level
   simulator validation;
 * :mod:`repro.experiments.traffic_scenarios` — pattern-aware model vs
-  simulation under non-uniform traffic (hotspot, transpose, ...).
+  simulation under non-uniform traffic (hotspot, transpose, ...);
+* :mod:`repro.experiments.design_exploration` — SLO-driven sizing of a
+  CM-5-class machine through the design-space explorer.
 
 All experiments honour ``REPRO_FULL=1`` for paper-scale runs and default to
 quick mode (see :mod:`repro.experiments.common`).
@@ -22,6 +24,11 @@ from .ablations import AblationResult, run_ablations
 from .buffering import BufferingResult, run_buffering
 from .common import ExperimentMode, full_mode, mode, relative_error
 from .crosscheck import CrossCheckResult, poisson_trace, run_crosscheck
+from .design_exploration import (
+    DesignExplorationResult,
+    default_design_scenarios,
+    run_design_exploration,
+)
 from .fig3 import Fig3Result, run_fig3
 from .generalized import GeneralizedResult, run_generalized
 from .other_networks import OtherNetworksResult, run_other_networks
@@ -48,6 +55,9 @@ __all__ = [
     "CrossCheckResult",
     "poisson_trace",
     "run_crosscheck",
+    "DesignExplorationResult",
+    "default_design_scenarios",
+    "run_design_exploration",
     "Fig3Result",
     "run_fig3",
     "GeneralizedResult",

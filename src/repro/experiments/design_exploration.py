@@ -1,0 +1,122 @@
+"""Experiment DESIGN — size a CM-5-class machine under a latency budget.
+
+The capacity-planning question that motivated fat-tree machines (CM-5,
+Meiko CS-2): given a per-processor bandwidth demand and a latency budget
+for fine-grained messages, which butterfly fat-tree sizes sustain the
+workload — and does the answer change when the traffic is not uniformly
+random?
+
+This experiment runs the design-space explorer once over the BFT size
+ladder × message-length ladder × a set of traffic scenarios, and reports
+
+* per scenario, the largest feasible configuration under the budget (the
+  classic sizing table, now pattern-aware),
+* the cheapest feasible design overall (Solnushkin's selection rule), and
+* the latency / cost / headroom Pareto frontier of the whole space.
+
+Quick mode stops at 256 PEs; ``REPRO_FULL=1`` extends the ladder to the
+paper's 1024-PE machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..design import DesignSpace, ExplorationResult, Requirements, bft_space, explore
+from ..traffic.spec import HotspotSpec, TrafficSpec, TransposeSpec, UniformSpec
+from ..util.tables import format_table
+from .common import mode
+
+__all__ = [
+    "DesignExplorationResult",
+    "default_design_scenarios",
+    "run_design_exploration",
+]
+
+
+def default_design_scenarios() -> tuple[TrafficSpec, ...]:
+    """The traffic scenarios the sizing study sweeps."""
+    return (UniformSpec(), HotspotSpec(fraction=0.05, target=0), TransposeSpec())
+
+
+@dataclass(frozen=True)
+class DesignExplorationResult:
+    """The exploration plus the per-scenario sizing summary."""
+
+    result: ExplorationResult
+    mode_label: str
+
+    def sizing_rows(self) -> list[tuple]:
+        """Largest feasible (N, flits) per traffic scenario."""
+        rows = []
+        patterns = sorted({e.candidate.pattern for e in self.result.evaluations})
+        for pattern in patterns:
+            feasible = [
+                e for e in self.result.feasible if e.candidate.pattern == pattern
+            ]
+            if feasible:
+                best = max(
+                    feasible,
+                    key=lambda e: (
+                        e.candidate.num_processors,
+                        e.candidate.message_flits,
+                    ),
+                )
+                rows.append(
+                    (
+                        pattern,
+                        best.candidate.num_processors,
+                        best.candidate.message_flits,
+                        best.latency,
+                        best.headroom,
+                        best.cost.total,
+                    )
+                )
+            else:
+                rows.append((pattern, 0, 0, float("nan"), float("nan"), float("nan")))
+        return rows
+
+    def render(self) -> str:
+        req = self.result.requirements
+        sizing = format_table(
+            [
+                "pattern",
+                "largest feasible N",
+                "flits",
+                "latency @ demand",
+                "headroom (x)",
+                "cost",
+            ],
+            self.sizing_rows(),
+            title=(
+                f"CM-5-class sizing under a latency budget "
+                f"(<= {req.latency_slo:.0f} cycles @ {req.demand_flit_load} "
+                f"fl/cyc/PE, {self.mode_label} mode)"
+            ),
+        )
+        return sizing + "\n\n" + self.result.render()
+
+
+def run_design_exploration(
+    *,
+    scenarios: tuple[TrafficSpec, ...] | None = None,
+    latency_slo: float = 75.0,
+    demand_flit_load: float = 0.02,
+    min_headroom: float = 1.0,
+    processes: int = 1,
+) -> DesignExplorationResult:
+    """Run the sizing study (see module docstring)."""
+    m = mode()
+    sizes = (16, 64, 256, 1024) if m.full else (16, 64, 256)
+    space = DesignSpace(
+        families=(bft_space(sizes),),
+        message_lengths=(16, 32, 64),
+        patterns=scenarios if scenarios is not None else default_design_scenarios(),
+    )
+    requirements = Requirements(
+        demand_flit_load=demand_flit_load,
+        latency_slo=latency_slo,
+        min_headroom=min_headroom,
+    )
+    result = explore(space, requirements, processes=processes)
+    return DesignExplorationResult(result=result, mode_label=m.label)

@@ -28,6 +28,7 @@ from .spec import (
     UniformSpec,
     available_patterns,
     make_spec,
+    pattern_descriptions,
     register_spec,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "bft_traffic_stage_graph",
     "hypercube_traffic_stage_graph",
     "make_spec",
+    "pattern_descriptions",
     "register_spec",
     "single_path_flows",
     "stage_graph_from_flows",

@@ -470,6 +470,22 @@ def available_patterns() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def pattern_descriptions() -> dict[str, str]:
+    """``{name: one-line description}`` for every registered pattern.
+
+    The description is the first line of the spec class's docstring —
+    the registry stays the single source of truth, and the CLI's
+    ``repro patterns`` listing picks up custom
+    :func:`register_spec` entries automatically.
+    """
+    out: dict[str, str] = {}
+    for name in available_patterns():
+        doc = (_REGISTRY[name].__doc__ or "").strip()
+        first = doc.splitlines()[0].strip() if doc else ""
+        out[name] = first.replace("``", "")
+    return out
+
+
 def make_spec(
     name: str,
     *,

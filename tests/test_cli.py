@@ -143,3 +143,102 @@ class TestCommands:
     def test_experiment_crosscheck(self, capsys):
         assert main(["experiment", "crosscheck"]) == 0
         assert "cross-validation" in capsys.readouterr().out
+
+    def test_patterns_lists_registry(self, capsys):
+        from repro.traffic.spec import available_patterns
+
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        for name in available_patterns():
+            assert name in out
+
+    def test_design_table(self, capsys):
+        rc = main(
+            [
+                "design",
+                "--families",
+                "bft",
+                "--sizes",
+                "16,64",
+                "--flits",
+                "16",
+                "--patterns",
+                "uniform",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cheapest feasible" in out
+        assert "Pareto frontier" in out
+
+    def test_design_json(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "design",
+                "--families",
+                "bft,hypercube",
+                "--sizes",
+                "16",
+                "--flits",
+                "16",
+                "--patterns",
+                "uniform",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {e["family"] for e in data["evaluations"]} == {"bft", "hypercube"}
+        assert data["cheapest_feasible"] is not None
+
+    def test_design_drops_unrealizable_sizes(self, capsys):
+        # 32 is a power of two but not of four: hypercube keeps it, bft drops it.
+        rc = main(
+            [
+                "design",
+                "--families",
+                "bft,hypercube",
+                "--sizes",
+                "16,32",
+                "--flits",
+                "16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dimension=5" in out
+        assert "processors=32" not in out
+
+    def test_design_large_exponent_sizes_realizable(self, capsys):
+        # Exponent inversion must not cap out: 2**16 = 65536 dimensions=16.
+        rc = main(
+            [
+                "design",
+                "--families",
+                "kary-ncube",
+                "--radix",
+                "2",
+                "--sizes",
+                "65536",
+                "--flits",
+                "16",
+            ]
+        )
+        assert rc == 0
+        assert "dimensions=16" in capsys.readouterr().out
+
+    def test_design_no_realizable_size_is_clean_error(self, capsys):
+        rc = main(["design", "--families", "bft", "--sizes", "32", "--flits", "16"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_design_bad_sizes_is_clean_error(self, capsys):
+        rc = main(["design", "--families", "bft", "--sizes", "big", "--flits", "16"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_design(self, capsys):
+        assert main(["experiment", "design"]) == 0
+        assert "CM-5-class sizing" in capsys.readouterr().out

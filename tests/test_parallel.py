@@ -51,6 +51,28 @@ class TestParallelMap:
         chunked = parallel_map(_square, items, processes=4, chunksize=5)
         assert serial == chunked
 
+    def test_empty_input_with_chunksize_and_workers(self):
+        assert parallel_map(_square, [], processes=4, chunksize=16) == []
+
+    def test_chunksize_exceeding_item_count(self):
+        # One chunk swallows the whole work list; order must survive.
+        items = [float(x) for x in range(7, 0, -1)]
+        out = parallel_map(_square, items, processes=3, chunksize=100)
+        assert out == [x * x for x in items]
+
+    def test_chunksize_equal_to_item_count(self):
+        items = [1.0, 2.0, 3.0]
+        out = parallel_map(_square, items, processes=2, chunksize=3)
+        assert out == [1.0, 4.0, 9.0]
+
+    def test_serial_path_ignores_chunksize(self):
+        items = [2.0, 4.0]
+        assert parallel_map(_square, items, processes=1, chunksize=999) == [4.0, 16.0]
+
+    def test_generator_input_is_materialized(self):
+        out = parallel_map(_square, (float(x) for x in range(5)), processes=2)
+        assert out == [0.0, 1.0, 4.0, 9.0, 16.0]
+
 
 @pytest.mark.skipif(os.cpu_count() == 1, reason="needs multiple cores to be meaningful")
 class TestParallelCurve:

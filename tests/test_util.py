@@ -197,6 +197,36 @@ class TestTables:
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
 
+    def test_none_and_infinities_share_column_width(self):
+        out = format_table(["v"], [[None], [math.inf], [-math.inf], [1.5]])
+        lines = out.splitlines()
+        # Widest cell is "-inf" (4 chars); every line must be padded to it.
+        assert len({len(l) for l in lines}) == 1
+        assert lines[2].strip() == "-"
+        assert lines[3].strip() == "inf"
+        assert lines[4].strip() == "-inf"
+
+    def test_column_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 1000]])
+        header, sep, *rows = out.splitlines()
+        # Headers are left-justified, cells right-justified, all padded to
+        # the widest entry of their column.
+        assert header.startswith("name ")
+        assert all(len(l) == len(header) for l in [sep, *rows])
+        assert rows[0].split(" | ")[0] == "   a"
+        assert rows[0].split(" | ")[1] == "    1"
+        assert rows[1].split(" | ")[1] == " 1000"
+
+    def test_floatfmt_override(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out and "1.2346" not in out
+
+    def test_header_sets_minimum_width(self):
+        out = format_table(["long header", "x"], [[1, 2]])
+        header, sep, row = out.splitlines()
+        assert len(row) == len(header) == len(sep)
+        assert row.split(" | ")[0].endswith("1")
+
     def test_ascii_curve_draws_markers(self):
         out = ascii_curve([0, 1, 2], {"m": [1.0, 2.0, 3.0], "s": [1.1, 2.1, 3.1]})
         assert "*" in out and "o" in out
