@@ -7,6 +7,11 @@ leaves a machine-readable perf trajectory to compare against:
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
 
+The same report is also persisted through the run registry (a ``bench``
+:class:`repro.RunResult` under ``--registry``, default
+``benchmarks/results/runs``), so perf baselines line up next to scenario
+runs and diff with ``repro runs diff <id-or-latest> benchmarks/BENCH_perf.json``.
+
 ``--quick`` shrinks the grids (256-PE sweeps, a smaller design space) for
 CI smoke runs; pair it with ``--output`` to keep the committed baseline
 untouched.
@@ -212,6 +217,17 @@ def write_baseline(report: dict, output: Path) -> Path:
     return output
 
 
+def record_in_registry(report: dict, registry_dir: Path | None) -> str:
+    """Persist the report as a ``bench`` run record; returns the run id."""
+    from repro.runs import RunRegistry, RunResult
+
+    label = "bench-quick" if report.get("quick") else "bench"
+    result = RunResult.for_metrics(report, kind="bench", label=label)
+    registry = RunRegistry(registry_dir)
+    registry.save(result)
+    return result.run_id
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -225,10 +241,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="small grids for CI smoke runs (256-PE sweeps, reduced design space)",
     )
+    parser.add_argument(
+        "--registry",
+        type=Path,
+        default=None,
+        help="run-registry directory the report is also recorded in "
+        "(default: benchmarks/results/runs); --no-registry skips it",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="do not record the report in the run registry",
+    )
     args = parser.parse_args(argv)
     report = collect(repeats=args.repeats, quick=args.quick)
     path = write_baseline(report, args.output)
     print(f"wrote {path}")
+    if not args.no_registry:
+        run_id = record_in_registry(report, args.registry)
+        print(f"recorded in run registry as {run_id}")
     for name, entry in sorted(report["benches"].items()):
         print(f"  {name:30s} {entry['median_s'] * 1e3:10.3f} ms")
     for name, value in sorted(report["derived"].items()):

@@ -17,9 +17,9 @@ from repro import (
     GeneralizedFatTreeModel,
     SimConfig,
     Workload,
-    saturation_injection_rate,
     simulate,
 )
+from repro.core import saturation_injection_rate
 from repro.util.tables import format_table
 
 

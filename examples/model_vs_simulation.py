@@ -7,51 +7,67 @@ for N=1024 (run ``REPRO_FULL=1 pytest benchmarks/bench_fig3.py`` for the
 full-size reproduction; this example keeps N=256 so it finishes in a few
 seconds).
 
+Both sides go through the Scenario→Run facade: the model curve is one
+``batch`` run over an explicit load grid, and each simulation point is
+the same scenario re-run with ``backend="simulate"`` at that load.
+
 Run:  python examples/model_vs_simulation.py
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro import (
-    ButterflyFatTree,
-    ButterflyFatTreeModel,
-    SimConfig,
-    latency_sweep,
-    saturation_injection_rate,
-    simulated_latency_curve,
-)
+from repro import Scenario, run
 from repro.util.tables import ascii_curve, format_table
 
 
 def main() -> None:
     num_processors = 256
-    model = ButterflyFatTreeModel(num_processors)
-    topo = ButterflyFatTree(num_processors)
+    base = Scenario(
+        num_processors=num_processors,
+        backend="batch",
+        sweep_points=0,
+        warmup_cycles=2_000.0,
+        measure_cycles=8_000.0,
+        replications=1,
+    )
 
     all_rows = []
     plots = []
     for flits in (16, 64):
-        sat = saturation_injection_rate(model, flits).flit_load
+        probe = run(dataclasses.replace(base, message_flits=flits))
+        sat = probe.metrics["saturation"]["flit_load"]
         grid = np.linspace(0.05 * sat, 0.95 * sat, 7)
-        model_curve = latency_sweep(model.latency, flits, grid, label="model")
-        sim_curve = simulated_latency_curve(
-            topo,
-            flits,
-            grid,
-            SimConfig(warmup_cycles=2_000, measure_cycles=8_000, seed=42 + flits),
-            label="simulation",
+        model_run = run(
+            dataclasses.replace(
+                base, message_flits=flits, flit_loads=tuple(float(x) for x in grid)
+            )
         )
-        for load, m_lat, s_lat in zip(grid, model_curve.latencies, sim_curve.latencies):
+        model_lat = model_run.metrics["curve"]["latencies"]
+        sim_lat = [
+            run(
+                dataclasses.replace(
+                    base,
+                    message_flits=flits,
+                    flit_load=float(load),
+                    backend="simulate",
+                    seed=42 + flits,
+                )
+            ).metrics["point"]["latency"]
+            for load in grid
+        ]
+        for load, m_lat, s_lat in zip(grid, model_lat, sim_lat):
             rel = (m_lat - s_lat) / s_lat if np.isfinite(s_lat) else float("nan")
             all_rows.append((flits, float(load), float(m_lat), float(s_lat), rel))
         plots.append(
             ascii_curve(
                 list(grid),
                 {
-                    f"model {flits}f": list(model_curve.latencies),
-                    f"sim {flits}f": list(sim_curve.latencies),
+                    f"model {flits}f": list(model_lat),
+                    f"sim {flits}f": list(sim_lat),
                 },
                 x_label="flits/cycle/PE",
                 y_label="latency (cycles)",

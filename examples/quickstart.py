@@ -1,69 +1,91 @@
 #!/usr/bin/env python3
-"""Quickstart: model a butterfly fat-tree and predict its performance.
+"""Quickstart: one Scenario, every engine — model a butterfly fat-tree.
 
-Builds the analytical model for a 256-processor butterfly fat-tree,
-evaluates average message latency across offered loads, finds the
-saturation throughput, and validates one operating point against the
-flit-accurate simulator — all in a few seconds.
+Declares a single :class:`repro.Scenario` for a 256-processor butterfly
+fat-tree and answers it three ways purely by switching the backend:
+
+* ``batch``    — latency breakdown, a latency-vs-load curve up to
+  saturation, and the Eq. 26 saturation point, in one vectorized pass;
+* ``simulate`` — a seeded replication set at the same operating point;
+* ``baseline`` — the prior-art model variant for comparison.
+
+Every answer is a :class:`repro.RunResult`; the final section saves the
+records to a run registry and diffs model against baseline.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    ButterflyFatTree,
-    ButterflyFatTreeModel,
-    SimConfig,
-    Workload,
-    latency_sweep,
-    load_grid_to_saturation,
-    saturation_injection_rate,
-    simulate,
-)
+import tempfile
+
+from repro import RunRegistry, Runner, Scenario
 from repro.util.tables import ascii_curve, format_table
 
 
 def main() -> None:
-    num_processors = 256
-    message_flits = 32
+    scenario = Scenario(
+        num_processors=256,
+        message_flits=32,
+        flit_load=0.03,
+        backend="batch",
+        sweep_points=8,
+        warmup_cycles=2_000.0,
+        measure_cycles=8_000.0,
+        seed=7,
+        replications=1,
+        label="quickstart",
+    )
+    print(scenario.describe())
 
     # --- 1. the analytical model (the paper's contribution) -------------------
-    model = ButterflyFatTreeModel(num_processors)
-    print(model.describe())
+    model_run = Runner().run(scenario)
+    point = model_run.metrics["point"]
+    sat = model_run.metrics["saturation"]
+    print(f"\nAt {point['flit_load']:.3f} flits/cycle/PE with 32-flit worms:")
+    print(f"  latency: {point['latency']:8.3f} cycles")
+    print(
+        f"\nSaturation throughput: {sat['flit_load']:.4f} flits/cycle/PE "
+        f"(lambda_0 = {sat['injection_rate']:.6f} msgs/cycle/PE)"
+    )
 
-    wl = Workload.from_flit_load(0.03, message_flits)
-    print(f"\nAt {wl.flit_load:.3f} flits/cycle/PE with {message_flits}-flit worms:")
-    solution = model.solve(wl)
-    for name, value in solution.breakdown().items():
-        print(f"  {name:>18}: {value:8.3f} cycles")
-
-    # --- 2. a latency-vs-load curve up to saturation ---------------------------
-    sat = saturation_injection_rate(model, message_flits)
-    print(f"\nSaturation throughput: {sat.flit_load:.4f} flits/cycle/PE "
-          f"(lambda_0 = {sat.injection_rate:.6f} msgs/cycle/PE)")
-
-    grid = load_grid_to_saturation(model, message_flits, n_points=8)
-    curve = latency_sweep(model.latency, message_flits, grid, label="model")
+    curve = model_run.metrics["curve"]
     print()
     print(format_table(
         ["load (fl/cyc/PE)", "latency (cycles)"],
-        curve.as_rows(),
+        list(zip(curve["flit_loads"], curve["latencies"])),
         title="Model latency vs offered load",
     ))
 
-    # --- 3. validate one point against the simulator ---------------------------
-    topo = ButterflyFatTree(num_processors)
-    cfg = SimConfig(warmup_cycles=2_000, measure_cycles=8_000, seed=7)
-    res = simulate(topo, wl, cfg)
-    print(f"\nSimulation at the same point: {res.summary()}")
-    err = (model.latency(wl) - res.latency_mean) / res.latency_mean
+    # --- 2. the same question, measured by the simulator -----------------------
+    sim_run = Runner().run(scenario.with_backend("simulate"))
+    sim_point = sim_run.metrics["point"]
+    print(
+        f"\nSimulation at the same point: latency "
+        f"{sim_point['latency']:.2f} cycles, throughput "
+        f"{sim_point['throughput']:.5f} fl/cyc/PE"
+    )
+    err = (point["latency"] - sim_point["latency"]) / sim_point["latency"]
     print(f"Model vs simulation: {err:+.2%}")
+
+    # --- 3. persist the trajectory and diff model vs baseline ------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = RunRegistry(tmp)
+        registry.save(model_run)  # the already-computed answer, no re-run
+        Runner(registry=registry).run(scenario.with_backend("baseline"))
+        diff = registry.diff(*registry.ids())
+        shared = {d.key: d for d in diff.deltas}
+        d = shared["point.latency"]
+        print(
+            f"\nRegistry diff (paper model -> prior-art baseline): the naive\n"
+            f"variant predicts {d.b:.2f} cycles vs {d.a:.2f} ({d.rel:+.1%}) at "
+            f"the same operating point."
+        )
 
     print()
     print(ascii_curve(
-        list(curve.flit_loads),
-        {"model": list(curve.latencies)},
+        list(curve["flit_loads"]),
+        {"model": list(curve["latencies"])},
         x_label="flits/cycle/PE",
         y_label="latency",
         height=12,

@@ -1,24 +1,29 @@
 #!/usr/bin/env python3
 """Saturation-throughput study across machine sizes and message lengths.
 
-Uses the Eq. 26 solver to chart how the fat-tree's deliverable bandwidth
-scales, and empirically verifies one configuration with the simulator.
-Also demonstrates a structural property of the model: expressed in
-flits/cycle/PE, saturation is independent of message length.
+Charts how the fat-tree's deliverable bandwidth scales by running one
+declarative :class:`repro.Scenario` per machine size / message length —
+the Eq. 26 saturation point comes back in every analytical
+:class:`repro.RunResult` — and empirically verifies one configuration
+with the simulator.  Also demonstrates a structural property of the
+model: expressed in flits/cycle/PE, saturation is independent of message
+length.
 
 Run:  python examples/saturation_study.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    ButterflyFatTree,
-    ButterflyFatTreeModel,
-    SimConfig,
-    empirical_saturation,
-    saturation_injection_rate,
-)
+from repro import ButterflyFatTree, Scenario, SimConfig, empirical_saturation, run
 from repro.util.tables import format_table
+
+
+def saturation_flit_load(n: int, flits: int) -> float:
+    """Model saturation via the facade (no curve needed: sweep_points=0)."""
+    scenario = Scenario(
+        num_processors=n, message_flits=flits, backend="batch", sweep_points=0
+    )
+    return run(scenario).metrics["saturation"]["flit_load"]
 
 
 def main() -> None:
@@ -27,8 +32,7 @@ def main() -> None:
 
     rows = []
     for n in sizes:
-        model = ButterflyFatTreeModel(n)
-        sats = [saturation_injection_rate(model, f).flit_load for f in lengths]
+        sats = [saturation_flit_load(n, f) for f in lengths]
         rows.append((n, *sats, n * sats[0]))
     print(
         format_table(
@@ -49,9 +53,9 @@ def main() -> None:
     n = 64
     cfg = SimConfig(warmup_cycles=2_000, measure_cycles=6_000, seed=3, drain_factor=2.0)
     sim_sat = empirical_saturation(ButterflyFatTree(n), 16, cfg, rel_tol=0.05)
-    model_sat = saturation_injection_rate(ButterflyFatTreeModel(n), 16)
+    model_sat = saturation_flit_load(n, 16)
     print(
-        f"Empirical check at N={n}, F=16: model {model_sat.flit_load:.4f} vs "
+        f"Empirical check at N={n}, F=16: model {model_sat:.4f} vs "
         f"simulated {sim_sat.flit_load:.4f} flits/cycle/PE\n"
         f"(the analytical operating point is conservative — the simulator\n"
         f"sustains ~15-20% more before queues diverge, so designs sized by\n"

@@ -2,6 +2,10 @@
 
 Gives downstream users the main entry points without writing Python:
 
+* ``run``         — evaluate one declarative :class:`~repro.runs.Scenario`
+  (topology × workload × pattern × backend) and optionally persist the
+  record in the run registry;
+* ``runs``        — registry operations: ``runs list`` and ``runs diff``;
 * ``model``       — one analytical evaluation (latency breakdown);
 * ``sweep``       — model latency-vs-load table up to saturation;
 * ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
@@ -14,19 +18,23 @@ Gives downstream users the main entry points without writing Python:
   ablations, other-networks, crosscheck, generalized, buffering, traffic,
   design).
 
-``model``, ``sweep``, ``saturation`` and ``simulate`` all accept
-``--pattern`` (plus ``--hotspot-fraction`` / ``--hotspot-target``): the
-analytical commands then solve the pattern-aware per-channel model, and
-``simulate`` drives the matching non-uniform traffic source, so the two
-sides stay comparable for every registered scenario.
+Every subcommand accepts ``--json``: machine-readable output through one
+shared formatter (non-finite floats encode as the sentinel strings of
+:mod:`repro.runs.result`).  ``model``, ``sweep``, ``saturation`` and
+``simulate`` all accept ``--pattern`` (plus ``--hotspot-fraction`` /
+``--hotspot-target``), keeping model and simulator comparable for every
+registered traffic scenario.
 
-All output is plain text on stdout; exit status 0 on success, 2 on bad
-arguments (argparse convention).
+Exit status: 0 on success; 2 on invalid arguments or infeasible scenarios
+(:class:`~repro.errors.ConfigurationError` / ``SaturatedError``, printed
+as a one-line message, matching the argparse convention); 1 on any other
+library error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -34,7 +42,7 @@ from .config import SimConfig, Workload
 from .core.bft_model import ButterflyFatTreeModel
 from .core.sweep import latency_sweep, load_grid_to_saturation
 from .core.throughput import saturation_injection_rate
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError, SaturatedError
 from .simulation.buffered_sim import BufferedWormholeSimulator
 from .simulation.flit_sim import FlitLevelWormholeSimulator
 from .simulation.traffic import PoissonTraffic
@@ -69,12 +77,21 @@ _SIMULATORS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for shell-completion tooling)."""
+    from .runs.scenario import BACKENDS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Wormhole-routed butterfly fat-tree performance models "
         "(Greenberg & Guan, ICPP 1997 reproduction).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of tables",
+        )
 
     def add_pattern(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -116,6 +133,67 @@ def build_parser() -> argparse.ArgumentParser:
                 help="offered load in flits/cycle/PE (Figure-3 units)",
             )
         add_pattern(p)
+        add_json(p)
+
+    def add_registry(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--registry",
+            default=None,
+            help="run-registry directory (default: benchmarks/results/runs)",
+        )
+
+    p_run = sub.add_parser(
+        "run",
+        help="evaluate one Scenario through a backend (the unified facade)",
+    )
+    add_common(p_run)
+    p_run.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="batch",
+        help="model (scalar reference), batch (vectorized), simulate, baseline",
+    )
+    p_run.add_argument(
+        "--points",
+        type=int,
+        default=8,
+        help="latency-curve grid points (0 skips the curve; analytical backends)",
+    )
+    p_run.add_argument(
+        "--simulator",
+        choices=sorted(_SIMULATORS),
+        default="event",
+        help="engine of the simulate backend",
+    )
+    p_run.add_argument(
+        "--replications", type=int, default=3, help="simulate backend: seeded runs"
+    )
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--warmup", type=float, default=3000.0)
+    p_run.add_argument("--measure", type=float, default=9000.0)
+    p_run.add_argument("--label", default="", help="free-form tag for the registry")
+    p_run.add_argument(
+        "--save", action="store_true", help="persist the record in the run registry"
+    )
+    add_registry(p_run)
+
+    p_runs = sub.add_parser("runs", help="run-registry operations")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_list = runs_sub.add_parser("list", help="list persisted runs")
+    add_registry(p_list)
+    p_list.add_argument("--backend", default=None, help="filter by backend")
+    p_list.add_argument("--label", default=None, help="filter by label")
+    add_json(p_list)
+    p_diff = runs_sub.add_parser(
+        "diff", help="compare two runs (ids, 'latest', or JSON baseline files)"
+    )
+    p_diff.add_argument("a", help="run id, 'latest', or a JSON file path")
+    p_diff.add_argument("b", help="run id, 'latest', or a JSON file path")
+    add_registry(p_diff)
+    p_diff.add_argument(
+        "--top", type=int, default=25, help="rows shown (largest |rel| first)"
+    )
+    add_json(p_diff)
 
     p_model = sub.add_parser("model", help="evaluate the analytical model once")
     add_common(p_model)
@@ -140,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated message lengths",
     )
     add_pattern(p_sat)
+    add_json(p_sat)
 
     p_sim = sub.add_parser("simulate", help="run one simulation")
     add_common(p_sim)
@@ -155,10 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="topology summary")
     p_info.add_argument("--processors", "-n", type=int, default=256)
+    add_json(p_info)
 
-    sub.add_parser(
+    p_patterns = sub.add_parser(
         "patterns", help="list registered traffic scenarios (--pattern choices)"
     )
+    add_json(p_patterns)
 
     p_design = sub.add_parser(
         "design",
@@ -220,9 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_design.add_argument(
         "--processes", type=int, default=1, help="worker processes for evaluation"
     )
-    p_design.add_argument(
-        "--json", action="store_true", help="emit the full report as JSON"
-    )
+    add_json(p_design)
     p_design.add_argument(
         "--hotspot-fraction",
         type=float,
@@ -238,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--full", action="store_true", help="paper-scale grids and windows"
     )
+    add_json(p_exp)
 
     return parser
 
@@ -258,7 +338,117 @@ def _spec_from_args(args):
     )
 
 
-def _cmd_model(args) -> str:
+def _pattern_params_from_args(args) -> dict:
+    """Scenario ``pattern_params`` for the selected --pattern."""
+    if args.pattern == "uniform":
+        return {}
+    return {
+        "hotspot_fraction": args.hotspot_fraction,
+        "hotspot_target": args.hotspot_target,
+    }
+
+
+def _registry_from_args(args):
+    from .runs.registry import RunRegistry
+
+    return RunRegistry(args.registry)
+
+
+# --- command handlers: each returns (text, json_payload) ----------------------------
+
+
+def _cmd_run(args):
+    from .runs import Runner, Scenario
+
+    scenario = Scenario(
+        num_processors=args.processors,
+        message_flits=args.flits,
+        flit_load=args.load,
+        pattern=args.pattern,
+        pattern_params=_pattern_params_from_args(args),
+        backend=args.backend,
+        sweep_points=args.points,
+        simulator=args.simulator,
+        replications=args.replications,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        seed=args.seed,
+        label=args.label,
+    )
+    runner = Runner(registry=_registry_from_args(args) if args.save else None)
+    result = runner.run(scenario)
+
+    lines = [scenario.describe()]
+    rows = []
+    point = result.metrics.get("point") or {}
+    for key in sorted(point):
+        rows.append((f"point.{key}", point[key]))
+    sat = result.metrics.get("saturation") or {}
+    for key in ("injection_rate", "flit_load"):
+        if key in sat:
+            rows.append((f"saturation.{key}", sat[key]))
+    rows.append(("wall_time_s", result.timings.get("total_s")))
+    lines.append(format_table(["metric", "value"], rows, title=result.run_id))
+    curve = result.metrics.get("curve")
+    if curve:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["load (fl/cyc/PE)", "latency (cycles)"],
+                list(zip(curve["flit_loads"], curve["latencies"])),
+                title=curve["label"],
+            )
+        )
+    if args.save:
+        lines.append(f"saved to {runner.registry.records_path} as {result.run_id}")
+    return "\n".join(lines), result.to_json()
+
+
+def _cmd_runs(args):
+    registry = _registry_from_args(args)
+    if args.runs_command == "list":
+        records = registry.query(backend=args.backend, label=args.label)
+        rows = []
+        for r in records:
+            sc = r.scenario
+            point = (r.metrics.get("point") or {}) if r.kind == "scenario" else {}
+            sat = (r.metrics.get("saturation") or {}) if r.kind == "scenario" else {}
+            rows.append(
+                (
+                    r.run_id,
+                    r.kind,
+                    sc.backend if sc else "-",
+                    sc.num_processors if sc else None,
+                    sc.message_flits if sc else None,
+                    sc.pattern if sc else "-",
+                    point.get("latency"),
+                    sat.get("flit_load"),
+                    r.label or "-",
+                )
+            )
+        text = format_table(
+            ["run id", "kind", "backend", "N", "flits", "pattern",
+             "latency", "sat load", "label"],
+            rows,
+            title=f"{len(rows)} run(s) in {registry.path}",
+        )
+        if registry.skipped_versions:
+            text += (
+                f"\n({registry.skipped_versions} record(s) from another schema "
+                "version skipped)"
+            )
+        return text, {
+            "registry": str(registry.path),
+            "runs": [r.to_json() for r in records],
+            "skipped_versions": registry.skipped_versions,
+        }
+    if args.runs_command == "diff":
+        diff = registry.diff(args.a, args.b)
+        return diff.render(top=args.top), diff.to_json()
+    raise ConfigurationError(f"unknown runs subcommand {args.runs_command!r}")
+
+
+def _cmd_model(args):
     import numpy as np
 
     model = ButterflyFatTreeModel(args.processors)
@@ -274,14 +464,20 @@ def _cmd_model(args) -> str:
         rows = list(solution.breakdown().items())
         rows.append(("saturated", solution.saturated))
         title = f"load={args.load} fl/cyc/PE"
-    return "\n".join(
+    text = "\n".join(
         [model.describe(), format_table(["component", "value"], rows, title=title)]
     )
+    payload = {
+        "num_processors": args.processors,
+        "message_flits": args.flits,
+        "flit_load": args.load,
+        "pattern": args.pattern,
+        "components": {k: v for k, v in rows},
+    }
+    return text, payload
 
 
-def _cmd_sweep(args) -> str:
-    from .errors import ConfigurationError
-
+def _cmd_sweep(args):
     model = ButterflyFatTreeModel(args.processors)
     spec = _spec_from_args(args)
     if args.scalar and spec is not None:
@@ -299,14 +495,22 @@ def _cmd_sweep(args) -> str:
         evaluator = lambda wl: model.latency(wl)
     curve = latency_sweep(evaluator, args.flits, grid)
     suffix = f", {spec.name}" if spec is not None else ""
-    return format_table(
+    text = format_table(
         ["load (fl/cyc/PE)", "latency (cycles)"],
         curve.as_rows(),
         title=f"N={args.processors}, {args.flits}-flit{suffix}",
     )
+    payload = {
+        "num_processors": args.processors,
+        "message_flits": args.flits,
+        "pattern": args.pattern,
+        "flit_loads": [float(x) for x in curve.flit_loads],
+        "latencies": [float(y) for y in curve.latencies],
+    }
+    return text, payload
 
 
-def _cmd_saturation(args) -> str:
+def _cmd_saturation(args):
     model = ButterflyFatTreeModel(args.processors)
     spec = _spec_from_args(args)
     rows = []
@@ -314,14 +518,23 @@ def _cmd_saturation(args) -> str:
         sat = saturation_injection_rate(model, flits, spec=spec)
         rows.append((flits, sat.injection_rate, sat.flit_load))
     suffix = f", {spec.name}" if spec is not None else ""
-    return format_table(
+    text = format_table(
         ["flits", "lambda0 (msgs/cyc/PE)", "flit load (fl/cyc/PE)"],
         rows,
         title=f"Saturation, N={args.processors}{suffix}",
     )
+    payload = {
+        "num_processors": args.processors,
+        "pattern": args.pattern,
+        "saturation": [
+            {"message_flits": f, "injection_rate": r, "flit_load": fl}
+            for f, r, fl in rows
+        ],
+    }
+    return text, payload
 
 
-def _cmd_simulate(args) -> str:
+def _cmd_simulate(args):
     import numpy as np
 
     topo = ButterflyFatTree(args.processors)
@@ -351,10 +564,23 @@ def _cmd_simulate(args) -> str:
         result.summary(),
         f"model prediction: {prediction:.3f} cycles",
     ]
-    return "\n".join(lines)
+    payload = {
+        "simulator": args.simulator,
+        "pattern": args.pattern,
+        "num_processors": args.processors,
+        "message_flits": args.flits,
+        "flit_load": args.load,
+        "latency_mean": result.latency_mean,
+        "latency_std": result.latency_std,
+        "throughput": result.delivered_flit_rate,
+        "stable": result.stable,
+        "censored_tagged": result.censored_tagged,
+        "model_prediction": prediction,
+    }
+    return "\n".join(lines), payload
 
 
-def _cmd_info(args) -> str:
+def _cmd_info(args):
     topo = ButterflyFatTree(args.processors)
     info = describe_topology(topo)
     rows = [
@@ -363,25 +589,26 @@ def _cmd_info(args) -> str:
     ]
     rows += sorted(info["links_per_class"].items())
     rows += [(f"groups of size {k}", v) for k, v in sorted(info["groups_by_size"].items())]
-    return "\n".join(
+    text = "\n".join(
         [topo.describe(), format_table(["property", "value"], rows)]
     )
+    return text, info
 
 
-def _cmd_patterns(args) -> str:
+def _cmd_patterns(args):
     from .traffic.spec import pattern_descriptions
 
-    rows = sorted(pattern_descriptions().items())
-    return format_table(
+    descriptions = pattern_descriptions()
+    rows = sorted(descriptions.items())
+    text = format_table(
         ["pattern", "description"],
         rows,
         title="Registered traffic scenarios (usable as --pattern / --patterns)",
     )
+    return text, {"patterns": dict(descriptions)}
 
 
 def _split_ints(text: str, flag: str) -> list[int]:
-    from .errors import ConfigurationError
-
     try:
         return [int(x) for x in text.split(",") if x.strip()]
     except ValueError:
@@ -407,7 +634,6 @@ def _design_family_spaces(args) -> list:
     is an error.
     """
     from .design import FamilySpace, design_family
-    from .errors import ConfigurationError
 
     sizes = _split_ints(args.sizes, "--sizes")
     spaces = []
@@ -441,9 +667,7 @@ def _design_family_spaces(args) -> list:
     return spaces
 
 
-def _cmd_design(args) -> str:
-    import json
-
+def _cmd_design(args):
     from .design import DesignSpace, Requirements, explore
 
     patterns = tuple(
@@ -468,12 +692,10 @@ def _cmd_design(args) -> str:
         max_cost=args.max_cost,
     )
     result = explore(space, requirements, processes=args.processes)
-    if args.json:
-        return json.dumps(result.to_json(), indent=2, sort_keys=True)
-    return result.render()
+    return result.render(), result.to_json()
 
 
-def _cmd_experiment(args) -> str:
+def _cmd_experiment(args):
     import os
 
     from . import experiments
@@ -481,7 +703,22 @@ def _cmd_experiment(args) -> str:
     if args.full:
         os.environ["REPRO_FULL"] = "1"
     runner = getattr(experiments, _EXPERIMENTS[args.name])
-    return runner().render()
+    text = runner().render()
+    return text, {"experiment": args.name, "full": args.full, "rendered": text}
+
+
+def render_output(text: str, payload, *, as_json: bool) -> str:
+    """The shared output formatter every subcommand goes through.
+
+    ``--json`` emits the handler's structured payload (sorted keys,
+    non-finite floats as the run-record sentinel strings); otherwise the
+    handler's plain-text rendering is passed through unchanged.
+    """
+    if not as_json:
+        return text
+    from .runs.result import json_safe
+
+    return json.dumps(json_safe(payload), indent=2, sort_keys=True)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -489,6 +726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _cmd_run,
+        "runs": _cmd_runs,
         "model": _cmd_model,
         "sweep": _cmd_sweep,
         "saturation": _cmd_saturation,
@@ -499,7 +738,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
     }
     try:
-        print(handlers[args.command](args))
+        text, payload = handlers[args.command](args)
+        try:
+            print(render_output(text, payload, as_json=getattr(args, "json", False)))
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; that is not an error.
+            sys.stderr.close()
+    except (ConfigurationError, SaturatedError) as exc:
+        # Invalid arguments / infeasible scenarios: argparse-style status 2
+        # with a one-line message, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

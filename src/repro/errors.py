@@ -15,6 +15,8 @@ __all__ = [
     "SaturatedError",
     "ConvergenceError",
     "SimulationError",
+    "RegistryError",
+    "SchemaVersionError",
 ]
 
 
@@ -50,3 +52,16 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """A simulator reached an inconsistent state or an invalid request."""
+
+
+class RegistryError(ReproError):
+    """A run-registry operation failed (missing run, unreadable record)."""
+
+
+class SchemaVersionError(RegistryError):
+    """A persisted run record was written under an incompatible schema.
+
+    Raised instead of silently misreading a record whose
+    ``schema_version`` differs from the library's current
+    :data:`repro.runs.SCHEMA_VERSION`.
+    """

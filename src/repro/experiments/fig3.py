@@ -17,9 +17,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import SimConfig
-from ..core.bft_model import ButterflyFatTreeModel
-from ..core.sweep import LatencyCurve, latency_sweep
-from ..core.throughput import saturation_injection_rate
+from ..core.sweep import LatencyCurve
+from ..runs import Runner, Scenario
 from ..simulation.runner import simulated_latency_curve
 from ..topology.butterfly_fattree import ButterflyFatTree
 from ..util.tables import ascii_curve, format_table
@@ -133,17 +132,30 @@ def run_fig3(
     points = n_points if n_points is not None else (10 if m.full else 7)
     if processes is None:
         processes = max(1, min(4, os.cpu_count() or 1))
-    model = ButterflyFatTreeModel(num_processors)
+    runner = Runner()
     topo = ButterflyFatTree(num_processors)
     series = []
     for flits in message_lengths:
-        sat = saturation_injection_rate(model, flits).flit_load
-        grid = np.linspace(0.0, 0.97 * sat, points)
-        grid[0] = 0.02 * sat
-        # Passing the model itself (not its bound method) routes the whole
-        # grid through latency_batch: one vectorized solve per series.
-        model_curve = latency_sweep(
-            model, flits, grid, label=f"Model {flits}-flit"
+        # The model side is one facade run: the batch backend derives the
+        # figure's load grid (2%..97% of saturation) and solves the whole
+        # curve in one vectorized pass.
+        res = runner.run(
+            Scenario(
+                num_processors=num_processors,
+                message_flits=flits,
+                backend="batch",
+                sweep_points=points,
+                sweep_fraction=0.97,
+                label="fig3",
+            )
+        )
+        sat = res.metrics["saturation"]["flit_load"]
+        grid = np.asarray(res.metrics["curve"]["flit_loads"], dtype=float)
+        model_curve = LatencyCurve(
+            label=f"Model {flits}-flit",
+            message_flits=flits,
+            flit_loads=grid,
+            latencies=np.asarray(res.metrics["curve"]["latencies"], dtype=float),
         )
         sim_cfg = SimConfig(
             warmup_cycles=m.warmup_cycles,

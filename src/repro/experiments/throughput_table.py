@@ -18,8 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SimConfig
-from ..core.bft_model import ButterflyFatTreeModel
-from ..core.throughput import saturation_injection_rate
+from ..runs import Runner, Scenario
 from ..simulation.saturation import empirical_saturation
 from ..topology.butterfly_fattree import ButterflyFatTree
 from ..util.tables import format_table
@@ -69,12 +68,23 @@ def run_throughput_table(
         sizes = (16, 64, 256, 1024) if m.full else (16, 64, 256)
     if message_lengths is None:
         message_lengths = (16, 32, 64) if m.full else (16, 32)
+    runner = Runner()
     rows = []
     for n in sizes:
-        model = ButterflyFatTreeModel(n)
         topo = ButterflyFatTree(n)
         for flits in message_lengths:
-            model_sat = saturation_injection_rate(model, flits).flit_load
+            # The model side is one facade run (no curve needed): the batch
+            # backend's vectorized Eq. 26 search answers the saturation
+            # question directly.
+            model_sat = runner.run(
+                Scenario(
+                    num_processors=n,
+                    message_flits=flits,
+                    backend="batch",
+                    sweep_points=0,
+                    label="throughput-table",
+                )
+            ).metrics["saturation"]["flit_load"]
             cfg = SimConfig(
                 warmup_cycles=m.warmup_cycles / 1.5,
                 measure_cycles=m.measure_cycles / 1.5,

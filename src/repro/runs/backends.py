@@ -1,0 +1,274 @@
+"""Backend dispatch: one scenario in, comparable metrics out.
+
+Each backend answers the same scenario with the engine it names and
+returns a ``(metrics, timings)`` pair in a shared layout, so records from
+different backends diff cleanly in the registry:
+
+``metrics["point"]``
+    Latency (and, for simulations, throughput/stability) at the
+    scenario's operating point.
+``metrics["saturation"]``
+    The Eq. 26 saturation point (analytical backends only; the empirical
+    search is a deliberate extra step, not an implicit cost).
+``metrics["curve"]``
+    The latency-vs-load series over the scenario's grid, when
+    ``sweep_points >= 2`` (analytical backends only — simulation cost is
+    per point, so simulated curves stay an explicit choice).
+
+The ``model`` backend is the reference scalar engine (one solve per
+point); ``batch`` answers through the vectorized engine and is
+bit-identical to ``model`` by construction (PR 1's equivalence tests);
+``baseline`` swaps in the prior-art model variant; ``simulate`` runs an
+independently seeded replication set and records the model prediction
+alongside for crosschecks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from ..baselines import naive_bft_model
+from ..config import Workload
+from ..core.bft_model import ButterflyFatTreeModel
+from ..core.sweep import LatencyCurve, latency_sweep
+from ..core.throughput import SaturationResult, saturation_injection_rate
+from ..errors import ConfigurationError
+from ..simulation.buffered_sim import BufferedWormholeSimulator
+from ..simulation.flit_sim import FlitLevelWormholeSimulator
+from ..simulation.runner import ReplicatedResult
+from ..simulation.traffic import PoissonTraffic
+from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
+from ..topology.butterfly_fattree import ButterflyFatTree
+from ..util.rng import replication_seeds
+from .scenario import Scenario
+
+__all__ = ["execute", "backend_names"]
+
+_SIMULATOR_CLASSES = {
+    "event": EventDrivenWormholeSimulator,
+    "flit": FlitLevelWormholeSimulator,
+    "buffered": BufferedWormholeSimulator,
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered backend names (mirrors :data:`Scenario` validation)."""
+    return tuple(_BACKENDS)
+
+
+def execute(scenario: Scenario) -> tuple[dict, dict]:
+    """Evaluate ``scenario`` with its backend; returns ``(metrics, timings)``."""
+    try:
+        runner = _BACKENDS[scenario.backend]
+    except KeyError:  # pragma: no cover - Scenario validates first
+        raise ConfigurationError(f"unknown backend {scenario.backend!r}")
+    return runner(scenario)
+
+
+# --- analytical backends (model / batch / baseline) ---------------------------------
+
+
+def _bft_model(scenario: Scenario) -> ButterflyFatTreeModel:
+    if scenario.backend == "baseline":
+        return naive_bft_model(scenario.num_processors)
+    return ButterflyFatTreeModel(scenario.num_processors)
+
+
+def _evaluator_for(scenario: Scenario, model: ButterflyFatTreeModel):
+    """The object whose batch engine answers this scenario.
+
+    Uniform traffic keeps the closed-form model; any other pattern builds
+    the pattern-aware per-channel stage graph once and reuses it for the
+    point, the saturation search and the sweep.
+    """
+    spec = scenario.spec()
+    if spec is None:
+        return model
+    return model.traffic_model(spec, scenario.message_flits)
+
+
+def _point_latency(evaluator, workload: Workload, *, scalar: bool) -> float:
+    """Latency at one operating point through either engine.
+
+    The scalar path uses the per-point ``latency``/one-point-batch route
+    (the reference engine); the batch path is a one-element vectorized
+    solve.  They agree bit-for-bit — keeping both exercised is exactly
+    what makes ``repro runs diff`` between the two backends a meaningful
+    regression check.
+    """
+    if scalar and isinstance(evaluator, ButterflyFatTreeModel):
+        return float(evaluator.latency(workload))
+    return float(
+        np.asarray(
+            evaluator.latency_batch(
+                np.array([workload.injection_rate]), workload.message_flits
+            )
+        )[0]
+    )
+
+
+def _grid_for(scenario: Scenario, saturation_flit_load: float) -> np.ndarray | None:
+    """The load grid of the scenario's curve (None when no sweep is asked).
+
+    Follows the Figure-3 convention of
+    :func:`repro.core.sweep.load_grid_to_saturation`: uniform steps up to
+    ``sweep_fraction`` of saturation, with the zero point replaced by a 2%
+    floor (clamped below the second grid point on dense grids).
+    """
+    if scenario.flit_loads is not None:
+        return np.asarray(scenario.flit_loads, dtype=float)
+    if scenario.sweep_points < 2:
+        return None
+    grid = np.linspace(
+        0.0, scenario.sweep_fraction * saturation_flit_load, scenario.sweep_points
+    )
+    grid[0] = min(0.02 * saturation_flit_load, grid[1] / 2.0)
+    return grid
+
+
+def _curve_metrics(curve: LatencyCurve) -> dict:
+    return {
+        "label": curve.label,
+        "flit_loads": [float(x) for x in curve.flit_loads],
+        "latencies": [float(y) for y in curve.latencies],
+        "last_stable_load": float(curve.last_stable_load),
+    }
+
+
+def _saturation_metrics(sat: SaturationResult) -> dict:
+    return {
+        "injection_rate": sat.injection_rate,
+        "flit_load": sat.flit_load,
+        "lower_bound": sat.lower_bound,
+        "upper_bound": sat.upper_bound,
+    }
+
+
+def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
+    """Shared driver of the ``model``, ``batch`` and ``baseline`` backends."""
+    scalar = scenario.backend == "model"
+    timings: dict[str, float] = {}
+    t0 = time.perf_counter()
+    model = _bft_model(scenario)
+    evaluator = _evaluator_for(scenario, model)
+    timings["build_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sat = saturation_injection_rate(
+        evaluator,
+        scenario.message_flits,
+        vectorized=False if scalar else None,
+    )
+    timings["saturation_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    point = _point_latency(evaluator, scenario.workload(), scalar=scalar)
+    grid = _grid_for(scenario, sat.flit_load)
+    curve = None
+    if grid is not None:
+        if scalar:
+            # Reference engine: one model solve per grid point.
+            flits = scenario.message_flits
+            lat = np.array(
+                [
+                    _point_latency(
+                        evaluator, Workload.from_flit_load(float(x), flits), scalar=True
+                    )
+                    for x in grid
+                ]
+            )
+            curve = LatencyCurve(
+                label=f"{scenario.backend} {flits}-flit",
+                message_flits=flits,
+                flit_loads=grid,
+                latencies=lat,
+            )
+        else:
+            curve = latency_sweep(
+                evaluator,
+                scenario.message_flits,
+                grid,
+                label=f"{scenario.backend} {scenario.message_flits}-flit",
+            )
+    timings["evaluate_s"] = time.perf_counter() - t0
+
+    metrics = {
+        "engine": "scalar" if scalar else "batch",
+        "variant": model.variant.label,
+        "point": {"flit_load": scenario.flit_load, "latency": point},
+        "saturation": _saturation_metrics(sat),
+        "curve": _curve_metrics(curve) if curve is not None else None,
+    }
+    return metrics, timings
+
+
+# --- the simulate backend -----------------------------------------------------------
+
+
+def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
+    """Independently seeded replication set at the scenario's operating point."""
+    timings: dict[str, float] = {}
+    t0 = time.perf_counter()
+    topo = ButterflyFatTree(scenario.num_processors)
+    model = ButterflyFatTreeModel(scenario.num_processors)
+    evaluator = _evaluator_for(scenario, model)  # the crosscheck prediction
+    spec = scenario.spec()
+    timings["build_s"] = time.perf_counter() - t0
+
+    workload = scenario.workload()
+    config = scenario.sim_config()
+    sim_cls = _SIMULATOR_CLASSES[scenario.simulator]
+    t0 = time.perf_counter()
+    results = []
+    for seed in replication_seeds(config.seed, scenario.replications):
+        cfg = replace(config, seed=seed)
+        kwargs = {}
+        if spec is not None:
+            kwargs["traffic"] = PoissonTraffic(
+                scenario.num_processors, workload, seed=seed, spec=spec
+            )
+        results.append(
+            sim_cls(topo, workload, cfg, keep_samples=False, **kwargs).run()
+        )
+    rep = ReplicatedResult(workload=workload, results=tuple(results))
+    timings["simulate_s"] = time.perf_counter() - t0
+
+    prediction = _point_latency(evaluator, workload, scalar=False)
+    metrics = {
+        "engine": scenario.simulator,
+        "point": {
+            "flit_load": scenario.flit_load,
+            "latency": rep.latency_mean,
+            "latency_ci95": rep.latency_ci,
+            "throughput": rep.delivered_flit_rate,
+            "stable": rep.stable,
+            "model_prediction": prediction,
+        },
+        "saturation": None,
+        "curve": None,
+        "replications": [
+            {
+                "seed": r.config.seed,
+                "latency_mean": r.latency_mean,
+                "latency_std": r.latency_std,
+                "throughput": r.delivered_flit_rate,
+                "stable": r.stable,
+                "tagged_delivered": r.tagged_delivered,
+                "censored_tagged": r.censored_tagged,
+            }
+            for r in rep.results
+        ],
+    }
+    return metrics, timings
+
+
+_BACKENDS: dict[str, Callable[[Scenario], tuple[dict, dict]]] = {
+    "model": _run_analytical,
+    "batch": _run_analytical,
+    "baseline": _run_analytical,
+    "simulate": _run_simulate,
+}

@@ -1,0 +1,358 @@
+"""The persistent run registry: append-only JSON-lines under a directory.
+
+A :class:`RunRegistry` owns one directory (by default
+``benchmarks/results/runs/``, honouring ``REPRO_RESULTS_DIR``) holding a
+single append-only ``runs.jsonl`` — one canonical-JSON record per line.
+Append-only JSON lines keep the format trivially diffable, mergeable and
+greppable across PRs; no database dependency is involved.
+
+Operations: :meth:`~RunRegistry.save`, :meth:`~RunRegistry.load` (by run
+id or the alias ``"latest"``), :meth:`~RunRegistry.query` (field filters
+plus an arbitrary predicate) and :meth:`~RunRegistry.diff` — a flattened
+numeric comparison of two records (or of a record against a raw JSON
+baseline file such as the committed ``benchmarks/BENCH_perf.json``).
+
+Records written under a different :data:`~repro.runs.result.SCHEMA_VERSION`
+raise :class:`~repro.errors.SchemaVersionError` on direct load;
+iteration-style reads (``query``, ``ids``) skip them and report the count
+through :attr:`RunRegistry.skipped_versions` so a registry that outlives
+a schema bump stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import ConfigurationError, RegistryError, SchemaVersionError
+from ..util.tables import format_table
+from .result import RunResult, json_restore
+
+__all__ = [
+    "RunRegistry",
+    "RunDiff",
+    "MetricDelta",
+    "default_registry_dir",
+    "diff_metrics",
+    "flatten_metrics",
+]
+
+_RECORDS_FILE = "runs.jsonl"
+
+
+def default_registry_dir() -> Path:
+    """``benchmarks/results/runs`` next to the repository root.
+
+    Honours the ``REPRO_RESULTS_DIR`` environment variable (the registry
+    lives in a ``runs/`` subdirectory of it), matching
+    :func:`repro.experiments.report.default_results_dir`.
+    """
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return Path(env) / "runs"
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results" / "runs"
+
+
+# --- metric flattening and diffing --------------------------------------------------
+
+
+def flatten_metrics(obj: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts/lists into dotted numeric leaves.
+
+    Non-numeric leaves (labels, booleans, None) are dropped; list
+    elements are addressed as ``key[i]``.
+    """
+    out: dict[str, float] = {}
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        if prefix:
+            out[prefix] = float(obj)
+        return out
+    if isinstance(obj, Mapping):
+        for k, v in obj.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_metrics(v, key))
+        return out
+    if isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            out.update(flatten_metrics(v, f"{prefix}[{i}]"))
+        return out
+    return out
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One flattened metric compared across two runs."""
+
+    key: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def rel(self) -> float:
+        """Relative change ``(b - a) / |a|`` (nan when undefined)."""
+        if math.isnan(self.a) or math.isnan(self.b):
+            # Equality (including nan == nan in spirit) is "no change";
+            # any other comparison against nan is undefined, not ±inf.
+            return 0.0 if (math.isnan(self.a) and math.isnan(self.b)) else math.nan
+        if not math.isfinite(self.a) or self.a == 0.0:
+            return 0.0 if self.a == self.b else math.nan
+        if math.isinf(self.b):
+            return math.inf if self.b > 0 else -math.inf
+        return (self.b - self.a) / abs(self.a)
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Field-by-field numeric comparison of two runs (or baselines)."""
+
+    a_label: str
+    b_label: str
+    deltas: tuple[MetricDelta, ...]
+    only_a: tuple[str, ...]
+    only_b: tuple[str, ...]
+
+    @property
+    def max_abs_rel(self) -> float:
+        """Largest finite |relative change| across shared metrics (0 if none)."""
+        rels = [abs(d.rel) for d in self.deltas if math.isfinite(d.rel)]
+        return max(rels) if rels else 0.0
+
+    def render(self, *, top: int | None = 25) -> str:
+        """Aligned table of the largest relative changes first."""
+        def rank(d: MetricDelta):
+            # Largest |rel| first, infinities before everything, undefined
+            # (nan) comparisons last.
+            if math.isnan(d.rel):
+                return (1, 0.0, d.key)
+            return (0, -(abs(d.rel) if math.isfinite(d.rel) else math.inf), d.key)
+
+        ranked = sorted(self.deltas, key=rank)
+        shown = ranked if top is None else ranked[:top]
+        lines = [
+            format_table(
+                ["metric", self.a_label, self.b_label, "delta", "rel"],
+                [(d.key, d.a, d.b, d.delta, d.rel) for d in shown],
+                title=(
+                    f"runs diff: {self.a_label} -> {self.b_label} "
+                    f"({len(self.deltas)} shared metrics"
+                    + (f", top {len(shown)} by |rel|" if len(shown) < len(self.deltas) else "")
+                    + ")"
+                ),
+            )
+        ]
+        if self.only_a:
+            lines.append(f"only in {self.a_label}: {', '.join(self.only_a)}")
+        if self.only_b:
+            lines.append(f"only in {self.b_label}: {', '.join(self.only_b)}")
+        lines.append(f"max |rel| over shared metrics: {self.max_abs_rel:.4g}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "a": self.a_label,
+            "b": self.b_label,
+            "deltas": [
+                {"key": d.key, "a": d.a, "b": d.b, "delta": d.delta, "rel": d.rel}
+                for d in self.deltas
+            ],
+            "only_a": list(self.only_a),
+            "only_b": list(self.only_b),
+            "max_abs_rel": self.max_abs_rel,
+        }
+
+
+def diff_metrics(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    *,
+    a_label: str = "a",
+    b_label: str = "b",
+) -> RunDiff:
+    """Compare two (possibly nested) metric mappings key by key."""
+    flat_a = flatten_metrics(a)
+    flat_b = flatten_metrics(b)
+    shared = sorted(set(flat_a) & set(flat_b))
+    return RunDiff(
+        a_label=a_label,
+        b_label=b_label,
+        deltas=tuple(MetricDelta(k, flat_a[k], flat_b[k]) for k in shared),
+        only_a=tuple(sorted(set(flat_a) - set(flat_b))),
+        only_b=tuple(sorted(set(flat_b) - set(flat_a))),
+    )
+
+
+# --- the registry -------------------------------------------------------------------
+
+
+class RunRegistry:
+    """Append-only run store (see the module docstring).
+
+    Parameters
+    ----------
+    path:
+        Registry directory (created on demand); defaults to
+        :func:`default_registry_dir`.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else default_registry_dir()
+        #: Records skipped by the last iteration-style read because their
+        #: schema version did not match (0 after ``save``/``load``).
+        self.skipped_versions = 0
+
+    @property
+    def records_path(self) -> Path:
+        return self.path / _RECORDS_FILE
+
+    # --- write -------------------------------------------------------------------
+
+    def save(self, result: RunResult) -> str:
+        """Append one record; returns its run id."""
+        if not isinstance(result, RunResult):
+            raise ConfigurationError(
+                f"registry.save expects a RunResult, got {type(result).__name__}"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        with self.records_path.open("a", encoding="utf-8") as fh:
+            fh.write(result.to_json_str() + "\n")
+        return result.run_id
+
+    # --- read --------------------------------------------------------------------
+
+    def _iter_raw(self) -> Iterator[dict]:
+        if not self.records_path.exists():
+            return
+        with self.records_path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise RegistryError(
+                        f"{self.records_path}:{lineno}: unreadable record ({exc})"
+                    ) from exc
+
+    def __iter__(self) -> Iterator[RunResult]:
+        """Yield readable records in insertion order (skips foreign schemas)."""
+        self.skipped_versions = 0
+        for raw in self._iter_raw():
+            try:
+                yield RunResult.from_json(raw)
+            except SchemaVersionError:
+                self.skipped_versions += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def ids(self) -> list[str]:
+        return [r.run_id for r in self]
+
+    def latest(self) -> RunResult | None:
+        """The most recently appended readable record."""
+        last = None
+        for record in self:
+            last = record
+        return last
+
+    def load(self, run_id: str) -> RunResult:
+        """Load one record by id (or the alias ``"latest"``).
+
+        Unlike iteration, a direct load of a schema-mismatched record
+        raises :class:`SchemaVersionError` — the caller asked for exactly
+        that record and must not receive a silently reinterpreted one.
+        """
+        if run_id == "latest":
+            record = self.latest()
+            if record is None:
+                raise RegistryError(f"registry {self.path} holds no runs")
+            return record
+        for raw in self._iter_raw():
+            if raw.get("run_id") == run_id:
+                return RunResult.from_json(raw)
+        raise RegistryError(f"run {run_id!r} not found in {self.path}")
+
+    def query(
+        self,
+        *,
+        backend: str | None = None,
+        kind: str | None = None,
+        label: str | None = None,
+        pattern: str | None = None,
+        num_processors: int | None = None,
+        message_flits: int | None = None,
+        predicate: Callable[[RunResult], bool] | None = None,
+    ) -> list[RunResult]:
+        """Filter records by scenario fields (insertion order preserved)."""
+        out = []
+        for record in self:
+            sc = record.scenario
+            if kind is not None and record.kind != kind:
+                continue
+            if label is not None and record.label != label:
+                continue
+            if backend is not None and (sc is None or sc.backend != backend):
+                continue
+            if pattern is not None and (sc is None or sc.pattern != pattern):
+                continue
+            if num_processors is not None and (
+                sc is None or sc.num_processors != num_processors
+            ):
+                continue
+            if message_flits is not None and (
+                sc is None or sc.message_flits != message_flits
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    # --- diff --------------------------------------------------------------------
+
+    def _resolve_comparand(self, ref: "RunResult | str | Path") -> tuple[dict, str]:
+        """Map a diff operand to ``(metrics, label)``.
+
+        Accepts a :class:`RunResult`, a run id (or ``"latest"``), or a
+        path to a raw JSON baseline file (e.g. ``BENCH_perf.json``) whose
+        numeric leaves are compared wholesale.
+        """
+        if isinstance(ref, RunResult):
+            return ref.metrics, ref.run_id
+        if isinstance(ref, Path) or (
+            isinstance(ref, str) and (os.sep in ref or ref.endswith(".json"))
+        ):
+            path = Path(ref)
+            if not path.exists():
+                raise RegistryError(f"baseline file {path} does not exist")
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise RegistryError(f"{path}: not valid JSON ({exc})") from exc
+            if isinstance(data, Mapping) and "metrics" in data and "run_id" in data:
+                # A serialized RunResult: compare its metrics block.
+                return dict(json_restore(data["metrics"])), str(data["run_id"])
+            return dict(json_restore(data)), path.name
+        if isinstance(ref, str):
+            record = self.load(ref)
+            return record.metrics, record.run_id
+        raise ConfigurationError(
+            f"cannot diff against object of type {type(ref).__name__}"
+        )
+
+    def diff(self, a: "RunResult | str | Path", b: "RunResult | str | Path") -> RunDiff:
+        """Numeric comparison of two runs (or a run against a JSON baseline)."""
+        metrics_a, label_a = self._resolve_comparand(a)
+        metrics_b, label_b = self._resolve_comparand(b)
+        return diff_metrics(metrics_a, metrics_b, a_label=label_a, b_label=label_b)

@@ -1,0 +1,239 @@
+"""Typed, schema-versioned run records with lossless JSON round-trip.
+
+A :class:`RunResult` is the single result shape every backend returns:
+the scenario that was asked, the metrics that answer it, provenance
+(library version, interpreter, platform) and wall-clock timings.  Records
+carry :data:`SCHEMA_VERSION` so the registry can detect incompatible
+records written by a different library generation instead of silently
+misreading them.
+
+JSON cannot represent ``inf``/``nan``, which saturated operating points
+produce routinely, so the codec maps non-finite floats to sentinel
+strings (``"__inf__"``, ``"__-inf__"``, ``"__nan__"``) on encode and
+restores them on decode — ``RunResult.from_json(r.to_json()) == r`` holds
+exactly, including past-saturation curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError, RegistryError, SchemaVersionError
+from .scenario import Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunResult",
+    "json_safe",
+    "json_restore",
+]
+
+#: Bump whenever the record layout changes incompatibly.  Readers refuse
+#: records whose version differs (see :meth:`RunResult.from_json`).
+SCHEMA_VERSION = 1
+
+_INF = "__inf__"
+_NEG_INF = "__-inf__"
+_NAN = "__nan__"
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively encode ``obj`` into strict-JSON-safe values.
+
+    Non-finite floats become sentinel strings; tuples become lists; numpy
+    scalars and arrays are demoted to Python floats/lists via their
+    ``item``/``tolist`` protocols.  Mapping keys are coerced to ``str``.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return _NAN
+        if math.isinf(obj):
+            return _INF if obj > 0 else _NEG_INF
+        return obj
+    if isinstance(obj, Mapping):
+        return {str(k): json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in obj]
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return json_safe(tolist())
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return json_safe(item())
+    raise ConfigurationError(
+        f"value of type {type(obj).__name__} is not JSON-serializable: {obj!r}"
+    )
+
+
+def json_restore(obj: Any) -> Any:
+    """Invert :func:`json_safe` (sentinel strings back to floats)."""
+    if isinstance(obj, str):
+        if obj == _INF:
+            return math.inf
+        if obj == _NEG_INF:
+            return -math.inf
+        if obj == _NAN:
+            return math.nan
+        return obj
+    if isinstance(obj, dict):
+        return {k: json_restore(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [json_restore(v) for v in obj]
+    return obj
+
+
+def _canonical(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True, eq=False)
+class RunResult:
+    """One persisted evaluation: inputs, metrics, provenance, timings.
+
+    ``kind`` distinguishes scenario-driven records (``"scenario"``, the
+    output of :func:`repro.runs.run`) from free-form ones such as the
+    benchmark baseline (``"bench"``), which carry metrics but no scenario.
+
+    Equality is defined over the canonical JSON form, so ``nan`` metric
+    values compare equal to themselves after a round trip (plain float
+    comparison would make any record containing ``nan`` unequal to its
+    own deserialization).
+    """
+
+    metrics: dict
+    scenario: Scenario | None = None
+    kind: str = "scenario"
+    provenance: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+    label: str = ""
+    created_at: float = 0.0
+    run_id: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scenario", "bench"):
+            raise ConfigurationError(f"unknown RunResult kind {self.kind!r}")
+        if self.kind == "scenario" and self.scenario is None:
+            raise ConfigurationError("scenario records require a Scenario")
+        if not self.created_at:
+            object.__setattr__(self, "created_at", time.time())
+        if not self.run_id:
+            digest = hashlib.sha256(
+                _canonical(
+                    [
+                        self.kind,
+                        self.scenario.to_json() if self.scenario else None,
+                        json_safe(self.metrics),
+                        self.created_at,
+                    ]
+                ).encode()
+            ).hexdigest()
+            object.__setattr__(self, "run_id", f"run-{digest[:12]}")
+
+    # --- equality over the canonical form ---------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunResult):
+            return NotImplemented
+        return self.to_json() == other.to_json()
+
+    def __hash__(self) -> int:
+        return hash(_canonical(self.to_json()))
+
+    # --- serialization -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Strict-JSON dict (no non-finite floats; see module docstring)."""
+        return {
+            "schema_version": self.schema_version,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "label": self.label,
+            "created_at": self.created_at,
+            "scenario": self.scenario.to_json() if self.scenario else None,
+            "metrics": json_safe(self.metrics),
+            "provenance": json_safe(self.provenance),
+            "timings": json_safe(self.timings),
+        }
+
+    def to_json_str(self) -> str:
+        """One-line canonical JSON (the registry's on-disk record form)."""
+        return _canonical(self.to_json())
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any] | str) -> "RunResult":
+        """Rebuild a record; refuses records from another schema generation."""
+        if isinstance(data, str):
+            data = json.loads(data)
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("RunResult.from_json expects a dict or str")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"record has schema_version={version!r} but this library reads "
+                f"version {SCHEMA_VERSION}; regenerate the run or upgrade"
+            )
+        scenario = data.get("scenario")
+        try:
+            created_at = float(data["created_at"])
+            run_id = str(data["run_id"])
+        except KeyError as exc:
+            # Hand-merged/truncated registry lines can be valid JSON yet
+            # structurally incomplete; keep the error typed and one-line.
+            raise RegistryError(
+                f"run record is missing required field {exc.args[0]!r}"
+            ) from exc
+        return cls(
+            metrics=json_restore(dict(data.get("metrics", {}))),
+            scenario=Scenario.from_json(scenario) if scenario else None,
+            kind=data.get("kind", "scenario"),
+            provenance=json_restore(dict(data.get("provenance", {}))),
+            timings=json_restore(dict(data.get("timings", {}))),
+            label=data.get("label", ""),
+            created_at=created_at,
+            run_id=run_id,
+        )
+
+    # --- convenience -------------------------------------------------------------
+
+    @classmethod
+    def for_metrics(
+        cls, metrics: Mapping[str, Any], *, kind: str = "bench", label: str = ""
+    ) -> "RunResult":
+        """Wrap a free-form metrics mapping (e.g. a benchmark report)."""
+        from .runner import provenance_stamp
+
+        return cls(
+            metrics=dict(metrics),
+            scenario=None,
+            kind=kind,
+            label=label,
+            provenance=provenance_stamp(backend=kind),
+        )
+
+    def summary(self) -> str:
+        """One-line digest for listings."""
+        if self.scenario is not None:
+            sc = self.scenario
+            head = (
+                f"{sc.backend:>8} {sc.topology} N={sc.num_processors} "
+                f"f={sc.message_flits} {sc.pattern}"
+            )
+            point = self.metrics.get("point") or {}
+            lat = point.get("latency")
+            if isinstance(lat, (int, float)):
+                head += f" latency={lat:.4g}"
+            sat = self.metrics.get("saturation") or {}
+            if isinstance(sat.get("flit_load"), (int, float)):
+                head += f" sat={sat['flit_load']:.4g}"
+        else:
+            head = f"{self.kind:>8} {self.label or '(unlabelled)'}"
+        return f"{self.run_id}  {head}"

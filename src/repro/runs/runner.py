@@ -1,0 +1,87 @@
+"""The facade: ``run(scenario)`` / :class:`Runner`.
+
+One call dispatches a :class:`~repro.runs.scenario.Scenario` to its
+backend, stamps provenance and timings, and (optionally) persists the
+record through a :class:`~repro.runs.registry.RunRegistry` — the same
+pipeline whether the question is a latency sweep, a saturation search, a
+simulator replication set or a baseline curve.
+
+>>> from repro.runs import Runner, Scenario
+>>> runner = Runner()                      # in-memory only
+>>> r = runner.run(Scenario(num_processors=16, message_flits=16))
+>>> r.metrics["point"]["latency"] > 0
+True
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass
+
+from .backends import execute
+from .registry import RunRegistry
+from .result import RunResult
+from .scenario import Scenario
+
+__all__ = ["Runner", "run", "provenance_stamp"]
+
+
+def provenance_stamp(*, backend: str) -> dict:
+    """Environment fingerprint recorded with every run."""
+    from .. import __version__
+
+    return {
+        "repro_version": __version__,
+        "backend": backend,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+@dataclass
+class Runner:
+    """Scenario executor with an optional attached registry.
+
+    With a registry attached, every run is persisted automatically unless
+    the call says otherwise; without one, runs stay in memory (pass
+    ``save=True`` to a registry-less runner to get a clear error instead
+    of a silent drop).
+    """
+
+    registry: RunRegistry | None = None
+
+    def run(self, scenario: Scenario, *, save: bool | None = None) -> RunResult:
+        """Evaluate ``scenario`` and return (and maybe persist) its record."""
+        started = time.perf_counter()
+        metrics, timings = execute(scenario)
+        timings = {**timings, "total_s": time.perf_counter() - started}
+        result = RunResult(
+            metrics=metrics,
+            scenario=scenario,
+            kind="scenario",
+            provenance=provenance_stamp(backend=scenario.backend),
+            timings=timings,
+            label=scenario.label,
+        )
+        persist = save if save is not None else self.registry is not None
+        if persist:
+            if self.registry is None:
+                from ..errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "save=True requires a Runner with a registry attached"
+                )
+            self.registry.save(result)
+        return result
+
+
+def run(
+    scenario: Scenario,
+    *,
+    registry: RunRegistry | None = None,
+    save: bool | None = None,
+) -> RunResult:
+    """Evaluate one scenario (module-level convenience over :class:`Runner`)."""
+    return Runner(registry=registry).run(scenario, save=save)

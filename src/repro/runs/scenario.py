@@ -1,0 +1,220 @@
+"""Declarative scenarios: the one record that states a network question.
+
+A :class:`Scenario` pins down *what* is being asked — topology, operating
+point, message length, traffic pattern, and measurement protocol — while
+the ``backend`` field selects *how* it is answered:
+
+* ``model``    — the paper's analytical model, solved point by point
+  (the reference scalar engine);
+* ``batch``    — the same model through the vectorized batch engine
+  (bit-identical numbers, one NumPy pass per curve);
+* ``simulate`` — a replication set of discrete-event simulations;
+* ``baseline`` — the prior-art model variant (independent M/G/1 links,
+  no blocking correction), for paper-style comparisons.
+
+Because every field is a plain JSON-able value (no live model or
+simulator objects), a scenario round-trips losslessly through
+:meth:`Scenario.to_json` / :meth:`Scenario.from_json` and can be replayed
+by any later session — the foundation the run registry builds on.
+
+>>> from repro.runs import Scenario, run
+>>> sc = Scenario(num_processors=64, message_flits=16, backend="batch")
+>>> result = run(sc)
+>>> result.metrics["saturation"]["flit_load"] > 0
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..config import SimConfig, Workload
+from ..errors import ConfigurationError
+from ..traffic.spec import TrafficSpec, available_patterns, make_spec
+
+__all__ = ["BACKENDS", "SIMULATORS", "Scenario"]
+
+#: Evaluation backends a scenario can dispatch to.
+BACKENDS = ("model", "batch", "simulate", "baseline")
+
+#: Simulator engines the ``simulate`` backend accepts.
+SIMULATORS = ("event", "flit", "buffered")
+
+#: Topology families the facade currently evaluates end to end.  The
+#: butterfly fat-tree is the only family every backend (analytical,
+#: batch, simulator, baseline) supports; the registry keys exist so the
+#: scenario schema does not change when more families are wired in.
+TOPOLOGIES = ("bft",)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative network question (see the module docstring).
+
+    Attributes
+    ----------
+    topology:
+        Topology family (currently ``"bft"``).
+    num_processors:
+        Machine size ``N`` (the family's own constraints apply at run
+        time, e.g. powers of four for the fat tree).
+    message_flits:
+        Worm length in flits.
+    flit_load:
+        The operating point in flits/cycle/PE (Figure-3 units); point
+        metrics and simulator replications are taken here.
+    pattern:
+        Traffic-scenario name from the registry (see ``repro patterns``).
+    pattern_params:
+        Extra spec parameters (e.g. ``hotspot_fraction``); stored as a
+        plain mapping so the scenario stays JSON-able.
+    backend:
+        One of :data:`BACKENDS`.
+    sweep_points:
+        Grid size of the latency-vs-load curve the analytical backends
+        produce; ``0`` skips the curve.  The simulate backend never
+        sweeps implicitly (simulation cost is per point).
+    sweep_fraction:
+        The curve's top grid point as a fraction of the backend's own
+        saturation load.
+    flit_loads:
+        Optional explicit load grid (overrides the derived one).
+    simulator, replications, warmup_cycles, measure_cycles, seed:
+        Measurement protocol of the ``simulate`` backend.
+    label:
+        Free-form tag recorded with the run (useful for registry queries).
+    """
+
+    topology: str = "bft"
+    num_processors: int = 256
+    message_flits: int = 32
+    flit_load: float = 0.02
+    pattern: str = "uniform"
+    pattern_params: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = "batch"
+    sweep_points: int = 8
+    sweep_fraction: float = 0.98
+    flit_loads: tuple[float, ...] | None = None
+    simulator: str = "event"
+    replications: int = 3
+    warmup_cycles: float = 3_000.0
+    measure_cycles: float = 9_000.0
+    seed: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; supported: {TOPOLOGIES}"
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; supported: {BACKENDS}"
+            )
+        if self.simulator not in SIMULATORS:
+            raise ConfigurationError(
+                f"unknown simulator {self.simulator!r}; supported: {SIMULATORS}"
+            )
+        if self.pattern not in available_patterns():
+            raise ConfigurationError(
+                f"unknown pattern {self.pattern!r}; see repro.available_patterns()"
+            )
+        if not isinstance(self.num_processors, int) or self.num_processors < 2:
+            raise ConfigurationError("num_processors must be an integer >= 2")
+        if not isinstance(self.message_flits, int) or self.message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        if not (self.flit_load >= 0.0):
+            raise ConfigurationError("flit_load must be non-negative")
+        if self.sweep_points < 0 or self.sweep_points == 1:
+            raise ConfigurationError("sweep_points must be 0 (no curve) or >= 2")
+        if not (0.0 < self.sweep_fraction < 1.0):
+            raise ConfigurationError("sweep_fraction must be in (0, 1)")
+        if self.replications < 1:
+            raise ConfigurationError("replications must be >= 1")
+        # Freeze the mutable-looking fields so the dataclass stays hashable
+        # in spirit and the JSON form is canonical.
+        object.__setattr__(self, "pattern_params", dict(self.pattern_params))
+        if self.flit_loads is not None:
+            loads = tuple(float(x) for x in self.flit_loads)
+            if len(loads) == 0:
+                raise ConfigurationError("flit_loads must be non-empty when given")
+            if any(x < 0 for x in loads):
+                raise ConfigurationError("flit_loads must be non-negative")
+            object.__setattr__(self, "flit_loads", loads)
+        # Instantiating the workload, the spec and (for simulate) the
+        # protocol validates the remaining fields eagerly, so an
+        # infeasible scenario fails at construction, not mid-run.
+        self.workload()
+        try:
+            self.spec()
+        except TypeError as exc:
+            # make_spec rejects unknown keyword parameters with TypeError;
+            # surface it as the library's typed configuration error.
+            raise ConfigurationError(
+                f"invalid pattern_params for pattern {self.pattern!r}: {exc}"
+            ) from exc
+        if self.backend == "simulate":
+            self.sim_config()
+
+    # --- derived objects ---------------------------------------------------------
+
+    def workload(self) -> Workload:
+        """The operating point as a :class:`~repro.config.Workload`."""
+        return Workload.from_flit_load(self.flit_load, self.message_flits)
+
+    def spec(self) -> TrafficSpec | None:
+        """The :class:`TrafficSpec`, or None for plain uniform traffic.
+
+        Uniform returns None so the backends keep the closed-form fast
+        path (and byte-identical output with the pre-facade entry points).
+        """
+        if self.pattern == "uniform" and not self.pattern_params:
+            return None
+        return make_spec(self.pattern, **dict(self.pattern_params))
+
+    def sim_config(self) -> SimConfig:
+        """The measurement protocol of the ``simulate`` backend."""
+        return SimConfig(
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            seed=self.seed,
+        )
+
+    def with_backend(self, backend: str) -> "Scenario":
+        """The same question answered by a different backend."""
+        return dataclasses.replace(self, backend=backend)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Scenario({self.topology} N={self.num_processors}, "
+            f"{self.message_flits}-flit, load={self.flit_load:g} fl/cyc/PE, "
+            f"pattern={self.pattern}, backend={self.backend})"
+        )
+
+    # --- serialization -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (lossless; see :meth:`from_json`)."""
+        data = dataclasses.asdict(self)
+        data["pattern_params"] = dict(self.pattern_params)
+        data["flit_loads"] = (
+            list(self.flit_loads) if self.flit_loads is not None else None
+        )
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown Scenario fields in record: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("flit_loads") is not None:
+            kwargs["flit_loads"] = tuple(float(x) for x in kwargs["flit_loads"])
+        return cls(**kwargs)

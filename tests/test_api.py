@@ -16,11 +16,17 @@ class TestExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "2.0.0"
 
     @pytest.mark.parametrize(
         "name",
         [
+            "Scenario",
+            "Runner",
+            "run",
+            "RunResult",
+            "RunRegistry",
+            "SCHEMA_VERSION",
             "ButterflyFatTreeModel",
             "ButterflyFatTree",
             "Workload",
@@ -41,6 +47,7 @@ class TestExports:
         import repro.core
         import repro.experiments
         import repro.queueing
+        import repro.runs
         import repro.simulation
         import repro.topology
         import repro.util
@@ -90,10 +97,15 @@ class TestErrorHierarchy:
             errors.SaturatedError,
             errors.ConvergenceError,
             errors.SimulationError,
+            errors.RegistryError,
+            errors.SchemaVersionError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, errors.ReproError)
+
+    def test_schema_version_error_is_registry_error(self):
+        assert issubclass(errors.SchemaVersionError, errors.RegistryError)
 
     def test_configuration_error_is_value_error(self):
         assert issubclass(errors.ConfigurationError, ValueError)

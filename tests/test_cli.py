@@ -31,8 +31,12 @@ class TestCommands:
         assert "latency" in out
 
     def test_model_bad_size_is_clean_error(self, capsys):
-        assert main(["model", "-n", "100"]) == 1
-        assert "error:" in capsys.readouterr().err
+        # Invalid arguments exit with the argparse convention (status 2)
+        # and a one-line message, never a traceback.
+        assert main(["model", "-n", "100"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
     def test_sweep(self, capsys):
         assert main(["sweep", "-n", "64", "-f", "16", "--points", "4"]) == 0
@@ -109,7 +113,7 @@ class TestCommands:
         rc = main(
             ["sweep", "-n", "16", "-f", "16", "--pattern", "tornado", "--scalar"]
         )
-        assert rc == 1
+        assert rc == 2
         assert "error:" in capsys.readouterr().err
 
     @pytest.mark.parametrize("engine", ["event", "flit", "buffered"])
@@ -230,15 +234,143 @@ class TestCommands:
         assert "dimensions=16" in capsys.readouterr().out
 
     def test_design_no_realizable_size_is_clean_error(self, capsys):
+        # An infeasible scenario is a usage error: status 2, one line.
         rc = main(["design", "--families", "bft", "--sizes", "32", "--flits", "16"])
-        assert rc == 1
+        assert rc == 2
         assert "error:" in capsys.readouterr().err
 
     def test_design_bad_sizes_is_clean_error(self, capsys):
         rc = main(["design", "--families", "bft", "--sizes", "big", "--flits", "16"])
-        assert rc == 1
+        assert rc == 2
         assert "error:" in capsys.readouterr().err
 
     def test_experiment_design(self, capsys):
         assert main(["experiment", "design"]) == 0
         assert "CM-5-class sizing" in capsys.readouterr().out
+
+
+class TestJsonEverywhere:
+    """Every data-producing subcommand shares one --json formatter."""
+
+    def _json_out(self, capsys, argv):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_model_json(self, capsys):
+        data = self._json_out(
+            capsys, ["model", "-n", "16", "-f", "16", "-l", "0.05", "--json"]
+        )
+        assert data["components"]["latency"] > 0
+        assert data["num_processors"] == 16
+
+    def test_sweep_json(self, capsys):
+        data = self._json_out(
+            capsys, ["sweep", "-n", "16", "-f", "16", "--points", "4", "--json"]
+        )
+        assert len(data["flit_loads"]) == 4
+        assert len(data["latencies"]) == 4
+
+    def test_saturation_json(self, capsys):
+        data = self._json_out(
+            capsys, ["saturation", "-n", "16", "-f", "16,32", "--json"]
+        )
+        assert [row["message_flits"] for row in data["saturation"]] == [16, 32]
+        assert all(row["flit_load"] > 0 for row in data["saturation"])
+
+    def test_simulate_json(self, capsys):
+        data = self._json_out(
+            capsys,
+            [
+                "simulate", "-n", "16", "-f", "16", "-l", "0.04",
+                "--warmup", "300", "--measure", "1200", "--json",
+            ],
+        )
+        assert data["latency_mean"] > 0
+        assert "model_prediction" in data
+
+    def test_info_json(self, capsys):
+        data = self._json_out(capsys, ["info", "-n", "16", "--json"])
+        assert data["processors"] == 16
+
+    def test_patterns_json(self, capsys):
+        from repro.traffic.spec import available_patterns
+
+        data = self._json_out(capsys, ["patterns", "--json"])
+        assert set(data["patterns"]) == set(available_patterns())
+
+
+class TestRunCommand:
+    def test_run_batch(self, capsys):
+        rc = main(["run", "-n", "16", "-f", "16", "-l", "0.04", "--points", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=batch" in out
+        assert "saturation.flit_load" in out
+
+    def test_run_json_round_trips(self, capsys):
+        import json
+
+        from repro.runs import RunResult
+
+        rc = main(
+            ["run", "-n", "16", "-f", "16", "-l", "0.04", "--points", "0", "--json"]
+        )
+        assert rc == 0
+        record = RunResult.from_json(json.loads(capsys.readouterr().out))
+        assert record.scenario.num_processors == 16
+        assert record.metrics["point"]["latency"] > 0
+
+    def test_run_simulate_and_registry_roundtrip(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        rc = main(
+            [
+                "run", "-n", "16", "-f", "16", "-l", "0.04",
+                "--backend", "simulate", "--replications", "1",
+                "--warmup", "300", "--measure", "1200",
+                "--save", "--registry", registry_dir, "--label", "cli-test",
+            ]
+        )
+        assert rc == 0
+        assert "saved to" in capsys.readouterr().out
+        rc = main(["run", "-n", "16", "-f", "16", "--points", "0",
+                   "--save", "--registry", registry_dir])
+        assert rc == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "cli-test" in out
+
+        assert main(["runs", "list", "--registry", registry_dir,
+                     "--backend", "simulate"]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_runs_diff_latest(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        for _ in range(2):
+            assert main(["run", "-n", "16", "-f", "16", "--points", "0",
+                         "--save", "--registry", registry_dir]) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "latest", "latest",
+                     "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "point.latency" in out
+        assert "max |rel|" in out
+
+    def test_runs_diff_missing_run_is_clean_error(self, capsys, tmp_path):
+        rc = main(["runs", "diff", "run-a", "run-b",
+                   "--registry", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "warp"])
+
+    def test_run_bad_points_is_clean_error(self, capsys):
+        rc = main(["run", "-n", "16", "-f", "16", "--points", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

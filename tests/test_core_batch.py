@@ -22,6 +22,8 @@ from repro import (
     Stage,
     Transition,
     Workload,
+)
+from repro.core import (
     latency_sweep,
     load_grid_to_saturation,
     saturation_injection_rate,

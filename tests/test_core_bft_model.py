@@ -15,8 +15,8 @@ from repro import (
     ModelVariant,
     Workload,
     bft_average_distance,
-    saturation_injection_rate,
 )
+from repro.core import saturation_injection_rate
 from repro.core.rates import bft_channel_rates, up_probability
 from repro.queueing import mg1_waiting_time_wormhole, mgm_waiting_time_wormhole
 

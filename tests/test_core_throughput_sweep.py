@@ -13,6 +13,8 @@ from repro import (
     LatencyCurve,
     SaturatedError,
     Workload,
+)
+from repro.core import (
     latency_sweep,
     load_grid_to_saturation,
     saturation_flit_load,

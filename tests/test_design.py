@@ -8,7 +8,8 @@ import time
 
 import pytest
 
-from repro import ButterflyFatTreeModel, Workload, saturation_injection_rate
+from repro import ButterflyFatTreeModel, Workload
+from repro.core import saturation_injection_rate
 from repro.design import (
     PORT_COUNT_COST,
     Candidate,

@@ -17,9 +17,9 @@ from repro import (
     ModelVariant,
     SimConfig,
     Workload,
-    saturation_injection_rate,
     simulate,
 )
+from repro.core import saturation_injection_rate
 from repro.core.generalized_model import (
     generalized_average_distance,
     generalized_channel_rates,

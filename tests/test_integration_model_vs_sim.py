@@ -17,9 +17,9 @@ from repro import (
     ButterflyFatTreeModel,
     SimConfig,
     Workload,
-    saturation_flit_load,
     simulate,
 )
+from repro.core import saturation_flit_load
 
 
 @pytest.mark.parametrize("n_procs", [16, 64, 256])

@@ -8,7 +8,8 @@ import os
 import numpy as np
 import pytest
 
-from repro import ButterflyFatTree, SimConfig, simulated_latency_curve
+from repro import ButterflyFatTree, SimConfig
+from repro.simulation import simulated_latency_curve
 from repro.util.parallel import parallel_map
 
 

@@ -1,0 +1,433 @@
+"""Tests for the Scenario→Run facade and the persistent run registry."""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RegistryError, SchemaVersionError
+from repro.runs import (
+    SCHEMA_VERSION,
+    RunRegistry,
+    RunResult,
+    Runner,
+    Scenario,
+    diff_metrics,
+    flatten_metrics,
+    json_restore,
+    json_safe,
+    run,
+)
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    """A scenario small enough that every backend answers in well under a second."""
+    defaults = dict(
+        num_processors=16,
+        message_flits=16,
+        flit_load=0.04,
+        sweep_points=4,
+        replications=2,
+        warmup_cycles=300.0,
+        measure_cycles=1200.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestScenario:
+    def test_defaults_valid(self):
+        sc = Scenario()
+        assert sc.backend == "batch"
+        assert sc.workload().flit_load == pytest.approx(0.02)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "nope"},
+            {"topology": "mesh"},
+            {"simulator": "quantum"},
+            {"pattern": "zipf"},
+            {"num_processors": 0},
+            {"message_flits": -1},
+            {"flit_load": -0.1},
+            {"sweep_points": 1},
+            {"sweep_fraction": 1.5},
+            {"replications": 0},
+            {"flit_loads": ()},
+            {"flit_loads": (-0.1, 0.2)},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Scenario(**kwargs)
+
+    def test_simulate_protocol_validated_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(backend="simulate", measure_cycles=0.0)
+
+    def test_uniform_spec_is_none(self):
+        assert Scenario().spec() is None
+
+    def test_pattern_spec_built_with_params(self):
+        sc = Scenario(pattern="hotspot", pattern_params={"hotspot_fraction": 0.2})
+        spec = sc.spec()
+        assert spec is not None and spec.name == "hotspot"
+
+    def test_unknown_pattern_params_rejected_at_construction(self):
+        # A plausible typo must fail eagerly and typed, not as a TypeError
+        # traceback at run() time.
+        with pytest.raises(ConfigurationError, match="pattern_params"):
+            Scenario(pattern="hotspot", pattern_params={"fraction": 0.2})
+
+    def test_with_backend(self):
+        sc = Scenario(backend="batch")
+        assert sc.with_backend("simulate").backend == "simulate"
+        assert sc.backend == "batch"  # original untouched
+
+    def test_round_trip(self):
+        sc = tiny_scenario(pattern="transpose", flit_loads=(0.01, 0.02))
+        assert Scenario.from_json(sc.to_json()) == sc
+
+    def test_from_json_rejects_unknown_fields(self):
+        data = Scenario().to_json()
+        data["frobnicate"] = 1
+        with pytest.raises(ConfigurationError):
+            Scenario.from_json(data)
+
+
+class TestJsonCodec:
+    def test_non_finite_floats_round_trip(self):
+        original = {
+            "a": math.inf,
+            "b": -math.inf,
+            "c": [1.5, math.nan],
+            "d": {"nested": math.inf},
+        }
+        encoded = json_safe(original)
+        # The encoded form must be strict JSON (no Infinity/NaN literals).
+        json.loads(json.dumps(encoded, allow_nan=False))
+        restored = json_restore(encoded)
+        assert restored["a"] == math.inf
+        assert restored["b"] == -math.inf
+        assert math.isnan(restored["c"][1])
+        assert restored["d"]["nested"] == math.inf
+
+    def test_numpy_values_demoted(self):
+        encoded = json_safe({"arr": np.array([1.0, 2.0]), "scalar": np.float64(3.5)})
+        assert encoded == {"arr": [1.0, 2.0], "scalar": 3.5}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            json_safe({"bad": object()})
+
+
+class TestRunResultSerialization:
+    @pytest.mark.parametrize("backend", ["model", "batch", "simulate", "baseline"])
+    def test_round_trip_equality_every_backend(self, backend):
+        result = run(tiny_scenario(backend=backend))
+        assert RunResult.from_json(result.to_json()) == result
+        # And through the string form (the registry's on-disk record).
+        assert RunResult.from_json(result.to_json_str()) == result
+
+    def test_round_trip_preserves_inf_latencies(self):
+        # An explicit grid reaching past saturation forces inf into the curve.
+        result = run(tiny_scenario(backend="batch", flit_loads=(0.01, 5.0)))
+        assert result.metrics["curve"]["latencies"][-1] == math.inf
+        restored = RunResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.metrics["curve"]["latencies"][-1] == math.inf
+
+    def test_schema_version_bump_detected(self):
+        result = run(tiny_scenario(backend="batch", sweep_points=0))
+        data = result.to_json()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            RunResult.from_json(data)
+
+    def test_missing_schema_version_detected(self):
+        result = run(tiny_scenario(backend="batch", sweep_points=0))
+        data = result.to_json()
+        del data["schema_version"]
+        with pytest.raises(SchemaVersionError):
+            RunResult.from_json(data)
+
+    @pytest.mark.parametrize("field", ["run_id", "created_at"])
+    def test_structurally_incomplete_record_is_typed_error(self, field):
+        result = run(tiny_scenario(backend="batch", sweep_points=0))
+        data = result.to_json()
+        del data[field]
+        with pytest.raises(RegistryError, match=field):
+            RunResult.from_json(data)
+
+    def test_provenance_and_timings_stamped(self):
+        result = run(tiny_scenario(backend="batch", sweep_points=0))
+        assert result.provenance["backend"] == "batch"
+        assert result.provenance["repro_version"]
+        assert result.timings["total_s"] > 0.0
+        assert result.run_id.startswith("run-")
+
+    def test_bench_records_need_no_scenario(self):
+        record = RunResult.for_metrics({"benches": {"x": {"median_s": 0.5}}})
+        assert record.kind == "bench"
+        assert RunResult.from_json(record.to_json()) == record
+
+    def test_scenario_records_require_scenario(self):
+        with pytest.raises(ConfigurationError):
+            RunResult(metrics={}, scenario=None, kind="scenario")
+
+
+class TestBackends:
+    def test_model_and_batch_agree_exactly(self):
+        sc = tiny_scenario(backend="model")
+        a = run(sc)
+        b = run(sc.with_backend("batch"))
+        assert a.metrics["point"]["latency"] == b.metrics["point"]["latency"]
+        np.testing.assert_array_equal(
+            a.metrics["curve"]["latencies"], b.metrics["curve"]["latencies"]
+        )
+        assert a.metrics["saturation"]["flit_load"] == pytest.approx(
+            b.metrics["saturation"]["flit_load"], rel=1e-5
+        )
+
+    def test_baseline_differs_from_model(self):
+        sc = tiny_scenario(sweep_points=0)
+        paper = run(sc)
+        naive = run(sc.with_backend("baseline"))
+        assert naive.metrics["variant"] != paper.metrics["variant"]
+        assert naive.metrics["point"]["latency"] != paper.metrics["point"]["latency"]
+
+    def test_simulate_produces_replication_set(self):
+        result = run(tiny_scenario(backend="simulate"))
+        reps = result.metrics["replications"]
+        assert len(reps) == 2
+        assert len({r["seed"] for r in reps}) == 2  # independently seeded
+        point = result.metrics["point"]
+        assert point["stable"] is True
+        assert point["latency"] > 0
+        # The analytical prediction rides along for crosschecks.
+        assert point["model_prediction"] == pytest.approx(point["latency"], rel=0.25)
+
+    def test_pattern_scenario_through_model_and_simulator(self):
+        sc = tiny_scenario(pattern="transpose", sweep_points=0, flit_load=0.03)
+        analytical = run(sc)
+        measured = run(sc.with_backend("simulate"))
+        assert analytical.metrics["point"]["latency"] > 0
+        assert measured.metrics["point"]["latency"] > 0
+
+    def test_no_curve_when_sweep_points_zero(self):
+        assert run(tiny_scenario(sweep_points=0)).metrics["curve"] is None
+
+    def test_explicit_grid_respected(self):
+        grid = (0.01, 0.02, 0.03)
+        result = run(tiny_scenario(backend="batch", flit_loads=grid))
+        assert tuple(result.metrics["curve"]["flit_loads"]) == grid
+
+
+class TestAcceptance:
+    def test_one_scenario_four_backends_land_in_registry(self, tmp_path):
+        """The PR's acceptance criterion: one Scenario answers as a latency
+        sweep, a saturation search, a simulator replication set, and a
+        baseline curve purely by switching backend, and all four records
+        persist and round-trip losslessly."""
+        registry = RunRegistry(tmp_path / "registry")
+        runner = Runner(registry=registry)
+        scenario = tiny_scenario(label="acceptance")
+        results = {
+            backend: runner.run(scenario.with_backend(backend))
+            for backend in ("model", "batch", "simulate", "baseline")
+        }
+        # latency sweep (batch) ...
+        assert len(results["batch"].metrics["curve"]["latencies"]) == 4
+        # ... a saturation search (model, scalar reference engine) ...
+        assert results["model"].metrics["saturation"]["flit_load"] > 0
+        # ... a simulator replication set ...
+        assert len(results["simulate"].metrics["replications"]) == 2
+        # ... and a baseline curve.
+        assert len(results["baseline"].metrics["curve"]["latencies"]) == 4
+
+        assert len(registry) == 4
+        for backend, result in results.items():
+            loaded = registry.load(result.run_id)
+            assert loaded == result, backend
+            assert RunResult.from_json(result.to_json()) == result, backend
+        assert {r.scenario.backend for r in registry.query(label="acceptance")} == {
+            "model",
+            "batch",
+            "simulate",
+            "baseline",
+        }
+
+
+class TestRegistry:
+    def synthetic_trajectory(self, registry: RunRegistry) -> list[RunResult]:
+        """Three fabricated records emulating a cross-PR perf trajectory."""
+        records = []
+        for i, latency in enumerate((21.0, 20.0, 18.5)):
+            records.append(
+                RunResult(
+                    metrics={
+                        "point": {"latency": latency, "flit_load": 0.02},
+                        "saturation": {"flit_load": 0.30 + 0.01 * i},
+                    },
+                    scenario=Scenario(num_processors=16, message_flits=16),
+                    label=f"pr-{i}",
+                    created_at=1_000.0 + i,
+                )
+            )
+            registry.save(records[-1])
+        return records
+
+    def test_save_load_query(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        records = self.synthetic_trajectory(registry)
+        assert len(registry) == 3
+        assert registry.ids() == [r.run_id for r in records]
+        assert registry.load(records[1].run_id) == records[1]
+        assert registry.load("latest") == records[-1]
+        assert registry.latest() == records[-1]
+        assert registry.query(label="pr-1") == [records[1]]
+        assert registry.query(backend="batch") == records
+        assert registry.query(backend="simulate") == []
+        assert registry.query(num_processors=16, message_flits=16) == records
+        assert registry.query(
+            predicate=lambda r: r.metrics["point"]["latency"] < 20.5
+        ) == records[1:]
+
+    def test_load_missing_run_is_clean_error(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        with pytest.raises(RegistryError):
+            registry.load("run-does-not-exist")
+        with pytest.raises(RegistryError):
+            registry.load("latest")
+
+    def test_diff_on_synthetic_trajectory(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        records = self.synthetic_trajectory(registry)
+        diff = registry.diff(records[0].run_id, records[2].run_id)
+        deltas = {d.key: d for d in diff.deltas}
+        assert deltas["point.latency"].delta == pytest.approx(-2.5)
+        assert deltas["point.latency"].rel == pytest.approx(-2.5 / 21.0)
+        assert deltas["saturation.flit_load"].delta == pytest.approx(0.02)
+        assert "point.latency" in diff.render()
+
+    def test_diff_against_json_baseline_file(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.synthetic_trajectory(registry)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"point": {"latency": 20.0}, "extra_metric": 1.0})
+        )
+        diff = registry.diff("latest", str(baseline))
+        deltas = {d.key: d for d in diff.deltas}
+        assert deltas["point.latency"].delta == pytest.approx(1.5)
+        assert "extra_metric" in diff.only_b
+
+    def test_schema_bumped_records_skipped_in_iteration(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        records = self.synthetic_trajectory(registry)
+        alien = records[0].to_json()
+        alien["schema_version"] = SCHEMA_VERSION + 7
+        alien["run_id"] = "run-from-the-future"
+        with registry.records_path.open("a") as fh:
+            fh.write(json.dumps(alien) + "\n")
+        assert len(registry) == 3  # iteration skips the alien record ...
+        assert registry.skipped_versions == 1  # ... but reports it
+        with pytest.raises(SchemaVersionError):  # direct load refuses it
+            registry.load("run-from-the-future")
+
+    def test_corrupt_line_is_clean_error(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.synthetic_trajectory(registry)
+        with registry.records_path.open("a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(RegistryError):
+            list(registry)
+
+
+class TestFlatten:
+    def test_nested_and_lists(self):
+        flat = flatten_metrics(
+            {"a": {"b": 1.0, "label": "x"}, "c": [2.0, {"d": 3.0}], "ok": True}
+        )
+        assert flat == {"a.b": 1.0, "c[0]": 2.0, "c[1].d": 3.0}
+
+    def test_diff_metrics_rel_edge_cases(self):
+        diff = diff_metrics(
+            {"zero": 0.0, "inf": math.inf, "n": 2.0},
+            {"zero": 0.0, "inf": math.inf, "n": 1.0},
+        )
+        by_key = {d.key: d for d in diff.deltas}
+        assert by_key["zero"].rel == 0.0
+        assert by_key["inf"].rel == 0.0
+        assert by_key["n"].rel == pytest.approx(-0.5)
+        assert diff.max_abs_rel == pytest.approx(0.5)
+
+    def test_diff_against_nan_is_undefined_not_infinite(self):
+        # A censored simulate run can carry nan latencies; comparing a
+        # finite baseline against nan must report "undefined", not ±inf.
+        diff = diff_metrics(
+            {"m": 20.0, "both": math.nan, "n": 1.0},
+            {"m": math.nan, "both": math.nan, "n": 2.0},
+        )
+        by_key = {d.key: d for d in diff.deltas}
+        assert math.isnan(by_key["m"].rel)
+        assert by_key["both"].rel == 0.0
+        assert diff.max_abs_rel == pytest.approx(1.0)  # nan never dominates
+        # Rendering ranks the defined comparison first and nan last.
+        rows = [l.strip() for l in diff.render().splitlines()]
+        row_n = next(i for i, l in enumerate(rows) if l.startswith("n "))
+        row_m = next(i for i, l in enumerate(rows) if l.startswith("m "))
+        assert row_n < row_m
+
+
+class TestDeprecationShims:
+    def test_warns_exactly_once_per_call_site(self):
+        import repro
+        from repro import ButterflyFatTreeModel
+
+        model = ButterflyFatTreeModel(16)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            for _ in range(3):
+                repro.saturation_injection_rate(model, 16)  # one call site, thrice
+            assert len(caught) == 1
+            assert issubclass(caught[0].category, DeprecationWarning)
+            assert "deprecated" in str(caught[0].message)
+            repro.saturation_injection_rate(model, 16)  # a second call site
+            assert len(caught) == 2
+
+    def test_every_shimmed_entry_point_warns_and_delegates(self):
+        import repro
+        from repro.core import saturation_injection_rate as undecorated
+
+        model = repro.ButterflyFatTreeModel(16)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("always")
+            sat = repro.saturation_injection_rate(model, 16)
+            grid = repro.load_grid_to_saturation(model, 16, n_points=4)
+            curve = repro.latency_sweep(model, 16, grid)
+            flit_load = repro.saturation_flit_load(model, 16)
+        assert len(caught) == 4
+        assert all(issubclass(w.category, DeprecationWarning) for w in caught)
+        # The shims delegate to the real implementations.
+        assert sat.injection_rate == undecorated(model, 16).injection_rate
+        assert flit_load == pytest.approx(sat.flit_load)
+        assert len(curve.latencies) == 4
+
+    def test_home_module_imports_stay_warning_free(self):
+        from repro.core import saturation_injection_rate
+        from repro import ButterflyFatTreeModel
+
+        model = ButterflyFatTreeModel(16)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            saturation_injection_rate(model, 16)
+        assert caught == []

@@ -12,10 +12,9 @@ from repro import (
     SimConfig,
     Workload,
     empirical_saturation,
-    run_replications,
-    saturation_flit_load,
-    simulated_latency_curve,
 )
+from repro.core import saturation_flit_load
+from repro.simulation import run_replications, simulated_latency_curve
 from repro.simulation.metrics import ClassStats, MetricsCollector
 from repro.topology.base import UP, LinkClass
 

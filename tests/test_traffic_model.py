@@ -22,6 +22,8 @@ from repro import (
     Workload,
     bft_traffic_stage_graph,
     hypercube_traffic_stage_graph,
+)
+from repro.core import (
     latency_sweep,
     load_grid_to_saturation,
     saturation_injection_rate,
