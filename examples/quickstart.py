@@ -9,8 +9,11 @@ fat-tree and answers it three ways purely by switching the backend:
 * ``simulate`` — a seeded replication set at the same operating point;
 * ``baseline`` — the prior-art model variant for comparison.
 
-Every answer is a :class:`repro.RunResult`; the final section saves the
-records to a run registry and diffs model against baseline.
+Every answer is a :class:`repro.RunResult`; a later section saves the
+records to a run registry and diffs model against baseline, and the final
+section asks the *same* question of every other topology family the
+facade knows (generalized fat-tree, hypercube, k-ary n-cube) purely by
+switching the ``topology`` field.
 
 Run:  python examples/quickstart.py
 """
@@ -89,6 +92,36 @@ def main() -> None:
         x_label="flits/cycle/PE",
         y_label="latency",
         height=12,
+    ))
+
+    # --- 4. the same question across topology families --------------------------
+    # Only the topology field (and the family's shape parameters) changes;
+    # N=256 for every family, the operating point and backend stay as
+    # declared above.
+    import dataclasses
+
+    rows = []
+    for family_fields in (
+        {"topology": "bft"},
+        {"topology": "generalized-fattree", "children": 4, "parents": 2},
+        {"topology": "hypercube"},
+        {"topology": "kary-ncube", "radix": 4},
+    ):
+        sc = dataclasses.replace(scenario, sweep_points=0, **family_fields)
+        record = Runner().run(sc)
+        rows.append(
+            (
+                sc.topology,
+                record.metrics["point"]["latency"],
+                record.metrics["saturation"]["flit_load"],
+                record.metrics["variant"],
+            )
+        )
+    print()
+    print(format_table(
+        ["topology", "latency @ 0.03 (cycles)", "saturation (fl/cyc/PE)", "variant"],
+        rows,
+        title="One Scenario, four topology families (N=256, 32-flit worms)",
     ))
 
 

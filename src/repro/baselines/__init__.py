@@ -13,11 +13,12 @@
 from ..core.bft_model import ButterflyFatTreeModel
 from ..core.variants import ModelVariant
 from .dally import DallyKaryNCubeModel
-from .draper_ghosh import DraperGhoshHypercubeModel
+from .draper_ghosh import DraperGhoshHypercubeModel, draper_ghosh_variant
 
 __all__ = [
     "DallyKaryNCubeModel",
     "DraperGhoshHypercubeModel",
+    "draper_ghosh_variant",
     "naive_bft_model",
 ]
 

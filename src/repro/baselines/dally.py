@@ -31,12 +31,14 @@ report censored messages, which is the physically correct outcome.
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from ..config import Workload
+from ..core.batch import as_injection_rates
+from ..core.variants import ModelVariant
 from ..errors import ConfigurationError
-from ..queueing.distributions import ScvMode, scv_for_mode
-from ..queueing.mg1 import mg1_waiting_time
+from ..queueing.distributions import ScvMode, scv_for_mode_batch
+from ..queueing.mg1 import mg1_waiting_time_batch
 from ..topology.properties import kary_ncube_average_distance
 
 __all__ = ["DallyKaryNCubeModel"]
@@ -71,6 +73,14 @@ class DallyKaryNCubeModel:
         self.dimensions = dimensions
         self.num_processors = radix**dimensions
         self.scv_mode = scv_mode
+        #: The model's position in the ablation vocabulary: no multi-server
+        #: pooling, no blocking correction (the facade's ``baseline`` label).
+        self.variant = ModelVariant(
+            label="dally",
+            multiserver_up=False,
+            blocking_correction=False,
+            scv_mode=scv_mode,
+        )
         #: Average path length including injection and ejection channels.
         self.average_distance = kary_ncube_average_distance(radix, dimensions)
         #: Average number of *network* hops (excludes injection/ejection).
@@ -84,28 +94,52 @@ class DallyKaryNCubeModel:
             raise ConfigurationError("injection_rate must be >= 0")
         return injection_rate * (self.radix - 1) / 2.0
 
-    def _hop_wait(self, rate: float, message_flits: int) -> float:
+    def _hop_wait_batch(self, rates: np.ndarray, message_flits: int) -> np.ndarray:
         service = float(message_flits)
-        scv = scv_for_mode(self.scv_mode, service, message_flits)
-        return mg1_waiting_time(rate, service, scv)
+        scv = scv_for_mode_batch(self.scv_mode, np.full_like(rates, service), message_flits)
+        return mg1_waiting_time_batch(rates, service, scv)
 
     # --- public API ------------------------------------------------------------------
+
+    def latency_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Average latency over a vector of injection rates in one NumPy pass.
+
+        ``loads`` are injection rates ``lambda_0`` (messages/cycle/PE);
+        entry ``k`` equals ``latency(Workload(message_flits, loads[k]))``.
+        Saturated points (``lambda_c * L >= 1``, the classic wormhole
+        capacity bound) hold ``inf``.
+        """
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        inj = as_injection_rates(loads)
+        lam_c = inj * (self.radix - 1) / 2.0
+        w_hop = self._hop_wait_batch(lam_c, message_flits)
+        w_terminal = self._hop_wait_batch(inj, message_flits)
+        # Same operation order as the historical scalar evaluation (eject
+        # and inject waits added separately), so recorded values are stable.
+        contention = self.network_hops * w_hop + w_terminal + w_terminal
+        latency = contention + self.average_distance + message_flits - 1.0
+        return np.where(np.isfinite(contention), latency, np.inf)
+
+    def stability_batch(self, loads, message_flits: int) -> np.ndarray:
+        """Vectorized capacity test (one bool per injection rate)."""
+        if not isinstance(message_flits, int) or message_flits <= 0:
+            raise ConfigurationError("message_flits must be a positive integer")
+        inj = as_injection_rates(loads)
+        return np.maximum(inj * (self.radix - 1) / 2.0, inj) * message_flits < 1.0
 
     def latency(self, workload: Workload) -> float:
         """Average message latency in cycles (``inf`` past saturation).
 
-        Saturation in this model is channel flit-utilization reaching one
-        (``lambda_c * L >= 1``), the classic wormhole capacity bound.
+        Thin wrapper over a one-point :meth:`latency_batch` (the batch pass
+        is the reference implementation, so the facade's ``model`` and
+        ``batch`` backends agree bit-for-bit on this family too).
         """
-        flits = workload.message_flits
-        lam_c = self.channel_rate(workload.injection_rate)
-        w_hop = self._hop_wait(lam_c, flits)
-        w_eject = self._hop_wait(workload.injection_rate, flits)
-        w_inject = self._hop_wait(workload.injection_rate, flits)
-        if not (math.isfinite(w_hop) and math.isfinite(w_eject) and math.isfinite(w_inject)):
-            return math.inf
-        contention = self.network_hops * w_hop + w_eject + w_inject
-        return contention + self.average_distance + flits - 1.0
+        return float(
+            self.latency_batch(
+                np.array([workload.injection_rate]), workload.message_flits
+            )[0]
+        )
 
     def latency_at_flit_load(self, flit_load: float, message_flits: int) -> float:
         """Latency with load expressed in flits/cycle/PE."""

@@ -29,7 +29,24 @@ from ..core.variants import ModelVariant
 from ..errors import ConfigurationError
 from ..queueing.distributions import ScvMode
 
-__all__ = ["DraperGhoshHypercubeModel"]
+__all__ = ["DraperGhoshHypercubeModel", "draper_ghosh_variant"]
+
+
+def draper_ghosh_variant(*, corrected: bool = False) -> ModelVariant:
+    """The approximation switches of the Draper–Ghosh-style analysis.
+
+    ``corrected=True`` keeps the Draper–Ghosh recursion but adds the
+    fat-tree paper's blocking correction — the *improved* Section-2 model
+    on the hypercube.  Shared by :class:`DraperGhoshHypercubeModel` and the
+    design-family baseline hooks, so every entry point labels the same
+    switches the same way.
+    """
+    return ModelVariant(
+        label="general-model" if corrected else "draper-ghosh-style",
+        multiserver_up=True,  # irrelevant on the hypercube (no pairs)
+        blocking_correction=corrected,
+        scv_mode=ScvMode.DRAPER_GHOSH,
+    )
 
 
 class DraperGhoshHypercubeModel:
@@ -52,12 +69,7 @@ class DraperGhoshHypercubeModel:
         self.dimension = dimension
         self.num_processors = 1 << dimension
         self.corrected = corrected
-        self.variant = ModelVariant(
-            label="general-model" if corrected else "draper-ghosh-style",
-            multiserver_up=True,  # irrelevant on the hypercube (no pairs)
-            blocking_correction=corrected,
-            scv_mode=ScvMode.DRAPER_GHOSH,
-        )
+        self.variant = draper_ghosh_variant(corrected=corrected)
 
     def _graph(self, workload: Workload) -> ChannelGraphModel:
         return hypercube_stage_graph(self.dimension, workload, self.variant)

@@ -16,7 +16,7 @@ Gives downstream users the main entry points without writing Python:
   cheapest design, Pareto frontier) over topology families and patterns;
 * ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
   ablations, other-networks, crosscheck, generalized, buffering, traffic,
-  design).
+  design, topologies).
 
 Every subcommand accepts ``--json``: machine-readable output through one
 shared formatter (non-finite floats encode as the sentinel strings of
@@ -51,6 +51,7 @@ from .topology.butterfly_fattree import ButterflyFatTree
 from .topology.properties import describe_topology
 from .traffic.spec import available_patterns, make_spec
 from .util.tables import format_table
+from .util.validation import exact_exponent
 
 __all__ = ["main", "build_parser"]
 
@@ -66,6 +67,7 @@ _EXPERIMENTS = {
     "service-times": "run_service_times",
     "traffic": "run_traffic_scenarios",
     "design": "run_design_exploration",
+    "topologies": "run_topology_matrix",
 }
 
 _SIMULATORS = {
@@ -77,7 +79,7 @@ _SIMULATORS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for shell-completion tooling)."""
-    from .runs.scenario import BACKENDS
+    from .runs.scenario import BACKENDS, TOPOLOGIES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +150,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(p_run)
     p_run.add_argument(
+        "--topology",
+        choices=TOPOLOGIES,
+        default="bft",
+        help="topology family; -n/--processors sets the machine size and "
+        "the family flags below refine the shape",
+    )
+    p_run.add_argument(
+        "--children",
+        type=int,
+        default=None,
+        help="generalized-fattree: block radix (default 4)",
+    )
+    p_run.add_argument(
+        "--parents",
+        type=int,
+        default=None,
+        help="generalized-fattree: up-links per switch (default 2)",
+    )
+    p_run.add_argument(
+        "--levels",
+        type=int,
+        default=None,
+        help="generalized-fattree: tree height (derived from -n by default)",
+    )
+    p_run.add_argument(
+        "--dimension",
+        type=int,
+        default=None,
+        help="hypercube: cube dimension (derived from -n by default)",
+    )
+    p_run.add_argument(
+        "--radix",
+        type=int,
+        default=None,
+        help="kary-ncube: ring length k (default 4)",
+    )
+    p_run.add_argument(
         "--backend",
         choices=BACKENDS,
         default="batch",
@@ -182,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = runs_sub.add_parser("list", help="list persisted runs")
     add_registry(p_list)
     p_list.add_argument("--backend", default=None, help="filter by backend")
+    p_list.add_argument("--topology", default=None, help="filter by topology family")
     p_list.add_argument("--label", default=None, help="filter by label")
     add_json(p_list)
     p_diff = runs_sub.add_parser(
@@ -361,7 +401,13 @@ def _cmd_run(args):
     from .runs import Runner, Scenario
 
     scenario = Scenario(
+        topology=args.topology,
         num_processors=args.processors,
+        children=args.children,
+        parents=args.parents,
+        levels=args.levels,
+        dimension=args.dimension,
+        radix=args.radix,
         message_flits=args.flits,
         flit_load=args.load,
         pattern=args.pattern,
@@ -407,7 +453,9 @@ def _cmd_run(args):
 def _cmd_runs(args):
     registry = _registry_from_args(args)
     if args.runs_command == "list":
-        records = registry.query(backend=args.backend, label=args.label)
+        records = registry.query(
+            backend=args.backend, topology=args.topology, label=args.label
+        )
         rows = []
         for r in records:
             sc = r.scenario
@@ -418,6 +466,7 @@ def _cmd_runs(args):
                     r.run_id,
                     r.kind,
                     sc.backend if sc else "-",
+                    sc.topology if sc else "-",
                     sc.num_processors if sc else None,
                     sc.message_flits if sc else None,
                     sc.pattern if sc else "-",
@@ -427,7 +476,7 @@ def _cmd_runs(args):
                 )
             )
         text = format_table(
-            ["run id", "kind", "backend", "N", "flits", "pattern",
+            ["run id", "kind", "backend", "topology", "N", "flits", "pattern",
              "latency", "sat load", "label"],
             rows,
             title=f"{len(rows)} run(s) in {registry.path}",
@@ -615,17 +664,6 @@ def _split_ints(text: str, flag: str) -> list[int]:
         raise ConfigurationError(f"{flag} expects comma-separated integers, got {text!r}")
 
 
-def _exact_exponent(base: int, value: int) -> int | None:
-    """``e`` with ``base ** e == value`` (``e >= 1``), or None."""
-    if base < 2 or value < base:
-        return None
-    e, v = 0, value
-    while v % base == 0:
-        v //= base
-        e += 1
-    return e if v == 1 else None
-
-
 def _design_family_spaces(args) -> list:
     """Map the shared --sizes axis onto each requested family's parameters.
 
@@ -642,13 +680,13 @@ def _design_family_spaces(args) -> list:
         if name == "generalized-fattree":
             assignments = [
                 {"children": args.children, "parents": args.parents, "levels": lv}
-                for lv in (_exact_exponent(args.children, n) for n in sizes)
+                for lv in (exact_exponent(args.children, n) for n in sizes)
                 if lv is not None
             ]
         elif name == "kary-ncube":
             assignments = [
                 {"radix": args.radix, "dimensions": d}
-                for d in (_exact_exponent(args.radix, n) for n in sizes)
+                for d in (exact_exponent(args.radix, n) for n in sizes)
                 if d is not None
             ]
         else:

@@ -11,7 +11,10 @@ about one network family:
   simulators always agree on what was built);
 * how to build the *evaluator* — the analytical model object whose
   ``latency_batch`` / ``stability_batch`` (or scalar fallbacks) the batch
-  engine consumes — for a given traffic spec and message length.
+  engine consumes — for a given traffic spec and message length, plus the
+  matching *baseline* evaluator (the family's prior-art variant), which
+  the Scenario facade's ``baseline`` backend resolves through the same
+  registry.
 
 Four families ship by default:
 
@@ -26,7 +29,7 @@ Four families ship by default:
   :func:`~repro.traffic.analytic.hypercube_traffic_stage_graph`;
 * ``kary-ncube`` — the Dally torus baseline
   (:class:`~repro.baselines.dally.DallyKaryNCubeModel`), uniform traffic
-  only (the search's scalar path exercises it).
+  only.
 
 ``register_family`` admits project-specific families without touching this
 module.
@@ -129,6 +132,18 @@ class DesignFamily:
         """
         raise NotImplementedError
 
+    def baseline_evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        """Build the family's *prior-art* evaluator (the ``baseline`` backend).
+
+        Same contract as :meth:`evaluator`, with the paper's novelties
+        switched off in whatever form the family's prior art took: the
+        naive variant for the fat-trees (independent M/G/1 links, no
+        blocking correction), the Draper–Ghosh-style recursion for the
+        hypercube, and Dally's analysis for the torus — which *is* this
+        family's model, so its baseline coincides with it.
+        """
+        raise NotImplementedError
+
     def hardware(self, params: Mapping[str, int]) -> Hardware:
         """Switch/link/port inventory (memoized per assignment)."""
         self.validate(params)
@@ -214,6 +229,17 @@ class _BftFamily(DesignFamily):
         flows = _cached_bft_flows(params["processors"], spec)
         return stage_graph_from_flows(flows, _reference_workload(message_flits))
 
+    def baseline_evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..baselines import naive_bft_model
+
+        self.validate(params)
+        model = naive_bft_model(params["processors"])
+        if spec is None or spec.name == "uniform":
+            return model
+        # traffic_model shares the naive variant's switches, so the
+        # pattern-aware baseline stays the prior-art approximation.
+        return model.traffic_model(spec, message_flits)
+
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         try:
             check_power_of("processors", num_processors, 4)
@@ -256,6 +282,19 @@ class _GeneralizedFatTreeFamily(DesignFamily):
             params["children"], params["parents"], params["levels"]
         )
 
+    def baseline_evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..core.generalized_model import GeneralizedFatTreeModel
+        from ..core.variants import ModelVariant
+
+        self.validate(params)
+        self._reject_pattern(spec)
+        return GeneralizedFatTreeModel(
+            params["children"],
+            params["parents"],
+            params["levels"],
+            ModelVariant.naive(),
+        )
+
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         # The size axis alone does not pin (children, parents); families
         # with free arity are swept through explicit FamilySpace grids.
@@ -292,6 +331,19 @@ class _HypercubeFamily(DesignFamily):
         flows = _cached_hypercube_flows(params["dimension"], spec)
         return stage_graph_from_flows(flows, wl)
 
+    def baseline_evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        from ..baselines.draper_ghosh import draper_ghosh_variant
+        from ..core.generic_model import hypercube_stage_graph
+        from ..traffic.analytic import stage_graph_from_flows
+
+        self.validate(params)
+        wl = _reference_workload(message_flits)
+        variant = draper_ghosh_variant(corrected=False)
+        if spec is None or spec.name == "uniform":
+            return hypercube_stage_graph(params["dimension"], wl, variant)
+        flows = _cached_hypercube_flows(params["dimension"], spec)
+        return stage_graph_from_flows(flows, wl, variant)
+
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         if num_processors < 2:
             return None
@@ -326,6 +378,13 @@ class _KaryNCubeFamily(DesignFamily):
         self.validate(params)
         self._reject_pattern(spec)
         return DallyKaryNCubeModel(params["radix"], params["dimensions"])
+
+    def baseline_evaluator(self, params: Mapping[str, int], spec, message_flits: int):
+        # Dally's analysis *is* the prior art for the torus: the family's
+        # reference model and its baseline coincide (the repo carries no
+        # improved Section-2 instantiation on rings yet — they need the
+        # cyclic fixed point plus virtual-channel modeling, see ROADMAP).
+        return self.evaluator(params, spec, message_flits)
 
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         # Free radix: like the generalized fat-tree, swept explicitly.

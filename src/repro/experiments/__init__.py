@@ -14,7 +14,9 @@
 * :mod:`repro.experiments.traffic_scenarios` — pattern-aware model vs
   simulation under non-uniform traffic (hotspot, transpose, ...);
 * :mod:`repro.experiments.design_exploration` — SLO-driven sizing of a
-  CM-5-class machine through the design-space explorer.
+  CM-5-class machine through the design-space explorer;
+* :mod:`repro.experiments.topology_matrix` — one Scenario per topology
+  family through the model/baseline/simulate backends of the facade.
 
 All experiments honour ``REPRO_FULL=1`` for paper-scale runs and default to
 quick mode (see :mod:`repro.experiments.common`).
@@ -36,6 +38,11 @@ from .report import default_results_dir, write_report
 from .scaling import ScalingResult, run_scaling
 from .service_times import ServiceTimeResult, run_service_times
 from .throughput_table import ThroughputResult, run_throughput_table
+from .topology_matrix import (
+    TopologyMatrixResult,
+    TopologyMatrixRow,
+    run_topology_matrix,
+)
 from .traffic_scenarios import (
     TrafficScenarioRow,
     TrafficScenariosResult,
@@ -72,6 +79,9 @@ __all__ = [
     "run_service_times",
     "ThroughputResult",
     "run_throughput_table",
+    "TopologyMatrixResult",
+    "TopologyMatrixRow",
+    "run_topology_matrix",
     "TrafficScenarioRow",
     "TrafficScenariosResult",
     "default_scenarios",

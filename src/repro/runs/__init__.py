@@ -31,12 +31,13 @@ from .registry import (
 )
 from .result import SCHEMA_VERSION, RunResult, json_restore, json_safe
 from .runner import Runner, provenance_stamp, run
-from .scenario import BACKENDS, SIMULATORS, Scenario
+from .scenario import BACKENDS, SIMULATORS, TOPOLOGIES, Scenario
 
 __all__ = [
     "BACKENDS",
     "SCHEMA_VERSION",
     "SIMULATORS",
+    "TOPOLOGIES",
     "MetricDelta",
     "RunDiff",
     "RunRegistry",

@@ -2,7 +2,8 @@
 
 Each backend answers the same scenario with the engine it names and
 returns a ``(metrics, timings)`` pair in a shared layout, so records from
-different backends diff cleanly in the registry:
+different backends (and different topology families) diff cleanly in the
+registry:
 
 ``metrics["point"]``
     Latency (and, for simulations, throughput/stability) at the
@@ -18,9 +19,18 @@ different backends diff cleanly in the registry:
 The ``model`` backend is the reference scalar engine (one solve per
 point); ``batch`` answers through the vectorized engine and is
 bit-identical to ``model`` by construction (PR 1's equivalence tests);
-``baseline`` swaps in the prior-art model variant; ``simulate`` runs an
-independently seeded replication set and records the model prediction
-alongside for crosschecks.
+``baseline`` swaps in the family's prior-art model variant; ``simulate``
+runs an independently seeded replication set and records the model
+prediction alongside for crosschecks.
+
+Topology families resolve through the design-family registry
+(:mod:`repro.design.families`): ``scenario.family_params()`` names one
+assignment, and the family supplies the analytical evaluator, the
+prior-art baseline evaluator, and the simulator topology.  Closed-form
+models (butterfly and generalized fat-trees, the Dally torus) expose a
+per-workload ``latency``; stage-graph evaluators (the hypercube and
+every pattern-aware graph) evaluate points through one-element batches —
+either way the scalar path stays one solve per point.
 """
 
 from __future__ import annotations
@@ -31,18 +41,17 @@ from typing import Callable
 
 import numpy as np
 
-from ..baselines import naive_bft_model
 from ..config import Workload
-from ..core.bft_model import ButterflyFatTreeModel
+from ..core.generic_model import ChannelGraphModel
 from ..core.sweep import LatencyCurve, latency_sweep
 from ..core.throughput import SaturationResult, saturation_injection_rate
+from ..design.families import DesignFamily, design_family
 from ..errors import ConfigurationError
 from ..simulation.buffered_sim import BufferedWormholeSimulator
 from ..simulation.flit_sim import FlitLevelWormholeSimulator
 from ..simulation.runner import ReplicatedResult
 from ..simulation.traffic import PoissonTraffic
 from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
-from ..topology.butterfly_fattree import ButterflyFatTree
 from ..util.rng import replication_seeds
 from .scenario import Scenario
 
@@ -69,26 +78,34 @@ def execute(scenario: Scenario) -> tuple[dict, dict]:
     return runner(scenario)
 
 
-# --- analytical backends (model / batch / baseline) ---------------------------------
+# --- family resolution ---------------------------------------------------------------
 
 
-def _bft_model(scenario: Scenario) -> ButterflyFatTreeModel:
-    if scenario.backend == "baseline":
-        return naive_bft_model(scenario.num_processors)
-    return ButterflyFatTreeModel(scenario.num_processors)
+def _family_for(scenario: Scenario) -> tuple[DesignFamily, dict[str, int]]:
+    """The design family answering this scenario, with its parameters."""
+    return design_family(scenario.topology), scenario.family_params()
 
 
-def _evaluator_for(scenario: Scenario, model: ButterflyFatTreeModel):
-    """The object whose batch engine answers this scenario.
+def _evaluator_for(scenario: Scenario):
+    """The object whose (batch) engine answers this scenario.
 
-    Uniform traffic keeps the closed-form model; any other pattern builds
-    the pattern-aware per-channel stage graph once and reuses it for the
-    point, the saturation search and the sweep.
+    Resolved through the family registry: uniform traffic keeps the
+    family's closed-form (or uniform stage-graph) model; any other
+    pattern builds the pattern-aware per-channel stage graph once and
+    reuses it for the point, the saturation search and the sweep.  The
+    ``baseline`` backend resolves the family's prior-art variant instead.
     """
+    fam, params = _family_for(scenario)
     spec = scenario.spec()
-    if spec is None:
-        return model
-    return model.traffic_model(spec, scenario.message_flits)
+    if scenario.backend == "baseline":
+        return fam.baseline_evaluator(params, spec, scenario.message_flits)
+    return fam.evaluator(params, spec, scenario.message_flits)
+
+
+def _variant_label(evaluator) -> str:
+    """The model-variant label recorded with analytical metrics."""
+    variant = getattr(evaluator, "variant", None)
+    return getattr(variant, "label", type(evaluator).__name__)
 
 
 def _point_latency(evaluator, workload: Workload, *, scalar: bool) -> float:
@@ -98,9 +115,10 @@ def _point_latency(evaluator, workload: Workload, *, scalar: bool) -> float:
     (the reference engine); the batch path is a one-element vectorized
     solve.  They agree bit-for-bit — keeping both exercised is exactly
     what makes ``repro runs diff`` between the two backends a meaningful
-    regression check.
+    regression check.  Stage graphs (:class:`ChannelGraphModel`) have no
+    per-workload ``latency``; their scalar route is the one-point batch.
     """
-    if scalar and isinstance(evaluator, ButterflyFatTreeModel):
+    if scalar and not isinstance(evaluator, ChannelGraphModel):
         return float(evaluator.latency(workload))
     return float(
         np.asarray(
@@ -114,10 +132,18 @@ def _point_latency(evaluator, workload: Workload, *, scalar: bool) -> float:
 def _grid_for(scenario: Scenario, saturation_flit_load: float) -> np.ndarray | None:
     """The load grid of the scenario's curve (None when no sweep is asked).
 
-    Follows the Figure-3 convention of
+    *Derived* grids follow the Figure-3 convention of
     :func:`repro.core.sweep.load_grid_to_saturation`: uniform steps up to
     ``sweep_fraction`` of saturation, with the zero point replaced by a 2%
-    floor (clamped below the second grid point on dense grids).
+    floor (clamped below the second grid point on dense grids) — zero load
+    is a degenerate operating point for rate-based *simulators*, and the
+    derived grid keeps one convention across backends.
+
+    *Explicit* grids (``scenario.flit_loads``) are the caller's to choose
+    and are evaluated exactly as given on both analytical engines — a
+    grid containing ``0.0`` yields the exact zero-load latency, never the
+    2% floor, and ``model`` and ``batch`` stay bit-identical on it (a
+    regression test pins this policy).
     """
     if scenario.flit_loads is not None:
         return np.asarray(scenario.flit_loads, dtype=float)
@@ -153,16 +179,18 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
     scalar = scenario.backend == "model"
     timings: dict[str, float] = {}
     t0 = time.perf_counter()
-    model = _bft_model(scenario)
-    evaluator = _evaluator_for(scenario, model)
+    fam, params = _family_for(scenario)
+    evaluator = _evaluator_for(scenario)
     timings["build_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    sat = saturation_injection_rate(
-        evaluator,
-        scenario.message_flits,
-        vectorized=False if scalar else None,
-    )
+    # The Eq. 26 search anchors the derived curve grid, so it must be
+    # backend-invariant: auto-detection picks the batched bracketing for
+    # every evaluator exposing stability_batch (all families do), and the
+    # ``model`` and ``batch`` backends therefore see the same saturation
+    # point and the same grid — the bit-identity the parity tests pin
+    # covers the whole curve, not just the operating point.
+    sat = saturation_injection_rate(evaluator, scenario.message_flits)
     timings["saturation_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -198,7 +226,8 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
 
     metrics = {
         "engine": "scalar" if scalar else "batch",
-        "variant": model.variant.label,
+        "variant": _variant_label(evaluator),
+        "family": {"name": fam.name, "params": dict(params)},
         "point": {"flit_load": scenario.flit_load, "latency": point},
         "saturation": _saturation_metrics(sat),
         "curve": _curve_metrics(curve) if curve is not None else None,
@@ -213,10 +242,11 @@ def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
     """Independently seeded replication set at the scenario's operating point."""
     timings: dict[str, float] = {}
     t0 = time.perf_counter()
-    topo = ButterflyFatTree(scenario.num_processors)
-    model = ButterflyFatTreeModel(scenario.num_processors)
-    evaluator = _evaluator_for(scenario, model)  # the crosscheck prediction
+    fam, params = _family_for(scenario)
     spec = scenario.spec()
+    topo = fam.topology(params)
+    # The family's reference model rides along as the crosscheck prediction.
+    evaluator = fam.evaluator(params, spec, scenario.message_flits)
     timings["build_s"] = time.perf_counter() - t0
 
     workload = scenario.workload()
@@ -240,6 +270,7 @@ def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
     prediction = _point_latency(evaluator, workload, scalar=False)
     metrics = {
         "engine": scenario.simulator,
+        "family": {"name": fam.name, "params": dict(params)},
         "point": {
             "flit_load": scenario.flit_load,
             "latency": rep.latency_mean,

@@ -94,7 +94,18 @@ class MetricDelta:
     b: float
 
     @property
+    def same(self) -> bool:
+        """NaN-aware equality: ``nan`` vs ``nan`` (and ``inf`` vs ``inf``)
+        is "no change" — post-saturation records routinely hold both, and
+        a record must diff empty against itself."""
+        return self.a == self.b or (math.isnan(self.a) and math.isnan(self.b))
+
+    @property
     def delta(self) -> float:
+        # b - a is nan for equal non-finite values (inf - inf, nan - nan);
+        # report equal leaves as an exact zero change instead.
+        if self.same:
+            return 0.0
         return self.b - self.a
 
     @property
@@ -120,6 +131,15 @@ class RunDiff:
     deltas: tuple[MetricDelta, ...]
     only_a: tuple[str, ...]
     only_b: tuple[str, ...]
+
+    @property
+    def changed(self) -> tuple[MetricDelta, ...]:
+        """The shared metrics that actually differ (NaN-aware).
+
+        ``diff(run, run)`` has ``changed == ()`` even when the record
+        carries ``nan``/``inf`` leaves.
+        """
+        return tuple(d for d in self.deltas if not d.same)
 
     @property
     def max_abs_rel(self) -> float:
@@ -289,6 +309,7 @@ class RunRegistry:
         backend: str | None = None,
         kind: str | None = None,
         label: str | None = None,
+        topology: str | None = None,
         pattern: str | None = None,
         num_processors: int | None = None,
         message_flits: int | None = None,
@@ -303,6 +324,8 @@ class RunRegistry:
             if label is not None and record.label != label:
                 continue
             if backend is not None and (sc is None or sc.backend != backend):
+                continue
+            if topology is not None and (sc is None or sc.topology != topology):
                 continue
             if pattern is not None and (sc is None or sc.pattern != pattern):
                 continue

@@ -33,8 +33,9 @@ from typing import Any, Mapping
 from ..config import SimConfig, Workload
 from ..errors import ConfigurationError
 from ..traffic.spec import TrafficSpec, available_patterns, make_spec
+from ..util.validation import exact_exponent
 
-__all__ = ["BACKENDS", "SIMULATORS", "Scenario"]
+__all__ = ["BACKENDS", "SIMULATORS", "TOPOLOGIES", "Scenario"]
 
 #: Evaluation backends a scenario can dispatch to.
 BACKENDS = ("model", "batch", "simulate", "baseline")
@@ -42,11 +43,83 @@ BACKENDS = ("model", "batch", "simulate", "baseline")
 #: Simulator engines the ``simulate`` backend accepts.
 SIMULATORS = ("event", "flit", "buffered")
 
-#: Topology families the facade currently evaluates end to end.  The
-#: butterfly fat-tree is the only family every backend (analytical,
-#: batch, simulator, baseline) supports; the registry keys exist so the
-#: scenario schema does not change when more families are wired in.
-TOPOLOGIES = ("bft",)
+#: Topology families the facade evaluates end to end — every family goes
+#: through all four backends (the names double as design-family keys, see
+#: :mod:`repro.design.families`).
+TOPOLOGIES = ("bft", "generalized-fattree", "hypercube", "kary-ncube")
+
+#: The scenario fields that carry per-family structural parameters, and
+#: which of them each family accepts.  Fields a family does not accept
+#: must stay ``None``; accepted ones are normalized eagerly (defaults
+#: filled in, missing values derived from ``num_processors``) so the
+#: JSON form is canonical and round-trips exactly.
+FAMILY_PARAM_FIELDS = ("children", "parents", "levels", "dimension", "radix")
+_FAMILY_FIELDS: dict[str, tuple[str, ...]] = {
+    "bft": (),
+    "generalized-fattree": ("children", "parents", "levels"),
+    "hypercube": ("dimension",),
+    "kary-ncube": ("radix",),
+}
+
+
+def _normalized_family_fields(scenario: "Scenario") -> dict[str, int | None]:
+    """Resolve the per-family parameter fields of one scenario.
+
+    Returns the canonical value of every field in
+    :data:`FAMILY_PARAM_FIELDS`: ``None`` for fields the family does not
+    accept (raising if the caller set one), defaults filled in and missing
+    values derived from ``num_processors`` for the fields it does.
+    """
+    topology, n = scenario.topology, scenario.num_processors
+    allowed = _FAMILY_FIELDS[topology]
+    for name in FAMILY_PARAM_FIELDS:
+        value = getattr(scenario, name)
+        if value is None:
+            continue
+        if name not in allowed:
+            raise ConfigurationError(
+                f"parameter {name!r} does not apply to topology {topology!r} "
+                f"(its parameters: {allowed or '()'})"
+            )
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    out: dict[str, int | None] = {name: None for name in FAMILY_PARAM_FIELDS}
+    if topology == "generalized-fattree":
+        children = scenario.children if scenario.children is not None else 4
+        parents = scenario.parents if scenario.parents is not None else 2
+        levels = scenario.levels
+        if levels is None:
+            levels = exact_exponent(children, n)
+            if levels is None:
+                raise ConfigurationError(
+                    f"num_processors={n} is not a power of children={children}; "
+                    "give levels explicitly or pick a matching size"
+                )
+        elif children**levels != n:
+            raise ConfigurationError(
+                f"num_processors={n} != children**levels = {children}**{levels}"
+            )
+        out.update(children=children, parents=parents, levels=levels)
+    elif topology == "hypercube":
+        derived = exact_exponent(2, n)
+        if derived is None:
+            raise ConfigurationError(
+                f"num_processors={n} is not a power of two (hypercube sizes are)"
+            )
+        if scenario.dimension is not None and scenario.dimension != derived:
+            raise ConfigurationError(
+                f"num_processors={n} != 2**dimension = 2**{scenario.dimension}"
+            )
+        out.update(dimension=derived)
+    elif topology == "kary-ncube":
+        radix = scenario.radix if scenario.radix is not None else 4
+        if exact_exponent(radix, n) is None:
+            raise ConfigurationError(
+                f"num_processors={n} is not a power of radix={radix}; "
+                "the torus needs num_processors = radix ** dimensions"
+            )
+        out.update(radix=radix)
+    return out
 
 
 @dataclass(frozen=True)
@@ -56,10 +129,23 @@ class Scenario:
     Attributes
     ----------
     topology:
-        Topology family (currently ``"bft"``).
+        Topology family, one of :data:`TOPOLOGIES`.
     num_processors:
-        Machine size ``N`` (the family's own constraints apply at run
-        time, e.g. powers of four for the fat tree).
+        Machine size ``N``; each family's structural constraints are
+        validated eagerly (powers of four for the butterfly fat-tree,
+        ``children ** levels`` for generalized fat-trees, powers of two
+        for the hypercube, ``radix ** m`` for the torus).
+    children, parents, levels:
+        ``generalized-fattree`` structure (block radix, up-links per
+        switch, tree height).  ``children``/``parents`` default to the
+        4-2 shape; a missing ``levels`` is derived from
+        ``num_processors = children ** levels``.
+    dimension:
+        ``hypercube`` dimension ``d``; derived from
+        ``num_processors = 2 ** d`` when omitted.
+    radix:
+        ``kary-ncube`` ring length ``k`` (default 4); the dimension count
+        follows from ``num_processors = radix ** m``.
     message_flits:
         Worm length in flits.
     flit_load:
@@ -89,6 +175,11 @@ class Scenario:
 
     topology: str = "bft"
     num_processors: int = 256
+    children: int | None = None
+    parents: int | None = None
+    levels: int | None = None
+    dimension: int | None = None
+    radix: int | None = None
     message_flits: int = 32
     flit_load: float = 0.02
     pattern: str = "uniform"
@@ -133,6 +224,16 @@ class Scenario:
             raise ConfigurationError("sweep_fraction must be in (0, 1)")
         if self.replications < 1:
             raise ConfigurationError("replications must be >= 1")
+        # Normalize the per-family structural parameters (fill defaults,
+        # derive missing values from num_processors, reject fields that do
+        # not belong to the family), then let the design-family registry
+        # apply the family's own constraints — all eagerly, so an
+        # unrealizable topology fails at construction, not mid-run.
+        for name, value in _normalized_family_fields(self).items():
+            object.__setattr__(self, name, value)
+        from ..design.families import design_family
+
+        design_family(self.topology).validate(self.family_params())
         # Freeze the mutable-looking fields so the dataclass stays hashable
         # in spirit and the JSON form is canonical.
         object.__setattr__(self, "pattern_params", dict(self.pattern_params))
@@ -148,17 +249,56 @@ class Scenario:
         # infeasible scenario fails at construction, not mid-run.
         self.workload()
         try:
-            self.spec()
+            spec = self.spec()
         except TypeError as exc:
             # make_spec rejects unknown keyword parameters with TypeError;
             # surface it as the library's typed configuration error.
             raise ConfigurationError(
                 f"invalid pattern_params for pattern {self.pattern!r}: {exc}"
             ) from exc
+        if spec is not None and spec.name != "uniform":
+            from ..design.families import design_family
+
+            if not design_family(self.topology).supports_patterns:
+                capable = tuple(
+                    t for t in TOPOLOGIES if design_family(t).supports_patterns
+                )
+                raise ConfigurationError(
+                    f"topology {self.topology!r} has no pattern-aware model; "
+                    f"pattern {spec.name!r} requires one of the "
+                    f"pattern-capable families {capable}"
+                )
         if self.backend == "simulate":
             self.sim_config()
 
     # --- derived objects ---------------------------------------------------------
+
+    def family_params(self) -> dict[str, int]:
+        """The design-family parameter assignment this scenario describes.
+
+        The keys match :attr:`~repro.design.families.DesignFamily.param_names`
+        of the family named by :attr:`topology`, so the backends (and any
+        caller) can resolve evaluators, topologies and hardware through the
+        shared family registry.
+        """
+        if self.topology == "bft":
+            return {"processors": self.num_processors}
+        if self.topology == "generalized-fattree":
+            return {
+                "children": self.children,
+                "parents": self.parents,
+                "levels": self.levels,
+            }
+        if self.topology == "hypercube":
+            return {"dimension": self.dimension}
+        if self.topology == "kary-ncube":
+            return {
+                "radix": self.radix,
+                "dimensions": exact_exponent(self.radix, self.num_processors),
+            }
+        raise ConfigurationError(  # pragma: no cover - __post_init__ validates
+            f"unknown topology {self.topology!r}"
+        )
 
     def workload(self) -> Workload:
         """The operating point as a :class:`~repro.config.Workload`."""
@@ -188,8 +328,16 @@ class Scenario:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
+        params = {
+            k: getattr(self, k)
+            for k in _FAMILY_FIELDS[self.topology]
+            if getattr(self, k) is not None
+        }
+        shape = "" if not params else (
+            "[" + ",".join(f"{k}={v}" for k, v in params.items()) + "]"
+        )
         return (
-            f"Scenario({self.topology} N={self.num_processors}, "
+            f"Scenario({self.topology}{shape} N={self.num_processors}, "
             f"{self.message_flits}-flit, load={self.flit_load:g} fl/cyc/PE, "
             f"pattern={self.pattern}, backend={self.backend})"
         )

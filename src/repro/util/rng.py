@@ -12,7 +12,9 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["spawn_rngs", "spawn_seeds"]
+from ..errors import SimulationError
+
+__all__ = ["replication_seeds", "spawn_rngs", "spawn_seeds"]
 
 
 def spawn_seeds(seed: int, n: int) -> list[np.random.SeedSequence]:
@@ -32,7 +34,28 @@ def replication_seeds(base_seed: int, replications: int) -> Sequence[int]:
 
     Uses the entropy pool of spawned seed sequences so that replication
     ``i`` of base seed ``s`` never collides with replication ``j`` of base
-    seed ``s'`` for small ``s``, ``s'`` (unlike ``base_seed + i``).
+    seed ``s'`` for small ``s``, ``s'`` (unlike ``base_seed + i``).  The
+    raw 64-bit word is used directly — an earlier ``% (2**63 - 1)`` fold
+    was biased and could in principle map two children of one set to the
+    same seed.  A within-set collision is still possible in theory
+    (birthday bound over 2^64), so the set is checked: colliding entries
+    deterministically take later words of their child's entropy stream,
+    and the impossible case of a set that cannot be disambiguated raises
+    instead of silently correlating two replications.
     """
     children = spawn_seeds(base_seed, replications)
-    return [int(c.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1)) for c in children]
+    seeds = [int(c.generate_state(1, dtype=np.uint64)[0]) for c in children]
+    for depth in range(2, 10):
+        if len(set(seeds)) == len(seeds):
+            return seeds
+        seen: set[int] = set()
+        for i, seed in enumerate(seeds):  # pragma: no cover - 2^-64 event
+            if seed in seen:
+                seeds[i] = int(children[i].generate_state(depth, dtype=np.uint64)[-1])
+            seen.add(seeds[i])
+    if len(set(seeds)) != len(seeds):  # pragma: no cover - 2^-64 event
+        raise SimulationError(
+            f"could not derive {replications} distinct replication seeds "
+            f"from base seed {base_seed}"
+        )
+    return seeds  # pragma: no cover - reached only after a rescue round

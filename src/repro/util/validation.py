@@ -15,6 +15,7 @@ __all__ = [
     "check_non_negative",
     "check_probability",
     "check_power_of",
+    "exact_exponent",
 ]
 
 
@@ -54,3 +55,20 @@ def check_power_of(name: str, value: int, base: int) -> int:
         v //= base
         e += 1
     return e
+
+
+def exact_exponent(base: int, value: int) -> int | None:
+    """``e >= 1`` with ``base ** e == value``, or None when no such exponent.
+
+    The non-raising companion of :func:`check_power_of`, shared by the CLI's
+    size-axis mapping and the Scenario family-parameter derivation.
+    """
+    if not isinstance(base, int) or not isinstance(value, int):
+        return None
+    if base < 2 or value < base:
+        return None
+    e, v = 0, value
+    while v % base == 0:
+        v //= base
+        e += 1
+    return e if v == 1 else None

@@ -366,6 +366,60 @@ class TestRunCommand:
         assert rc == 1
         assert "error:" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "argv,topology",
+        [
+            (["run", "--topology", "bft", "-n", "16"], "bft"),
+            (
+                ["run", "--topology", "generalized-fattree", "-n", "8",
+                 "--children", "2", "--parents", "2"],
+                "generalized-fattree",
+            ),
+            (["run", "--topology", "hypercube", "-n", "16"], "hypercube"),
+            (
+                ["run", "--topology", "kary-ncube", "-n", "9", "--radix", "3"],
+                "kary-ncube",
+            ),
+        ],
+    )
+    def test_run_every_topology_family_json(self, capsys, argv, topology):
+        import json
+
+        from repro.runs import RunResult
+
+        rc = main(argv + ["-f", "16", "-l", "0.03", "--points", "0", "--json"])
+        assert rc == 0
+        record = RunResult.from_json(json.loads(capsys.readouterr().out))
+        assert record.scenario.topology == topology
+        assert record.metrics["family"]["name"] == topology
+        assert record.metrics["point"]["latency"] > 0
+        assert record.metrics["saturation"]["flit_load"] > 0
+
+    def test_run_unrealizable_topology_size_is_clean_error(self, capsys):
+        rc = main(["run", "--topology", "hypercube", "-n", "12",
+                   "-f", "16", "--points", "0"])
+        assert rc == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_runs_list_topology_filter(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        for argv in (
+            ["run", "--topology", "hypercube", "-n", "16"],
+            ["run", "--topology", "bft", "-n", "16"],
+        ):
+            assert main(argv + ["-f", "16", "--points", "0",
+                                "--save", "--registry", registry_dir]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--registry", registry_dir,
+                     "--topology", "hypercube"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out and "hypercube" in out
+
+    def test_experiment_topologies(self, capsys):
+        assert main(["experiment", "topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "kary-ncube" in out and "hypercube" in out
+
     def test_run_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "warp"])

@@ -94,6 +94,77 @@ class TestScenario:
         sc = tiny_scenario(pattern="transpose", flit_loads=(0.01, 0.02))
         assert Scenario.from_json(sc.to_json()) == sc
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "hypercube", "num_processors": 16},
+            {"topology": "generalized-fattree", "num_processors": 16},
+            {"topology": "generalized-fattree", "num_processors": 8,
+             "children": 2, "parents": 3},
+            {"topology": "kary-ncube", "num_processors": 27, "radix": 3},
+        ],
+    )
+    def test_family_round_trip(self, kwargs):
+        sc = tiny_scenario(**kwargs)
+        assert Scenario.from_json(sc.to_json()) == sc
+
+
+class TestScenarioFamilies:
+    def test_family_params_derived(self):
+        assert tiny_scenario().family_params() == {"processors": 16}
+        sc = tiny_scenario(topology="generalized-fattree", num_processors=16)
+        # The 4-2 defaults fill in and the height derives from N.
+        assert (sc.children, sc.parents, sc.levels) == (4, 2, 2)
+        assert sc.family_params() == {"children": 4, "parents": 2, "levels": 2}
+        assert tiny_scenario(
+            topology="hypercube", num_processors=16
+        ).family_params() == {"dimension": 4}
+        assert tiny_scenario(
+            topology="kary-ncube", num_processors=16
+        ).family_params() == {"radix": 4, "dimensions": 2}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # Sizes the family cannot realize fail eagerly.
+            {"topology": "bft", "num_processors": 32},
+            {"topology": "hypercube", "num_processors": 12},
+            {"topology": "generalized-fattree", "num_processors": 24},
+            {"topology": "kary-ncube", "num_processors": 10},
+            # Inconsistent explicit parameters.
+            {"topology": "hypercube", "num_processors": 16, "dimension": 5},
+            {"topology": "generalized-fattree", "num_processors": 16, "levels": 3},
+            {"topology": "kary-ncube", "num_processors": 16, "radix": 3},
+            # Parameters from another family are rejected, not ignored.
+            {"topology": "bft", "num_processors": 16, "children": 4},
+            {"topology": "hypercube", "num_processors": 16, "radix": 4},
+            {"topology": "kary-ncube", "num_processors": 16, "dimension": 2},
+            # Family-level constraints apply eagerly too.
+            {"topology": "generalized-fattree", "num_processors": 1,
+             "children": 2, "levels": 0},
+            {"topology": "kary-ncube", "num_processors": 16, "radix": 1},
+        ],
+    )
+    def test_invalid_family_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            tiny_scenario(**kwargs)
+
+    def test_patterns_gated_to_pattern_aware_families(self):
+        # bft and hypercube have pattern-aware channel graphs ...
+        tiny_scenario(topology="hypercube", pattern="transpose")
+        # ... the others reject non-uniform patterns at construction.
+        for topology, n in (("generalized-fattree", 16), ("kary-ncube", 16)):
+            with pytest.raises(ConfigurationError, match="pattern"):
+                tiny_scenario(topology=topology, num_processors=n,
+                              pattern="transpose")
+
+    def test_describe_names_the_shape(self):
+        text = tiny_scenario(
+            topology="generalized-fattree", num_processors=8,
+            children=2, parents=2,
+        ).describe()
+        assert "generalized-fattree" in text and "children=2" in text
+
     def test_from_json_rejects_unknown_fields(self):
         data = Scenario().to_json()
         data["frobnicate"] = 1
@@ -228,6 +299,34 @@ class TestBackends:
         result = run(tiny_scenario(backend="batch", flit_loads=grid))
         assert tuple(result.metrics["curve"]["flit_loads"]) == grid
 
+    @pytest.mark.parametrize(
+        "family",
+        [
+            {"topology": "bft", "num_processors": 16},
+            {"topology": "generalized-fattree", "num_processors": 8,
+             "children": 2, "parents": 2},
+            {"topology": "hypercube", "num_processors": 16},
+            {"topology": "kary-ncube", "num_processors": 9, "radix": 3},
+        ],
+    )
+    def test_explicit_zero_grid_exact_on_both_engines(self, family):
+        """The explicit-grid policy: a grid containing 0.0 is evaluated
+        exactly as given — the exact zero-load latency, never the 2% floor
+        the derived grids apply — and model/batch stay bit-identical."""
+        grid = (0.0, 0.01, 0.02)
+        sc = tiny_scenario(backend="model", flit_loads=grid, **family)
+        a = run(sc)
+        b = run(sc.with_backend("batch"))
+        for record in (a, b):
+            assert tuple(record.metrics["curve"]["flit_loads"]) == grid
+        lat_a = a.metrics["curve"]["latencies"]
+        lat_b = b.metrics["curve"]["latencies"]
+        np.testing.assert_array_equal(lat_a, lat_b)
+        # Zero load is the finite contention-free limit, not nan/inf,
+        # and the curve rises from it.
+        assert math.isfinite(lat_a[0])
+        assert lat_a[0] < lat_a[-1]
+
 
 class TestAcceptance:
     def test_one_scenario_four_backends_land_in_registry(self, tmp_path):
@@ -315,6 +414,53 @@ class TestRegistry:
         assert deltas["point.latency"].rel == pytest.approx(-2.5 / 21.0)
         assert deltas["saturation.flit_load"].delta == pytest.approx(0.02)
         assert "point.latency" in diff.render()
+
+    def test_self_diff_empty_with_nan_and_inf_metrics(self, tmp_path):
+        """Satellite regression: NaN leaves (legal post-saturation values)
+        must not make a record diff unequal to itself."""
+        registry = RunRegistry(tmp_path)
+        record = RunResult(
+            metrics={
+                "point": {"latency": math.nan, "flit_load": 0.2},
+                "curve": {"latencies": [20.0, math.inf, math.nan]},
+            },
+            scenario=Scenario(num_processors=16, message_flits=16),
+        )
+        registry.save(record)
+        diff = registry.diff(record.run_id, record.run_id)
+        assert diff.changed == ()
+        assert diff.only_a == () and diff.only_b == ()
+        assert diff.max_abs_rel == 0.0
+        # Every self-compared leaf — nan and inf included — reports an
+        # exact zero change, not nan (nan - nan) or inf arithmetic.
+        assert all(d.delta == 0.0 and d.rel == 0.0 for d in diff.deltas)
+        # A genuinely different value still shows up as changed.
+        other = RunResult(
+            metrics={
+                "point": {"latency": 21.0, "flit_load": 0.2},
+                "curve": {"latencies": [20.0, math.inf, math.nan]},
+            },
+            scenario=Scenario(num_processors=16, message_flits=16),
+        )
+        registry.save(other)
+        changed = registry.diff(record.run_id, other.run_id).changed
+        assert [d.key for d in changed] == ["point.latency"]
+
+    def test_query_by_topology(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for topology, n in (("bft", 16), ("hypercube", 8)):
+            registry.save(
+                RunResult(
+                    metrics={"point": {"latency": 20.0}},
+                    scenario=Scenario(topology=topology, num_processors=n,
+                                      message_flits=16),
+                )
+            )
+        assert [
+            r.scenario.topology for r in registry.query(topology="hypercube")
+        ] == ["hypercube"]
+        assert len(registry.query(topology="bft")) == 1
+        assert registry.query(topology="kary-ncube") == []
 
     def test_diff_against_json_baseline_file(self, tmp_path):
         registry = RunRegistry(tmp_path)

@@ -100,6 +100,26 @@ class TestRng:
         s2 = set(replication_seeds(2, 20))
         assert not (s1 & s2)
 
+    def test_replication_seeds_never_duplicate_within_a_set(self):
+        # Satellite regression: the old % (2**63 - 1) fold was biased and
+        # could in principle collide two replications of one set.  Seeds
+        # are now the raw 64-bit entropy words, checked unique per set.
+        for base_seed in range(50):
+            seeds = replication_seeds(base_seed, 16)
+            assert len(set(seeds)) == 16
+            assert all(0 <= s < 2**64 for s in seeds)
+
+    def test_replication_seeds_unfolded(self):
+        # The derivation is the child's first entropy word, unmodified.
+        expected = [
+            int(c.generate_state(1, dtype=np.uint64)[0])
+            for c in spawn_seeds(9, 4)
+        ]
+        assert list(replication_seeds(9, 4)) == expected
+
+    def test_replication_seeds_deterministic(self):
+        assert list(replication_seeds(5, 8)) == list(replication_seeds(5, 8))
+
 
 class TestOnlineStats:
     def test_matches_numpy(self):
