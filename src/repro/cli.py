@@ -4,8 +4,11 @@ Gives downstream users the main entry points without writing Python:
 
 * ``run``         — evaluate one declarative :class:`~repro.runs.Scenario`
   (topology × workload × pattern × backend) and optionally persist the
-  record in the run registry;
-* ``runs``        — registry operations: ``runs list`` and ``runs diff``;
+  record in the run registry; ``--kill-links``/``--kill-switches``/
+  ``--random-link-failures`` evaluate the same scenario on a degraded
+  fabric;
+* ``runs``        — registry operations: ``runs list``, ``runs diff`` and
+  ``runs doctor`` (corruption audit / quarantine);
 * ``model``       — one analytical evaluation (latency breakdown);
 * ``sweep``       — model latency-vs-load table up to saturation;
 * ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
@@ -16,7 +19,7 @@ Gives downstream users the main entry points without writing Python:
   cheapest design, Pareto frontier) over topology families and patterns;
 * ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
   ablations, other-networks, crosscheck, generalized, buffering, traffic,
-  design, topologies).
+  design, topologies, faults).
 
 Every subcommand accepts ``--json``: machine-readable output through one
 shared formatter (non-finite floats encode as the sentinel strings of
@@ -26,9 +29,10 @@ shared formatter (non-finite floats encode as the sentinel strings of
 registered traffic scenario.
 
 Exit status: 0 on success; 2 on invalid arguments or infeasible scenarios
-(:class:`~repro.errors.ConfigurationError` / ``SaturatedError``, printed
-as a one-line message, matching the argparse convention); 1 on any other
-library error.
+(:class:`~repro.errors.ConfigurationError` / ``SaturatedError`` /
+``PartitionedNetworkError`` — the requested fault set disconnects the
+network — printed as a one-line message, matching the argparse
+convention); 1 on any other library error.
 """
 
 from __future__ import annotations
@@ -42,7 +46,12 @@ from .config import SimConfig, Workload
 from .core.bft_model import ButterflyFatTreeModel
 from .core.sweep import latency_sweep, load_grid_to_saturation
 from .core.throughput import saturation_injection_rate
-from .errors import ConfigurationError, ReproError, SaturatedError
+from .errors import (
+    ConfigurationError,
+    PartitionedNetworkError,
+    ReproError,
+    SaturatedError,
+)
 from .simulation.buffered_sim import BufferedWormholeSimulator
 from .simulation.flit_sim import FlitLevelWormholeSimulator
 from .simulation.traffic import PoissonTraffic
@@ -68,6 +77,7 @@ _EXPERIMENTS = {
     "traffic": "run_traffic_scenarios",
     "design": "run_design_exploration",
     "topologies": "run_topology_matrix",
+    "faults": "run_fault_degradation",
 }
 
 _SIMULATORS = {
@@ -210,6 +220,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--warmup", type=float, default=3000.0)
     p_run.add_argument("--measure", type=float, default=9000.0)
+    p_run.add_argument(
+        "--kill-links",
+        default="",
+        help="comma-separated dead links as direction:level:index "
+        "(e.g. up:0:1 kills PE 1's injection link)",
+    )
+    p_run.add_argument(
+        "--kill-switches",
+        default="",
+        help="comma-separated dead switches as level:address "
+        "(every incident link dies)",
+    )
+    p_run.add_argument(
+        "--random-link-failures",
+        type=int,
+        default=0,
+        help="additionally kill this many random level>=1 links",
+    )
+    p_run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for --random-link-failures draws",
+    )
     p_run.add_argument("--label", default="", help="free-form tag for the registry")
     p_run.add_argument(
         "--save", action="store_true", help="persist the record in the run registry"
@@ -234,6 +268,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=25, help="rows shown (largest |rel| first)"
     )
     add_json(p_diff)
+    p_doctor = runs_sub.add_parser(
+        "doctor", help="audit the records file for corrupted lines"
+    )
+    add_registry(p_doctor)
+    p_doctor.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt lines to runs.quarantine.jsonl and rewrite the "
+        "records file without them",
+    )
+    add_json(p_doctor)
 
     p_model = sub.add_parser("model", help="evaluate the analytical model once")
     add_common(p_model)
@@ -339,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cost", type=float, default=None, help="optional budget cap"
     )
     p_design.add_argument(
+        "--survive-faults",
+        type=int,
+        default=0,
+        help="require the SLO to also hold after this many random link "
+        "failures (0 disables the check)",
+    )
+    p_design.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the --survive-faults failure draw",
+    )
+    p_design.add_argument(
         "--processes", type=int, default=1, help="worker processes for evaluation"
     )
     add_json(p_design)
@@ -394,6 +452,27 @@ def _registry_from_args(args):
     return RunRegistry(args.registry)
 
 
+def _faults_from_args(args):
+    """The Scenario ``faults`` mapping selected by the --kill-* flags.
+
+    ``None`` (the fault-free fast path, byte-identical with older
+    versions) unless at least one fault flag was given.
+    """
+    dead_links = [x.strip() for x in args.kill_links.split(",") if x.strip()]
+    dead_switches = [x.strip() for x in args.kill_switches.split(",") if x.strip()]
+    if not dead_links and not dead_switches and not args.random_link_failures:
+        return None
+    faults: dict = {}
+    if dead_links:
+        faults["dead_links"] = dead_links
+    if dead_switches:
+        faults["dead_switches"] = dead_switches
+    if args.random_link_failures:
+        faults["random_link_failures"] = args.random_link_failures
+        faults["seed"] = args.fault_seed
+    return faults
+
+
 # --- command handlers: each returns (text, json_payload) ----------------------------
 
 
@@ -420,6 +499,7 @@ def _cmd_run(args):
         measure_cycles=args.measure,
         seed=args.seed,
         label=args.label,
+        faults=_faults_from_args(args),
     )
     runner = Runner(registry=_registry_from_args(args) if args.save else None)
     result = runner.run(scenario)
@@ -433,6 +513,10 @@ def _cmd_run(args):
     for key in ("injection_rate", "flit_load"):
         if key in sat:
             rows.append((f"saturation.{key}", sat[key]))
+    faults = result.metrics.get("faults")
+    if faults:
+        rows.append(("faults.dead_links", ",".join(faults["dead_links"]) or "-"))
+        rows.append(("faults.dead_terminals", len(faults["dead_terminals"])))
     rows.append(("wall_time_s", result.timings.get("total_s")))
     lines.append(format_table(["metric", "value"], rows, title=result.run_id))
     curve = result.metrics.get("curve")
@@ -486,14 +570,23 @@ def _cmd_runs(args):
                 f"\n({registry.skipped_versions} record(s) from another schema "
                 "version skipped)"
             )
+        if registry.skipped_corrupt:
+            text += (
+                f"\n({registry.skipped_corrupt} corrupted line(s) skipped; "
+                "see `repro runs doctor`)"
+            )
         return text, {
             "registry": str(registry.path),
             "runs": [r.to_json() for r in records],
             "skipped_versions": registry.skipped_versions,
+            "skipped_corrupt": registry.skipped_corrupt,
         }
     if args.runs_command == "diff":
         diff = registry.diff(args.a, args.b)
         return diff.render(top=args.top), diff.to_json()
+    if args.runs_command == "doctor":
+        report = registry.doctor(quarantine=args.quarantine)
+        return report.render(), report.to_json()
     raise ConfigurationError(f"unknown runs subcommand {args.runs_command!r}")
 
 
@@ -728,6 +821,8 @@ def _cmd_design(args):
         latency_slo=args.slo,
         min_headroom=args.min_headroom,
         max_cost=args.max_cost,
+        survives_faults=args.survive_faults,
+        fault_seed=args.fault_seed,
     )
     result = explore(space, requirements, processes=args.processes)
     return result.render(), result.to_json()
@@ -782,9 +877,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         except BrokenPipeError:
             # Downstream pager/head closed the pipe; that is not an error.
             sys.stderr.close()
-    except (ConfigurationError, SaturatedError) as exc:
-        # Invalid arguments / infeasible scenarios: argparse-style status 2
-        # with a one-line message, never a traceback.
+    except (ConfigurationError, SaturatedError, PartitionedNetworkError) as exc:
+        # Invalid arguments / infeasible scenarios (including fault sets
+        # that disconnect the network): argparse-style status 2 with a
+        # one-line message, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:

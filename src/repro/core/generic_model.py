@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import Workload
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ConvergenceError
 from ..queueing.distributions import scv_for_mode_batch
 from ..queueing.mgm import mgm_waiting_time_batch
 from ..topology.properties import bft_average_distance, hypercube_average_distance
@@ -397,7 +397,41 @@ class ChannelGraphModel:
             return out
 
         x0 = np.full((len(names), n_points), float(self.message_flits))
-        result = fixed_point_batch(step, x0, tol=1e-12, max_iter=20_000, damping=0.5)
+        # Near saturation the iteration's contraction rate approaches 1
+        # (critical slowing down), so a strict 1e-12 tolerance can exhaust
+        # any budget while the answer is already correct to far better than
+        # a millicycle — e.g. asymmetric degraded-fabric traffic on a torus.
+        # An exhausted budget is therefore accepted when the residual is
+        # below this floor, and diagnosed as a ConvergenceError otherwise.
+        residual_floor = 1e-6
+        try:
+            result = fixed_point_batch(
+                step, x0, tol=1e-12, max_iter=20_000, damping=0.5
+            )
+        except ConvergenceError as exc:
+            if exc.residual <= residual_floor:
+                result = fixed_point_batch(
+                    step,
+                    x0,
+                    tol=1e-12,
+                    max_iter=20_000,
+                    damping=0.5,
+                    allow_divergence=True,
+                )
+            else:
+                channel = (
+                    names[exc.worst_component]
+                    if exc.worst_component is not None
+                    else None
+                )
+                raise ConvergenceError(
+                    f"cyclic channel-graph solve did not converge"
+                    f"{f' (worst channel {channel!r})' if channel else ''}: {exc}",
+                    iterations=exc.iterations,
+                    residual=exc.residual,
+                    worst_component=exc.worst_component,
+                    worst_channel=channel,
+                ) from exc
         solved = {}
         for n in names:
             stage = self.stages[n]

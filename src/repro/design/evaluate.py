@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from ..config import Workload
-from ..errors import ConfigurationError, SaturatedError
+from ..errors import ConfigurationError, PartitionedNetworkError, SaturatedError
 from ..util.parallel import parallel_map
 from .cost import CostBreakdown
 from .families import Hardware, design_family
@@ -42,6 +42,7 @@ __all__ = [
     "CandidateMetrics",
     "Evaluation",
     "evaluate_candidate",
+    "faulted_metrics_for",
     "metrics_for",
     "clear_metrics_cache",
     "metrics_cache_size",
@@ -84,12 +85,20 @@ def _metrics_key(candidate: Candidate, demand_flit_load: float):
 _SATURATION_CACHE: dict[tuple, tuple[float, float]] = {}
 #: Demand-dependent memo: (model key, demand) -> latency at that demand.
 _LATENCY_CACHE: dict[tuple, float] = {}
+#: Degraded-mode memo: (model key, faults) -> (zero_load, saturation),
+#: or None when the faults partition that candidate's network (so repeat
+#: explorations do not re-trace flows just to re-raise).
+_FAULT_SATURATION_CACHE: dict[tuple, tuple[float, float] | None] = {}
+#: Degraded-mode latency memo: ((model key, faults), demand) -> latency.
+_FAULT_LATENCY_CACHE: dict[tuple, float] = {}
 
 
 def clear_metrics_cache() -> None:
     """Drop every memoized evaluation (tests and long-lived services)."""
     _SATURATION_CACHE.clear()
     _LATENCY_CACHE.clear()
+    _FAULT_SATURATION_CACHE.clear()
+    _FAULT_LATENCY_CACHE.clear()
 
 
 def metrics_cache_size() -> int:
@@ -159,6 +168,57 @@ def _metrics_worker(task: tuple[Candidate, float, bool]) -> CandidateMetrics:
     return compute_metrics(*task)
 
 
+def faulted_metrics_for(
+    candidate: Candidate, demand_flit_load: float, faults
+) -> CandidateMetrics | None:
+    """Degraded-mode metrics of one candidate under a fault specification.
+
+    Evaluates the candidate's fault-masked stage graph
+    (:meth:`~repro.design.families.DesignFamily.faulted_evaluator`) at the
+    demand point; returns ``None`` when ``faults`` partition the network.
+    Memoized like the nominal path — per ``(model, faults)`` for the
+    demand-independent half and per demand for the latency — including the
+    partitioned verdict, so repeated explorations never re-trace flows
+    just to rediscover a disconnection.  ``faults`` must be a hashable
+    :class:`~repro.faults.FaultSpec`.
+    """
+    _check_demand(demand_flit_load)
+    mk = (_model_key(candidate), faults)
+    cached = _FAULT_SATURATION_CACHE.get(mk, "miss")
+    if cached is None:
+        return None
+    lat_key = (mk, demand_flit_load)
+    if cached != "miss" and lat_key in _FAULT_LATENCY_CACHE:
+        zero_load, saturation = cached
+        return CandidateMetrics(
+            latency=_FAULT_LATENCY_CACHE[lat_key],
+            zero_load_latency=zero_load,
+            saturation_flit_load=saturation,
+        )
+    fam = design_family(candidate.family)
+    try:
+        model = fam.faulted_evaluator(
+            candidate.params_dict, candidate.spec, candidate.message_flits, faults
+        )
+    except PartitionedNetworkError:
+        _FAULT_SATURATION_CACHE[mk] = None
+        return None
+    flits = candidate.message_flits
+    if mk not in _FAULT_SATURATION_CACHE:
+        _FAULT_SATURATION_CACHE[mk] = (
+            float(flits) + model.average_distance - 1.0,
+            _saturation_flit_load(model, flits),
+        )
+    if lat_key not in _FAULT_LATENCY_CACHE:
+        _FAULT_LATENCY_CACHE[lat_key] = _latency_at(model, demand_flit_load, flits)
+    zero_load, saturation = _FAULT_SATURATION_CACHE[mk]
+    return CandidateMetrics(
+        latency=_FAULT_LATENCY_CACHE[lat_key],
+        zero_load_latency=zero_load,
+        saturation_flit_load=saturation,
+    )
+
+
 def metrics_for(
     candidates: Sequence[Candidate],
     demand_flit_load: float,
@@ -222,6 +282,11 @@ class Evaluation:
     cost: CostBreakdown
     headroom: float
     violations: tuple[str, ...]
+    #: Degraded-mode metrics when the requirements asked for fault
+    #: survival (``survives_faults > 0``): None either when no fault check
+    #: ran or when the seeded failures partition this candidate (the
+    #: violations then carry the partition clause).
+    degraded: CandidateMetrics | None = None
 
     @property
     def feasible(self) -> bool:
@@ -260,6 +325,15 @@ class Evaluation:
             "cost": self.cost.as_dict(),
             "feasible": self.feasible,
             "violations": list(self.violations),
+            "degraded": (
+                None
+                if self.degraded is None
+                else {
+                    "latency": num(self.degraded.latency),
+                    "zero_load_latency": num(self.degraded.zero_load_latency),
+                    "saturation_flit_load": num(self.degraded.saturation_flit_load),
+                }
+            ),
         }
 
 

@@ -144,6 +144,49 @@ class DesignFamily:
         """
         raise NotImplementedError
 
+    def faulted_evaluator(
+        self,
+        params: Mapping[str, int],
+        spec,
+        message_flits: int,
+        faults,
+        *,
+        baseline: bool = False,
+    ):
+        """Degraded-mode analytical evaluator under a fault specification.
+
+        Every family routes through the same machinery: the fault-masked
+        topology's exact per-channel flows
+        (:func:`~repro.traffic.flows.masked_channel_flows` under the
+        :func:`~repro.faults.degraded_spec` workload) feed the Section 2
+        channel-graph model, with the family's prior-art variant switched
+        in when ``baseline`` is true.  ``faults`` must be a hashable
+        :class:`~repro.faults.FaultSpec` (flow propagation is memoized per
+        assignment/spec/faults).  Raises
+        :class:`~repro.errors.PartitionedNetworkError` when the faults
+        disconnect surviving traffic.
+        """
+        from ..traffic.analytic import stage_graph_from_flows
+
+        self.validate(params)
+        if not self.supports_patterns:
+            self._reject_pattern(spec)
+        if spec is not None and spec.name == "uniform":
+            spec = None  # canonical cache key; degraded_spec defaults to uniform
+        flows = _cached_masked_flows(
+            self.name, tuple(sorted(params.items())), spec, faults
+        )
+        variant = self._baseline_variant() if baseline else None
+        return stage_graph_from_flows(
+            flows, _reference_workload(message_flits), variant
+        )
+
+    def _baseline_variant(self):
+        """The model variant of this family's prior art (None = paper)."""
+        from ..core.variants import ModelVariant
+
+        return ModelVariant.naive()
+
     def hardware(self, params: Mapping[str, int]) -> Hardware:
         """Switch/link/port inventory (memoized per assignment)."""
         self.validate(params)
@@ -199,6 +242,18 @@ def _cached_hypercube_flows(dimension: int, spec):
     from ..traffic.flows import single_path_flows
 
     return single_path_flows(Hypercube(dimension), spec)
+
+
+@lru_cache(maxsize=64)
+def _cached_masked_flows(
+    family: str, params_items: tuple[tuple[str, int], ...], spec, faults
+):
+    from ..faults import FaultedTopology, degraded_spec
+    from ..traffic.flows import masked_channel_flows
+
+    fam = design_family(family)
+    topo = FaultedTopology(fam.topology(dict(params_items)), faults)
+    return masked_channel_flows(topo, degraded_spec(topo, spec))
 
 
 class _BftFamily(DesignFamily):
@@ -344,6 +399,11 @@ class _HypercubeFamily(DesignFamily):
         flows = _cached_hypercube_flows(params["dimension"], spec)
         return stage_graph_from_flows(flows, wl, variant)
 
+    def _baseline_variant(self):
+        from ..baselines.draper_ghosh import draper_ghosh_variant
+
+        return draper_ghosh_variant(corrected=False)
+
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         if num_processors < 2:
             return None
@@ -385,6 +445,12 @@ class _KaryNCubeFamily(DesignFamily):
         # improved Section-2 instantiation on rings yet — they need the
         # cyclic fixed point plus virtual-channel modeling, see ROADMAP).
         return self.evaluator(params, spec, message_flits)
+
+    def _baseline_variant(self):
+        # Under faults both backends go through the Section 2 channel graph;
+        # prior art and reference coincide for this family, so the degraded
+        # baseline keeps the paper variant too.
+        return None
 
     def sizes_to_params(self, num_processors: int) -> dict[str, int] | None:
         # Free radix: like the generalized fat-tree, swept explicitly.

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from ..errors import ConfigurationError
 from ..util.tables import format_table
 from .cost import CostModel, LinearCostModel
-from .evaluate import Evaluation, _metrics_key, metrics_for
+from .evaluate import Evaluation, _metrics_key, faulted_metrics_for, metrics_for
 from .families import design_family
 from .pareto import Objective, pareto_frontier
 from .space import DesignSpace, SkippedCandidate
@@ -48,12 +48,24 @@ class Requirements:
         before the knee.
     max_cost:
         Optional budget cap on the cost model's total.
+    survives_faults:
+        When positive, every feasible design must *also* meet the latency
+        SLO and headroom floor with this many seeded random link failures
+        injected (drawn among network links with
+        ``numpy.random.default_rng(fault_seed)``; see
+        :class:`~repro.faults.FaultSpec`).  A candidate the failures
+        partition is infeasible outright.
+    fault_seed:
+        Seed of the random failure draw (same seed -> same dead links on
+        every candidate of the same family/size, so comparisons are fair).
     """
 
     demand_flit_load: float
     latency_slo: float
     min_headroom: float = 1.0
     max_cost: float | None = None
+    survives_faults: int = 0
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if not (self.demand_flit_load > 0.0) or not math.isfinite(self.demand_flit_load):
@@ -64,6 +76,52 @@ class Requirements:
             raise ConfigurationError("min_headroom must be non-negative")
         if self.max_cost is not None and not (self.max_cost > 0.0):
             raise ConfigurationError("max_cost must be positive when given")
+        if (
+            isinstance(self.survives_faults, bool)
+            or not isinstance(self.survives_faults, int)
+            or self.survives_faults < 0
+        ):
+            raise ConfigurationError(
+                "survives_faults must be a non-negative integer"
+            )
+        if isinstance(self.fault_seed, bool) or not isinstance(self.fault_seed, int):
+            raise ConfigurationError("fault_seed must be an integer")
+
+    def fault_spec(self):
+        """The random-failure :class:`~repro.faults.FaultSpec`, or None."""
+        if self.survives_faults <= 0:
+            return None
+        from ..faults import FaultSpec
+
+        return FaultSpec(
+            random_link_failures=self.survives_faults, seed=self.fault_seed
+        )
+
+    def fault_violations(self, degraded) -> tuple[str, ...]:
+        """Requirement clauses the degraded metrics break (empty = survives).
+
+        ``degraded`` is the candidate's degraded-mode
+        :class:`~repro.design.evaluate.CandidateMetrics`, or None when the
+        seeded failures partitioned its network.
+        """
+        if self.survives_faults <= 0:
+            return ()
+        k, s = self.survives_faults, self.fault_seed
+        if degraded is None:
+            return (f"partitioned under {k} link failure(s) (seed {s})",)
+        out: list[str] = []
+        if not (math.isfinite(degraded.latency) and degraded.latency <= self.latency_slo):
+            out.append(
+                f"degraded latency {degraded.latency:.4g} > SLO "
+                f"{self.latency_slo:.4g} under {k} link failure(s)"
+            )
+        headroom = degraded.headroom(self.demand_flit_load)
+        if not (headroom >= self.min_headroom):
+            out.append(
+                f"degraded headroom {headroom:.3g}x < {self.min_headroom:.3g}x "
+                f"under {k} link failure(s)"
+            )
+        return tuple(out)
 
     def violations(
         self, latency: float, headroom: float, total_cost: float
@@ -189,6 +247,12 @@ class ExplorationResult:
                     f"{req.demand_flit_load:.4g} fl/cyc/PE, "
                     f"headroom >= {req.min_headroom:.3g}x"
                     + (f", cost <= {req.max_cost:.4g}" if req.max_cost is not None else "")
+                    + (
+                        f", survives {req.survives_faults} link failure(s) "
+                        f"(seed {req.fault_seed})"
+                        if req.survives_faults > 0
+                        else ""
+                    )
                 ),
             )
         ]
@@ -235,6 +299,8 @@ class ExplorationResult:
                 "latency_slo": req.latency_slo,
                 "min_headroom": req.min_headroom,
                 "max_cost": req.max_cost,
+                "survives_faults": req.survives_faults,
+                "fault_seed": req.fault_seed,
             },
             "evaluations": [e.as_json() for e in self.evaluations],
             "feasible_count": len(self.feasible),
@@ -288,12 +354,26 @@ def explore(
         processes=processes,
         chunksize=chunksize,
     )
+    fault_spec = requirements.fault_spec()
     evaluations = []
     for cand in expansion.candidates:
         m = metrics[_metrics_key(cand, requirements.demand_flit_load)]
         hardware = design_family(cand.family).hardware(cand.params_dict)
         cost = cost_model.cost(cand, hardware)
         headroom = m.headroom(requirements.demand_flit_load)
+        violations = requirements.violations(m.latency, headroom, cost.total)
+        degraded = None
+        if fault_spec is not None:
+            try:
+                degraded = faulted_metrics_for(
+                    cand, requirements.demand_flit_load, fault_spec
+                )
+            except ConfigurationError as exc:
+                # e.g. a candidate too small to lose that many links; it
+                # cannot meet the survivability clause either way.
+                violations = violations + (f"fault injection impossible: {exc}",)
+            else:
+                violations = violations + requirements.fault_violations(degraded)
         evaluations.append(
             Evaluation(
                 candidate=cand,
@@ -301,7 +381,8 @@ def explore(
                 hardware=hardware,
                 cost=cost,
                 headroom=headroom,
-                violations=requirements.violations(m.latency, headroom, cost.total),
+                violations=violations,
+                degraded=degraded,
             )
         )
     return ExplorationResult(

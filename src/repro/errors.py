@@ -12,6 +12,7 @@ __all__ = [
     "ConfigurationError",
     "TopologyError",
     "RoutingError",
+    "PartitionedNetworkError",
     "SaturatedError",
     "ConvergenceError",
     "SimulationError",
@@ -36,6 +37,17 @@ class RoutingError(ReproError):
     """A routing decision could not be made (no legal output channel)."""
 
 
+class PartitionedNetworkError(RoutingError):
+    """Injected faults disconnected a destination the traffic still addresses.
+
+    Raised by fault-masked topologies (:mod:`repro.faults`) when a worm —
+    or the analytical flow propagation — needs a next hop toward a
+    destination that no surviving link can reach.  A *source* that merely
+    lost its injection channel is silenced (it offers no traffic) rather
+    than treated as a partition; see :class:`repro.faults.FaultedTopology`.
+    """
+
+
 class SaturatedError(ReproError):
     """The analytical model was evaluated past its saturation point.
 
@@ -47,7 +59,31 @@ class SaturatedError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """An iterative solver failed to converge within its iteration budget."""
+    """An iterative solver failed to converge within its iteration budget.
+
+    Carries the solver's diagnostic state so callers (and error messages)
+    can say *where* the iteration stalled instead of silently returning a
+    stale iterate: ``iterations`` is the exhausted budget, ``residual`` the
+    final infinity-norm update, ``worst_component`` the index of the state
+    component with the largest update, and ``worst_channel`` the
+    human-readable name of that component when the caller knows one (the
+    stage name of a channel-graph solve).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int | None = None,
+        residual: float | None = None,
+        worst_component: int | None = None,
+        worst_channel: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.worst_component = worst_component
+        self.worst_channel = worst_channel
 
 
 class SimulationError(ReproError):

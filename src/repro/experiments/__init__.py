@@ -16,7 +16,9 @@
 * :mod:`repro.experiments.design_exploration` — SLO-driven sizing of a
   CM-5-class machine through the design-space explorer;
 * :mod:`repro.experiments.topology_matrix` — one Scenario per topology
-  family through the model/baseline/simulate backends of the facade.
+  family through the model/baseline/simulate backends of the facade;
+* :mod:`repro.experiments.faults` — degraded-mode curves: per-family
+  saturation and latency as seeded random link failures accumulate.
 
 All experiments honour ``REPRO_FULL=1`` for paper-scale runs and default to
 quick mode (see :mod:`repro.experiments.common`).
@@ -30,6 +32,11 @@ from .design_exploration import (
     DesignExplorationResult,
     default_design_scenarios,
     run_design_exploration,
+)
+from .faults import (
+    FaultDegradationResult,
+    FaultDegradationRow,
+    run_fault_degradation,
 )
 from .fig3 import Fig3Result, run_fig3
 from .generalized import GeneralizedResult, run_generalized
@@ -65,6 +72,9 @@ __all__ = [
     "DesignExplorationResult",
     "default_design_scenarios",
     "run_design_exploration",
+    "FaultDegradationResult",
+    "FaultDegradationRow",
+    "run_fault_degradation",
     "Fig3Result",
     "run_fig3",
     "GeneralizedResult",

@@ -1,0 +1,40 @@
+"""Fault injection and degraded-mode evaluation.
+
+The paper's fat-tree analysis assumes a pristine network; this package lets
+every layer of the library — analytical model, simulators, Scenario/Run
+facade, and the design-space search — evaluate the *same* network with some
+links or switches dead:
+
+* :class:`FaultSpec` — declarative, JSON-able description of failures
+  (explicit ``direction:level:index`` link refs, ``level:address`` switch
+  refs, or seeded random failure counts/rates);
+* :class:`FaultedTopology` — a SimTopology wrapper that masks dead links
+  out of the routing options and rebuilds the resource groups so surviving
+  pool members keep sharing;
+* :class:`DegradedTrafficSpec` / :func:`degraded_spec` — the workload with
+  dead terminals removed symmetrically and surviving rows renormalized.
+
+Unreachability between two *surviving* terminals raises
+:class:`~repro.errors.PartitionedNetworkError`; loss of a terminal merely
+shrinks the workload.
+"""
+
+from .mask import DegradedTrafficSpec, FaultedTopology, degraded_spec
+from .spec import (
+    FaultSpec,
+    ResolvedFaults,
+    link_ref,
+    parse_link_ref,
+    parse_switch_ref,
+)
+
+__all__ = [
+    "FaultSpec",
+    "ResolvedFaults",
+    "FaultedTopology",
+    "DegradedTrafficSpec",
+    "degraded_spec",
+    "link_ref",
+    "parse_link_ref",
+    "parse_switch_ref",
+]

@@ -1,0 +1,202 @@
+"""Fault masking: route, load, and simulate around dead links.
+
+:class:`FaultedTopology` wraps any :class:`~repro.topology.base.SimTopology`
+and *filters* dead alternatives out of the base topology's routing options —
+it never invents detours, so every surviving path keeps its nominal length
+and the model's distance accounting (Eq. 25's ``d``-terms) stays valid on
+the degraded fabric.  Resource groups are rebuilt so that surviving members
+of a multi-server pool stay pooled: when one of a fat-tree switch's two
+up-links dies, the sibling becomes a one-server group and the stage graph
+prices the redundancy loss automatically.
+
+Terminal semantics: a PE whose injection channels are all dead, or that has
+no surviving incoming link, is a *dead terminal* — it is removed from the
+workload symmetrically (it neither sends nor receives) by
+:class:`DegradedTrafficSpec`, which renormalizes every surviving source's
+destination row back to its original activity.  A surviving source
+addressing a surviving destination with no surviving route is a genuine
+partition and raises
+:class:`~repro.errors.PartitionedNetworkError` from the routing layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, PartitionedNetworkError
+from ..topology.base import RouteOptions
+from ..traffic.spec import TrafficSpec, UniformSpec
+from .spec import FaultSpec, ResolvedFaults
+
+__all__ = ["FaultedTopology", "DegradedTrafficSpec", "degraded_spec"]
+
+
+class FaultedTopology:
+    """A topology with some links dead; satisfies the SimTopology protocol.
+
+    ``faults`` may be a :class:`FaultSpec`, an already-bound
+    :class:`ResolvedFaults`, or a JSON mapping for
+    :meth:`FaultSpec.from_json`.  Raises
+    :class:`~repro.errors.PartitionedNetworkError` immediately when fewer
+    than two terminals survive (there is no traffic left to model).
+    """
+
+    def __init__(self, base, faults) -> None:
+        self.base = base
+        if isinstance(faults, ResolvedFaults):
+            resolved = faults
+        elif isinstance(faults, FaultSpec):
+            resolved = faults.resolve(base)
+        else:
+            resolved = FaultSpec.from_json(faults).resolve(base)
+        self.faults = resolved
+        self.dead_links = resolved.dead_links
+
+        self.num_processors = base.num_processors
+        self.num_links = base.num_links
+        self.num_nodes = getattr(base, "num_nodes", None)
+        self.link_class = base.link_class
+        self.link_src = base.link_src
+        self.link_dst = base.link_dst
+
+        # Rebuild resource groups: surviving members of each base group stay
+        # pooled; every dead link becomes a singleton group that routing
+        # never requests (the event engine indexes waiters by group, so the
+        # group tables must still cover all num_links ids).
+        groups: list[list[int]] = []
+        link_group = [-1] * base.num_links
+        for g in base.groups:
+            alive = [e for e in g if e not in self.dead_links]
+            if alive:
+                groups.append(alive)
+                for e in alive:
+                    link_group[e] = len(groups) - 1
+        for e in sorted(self.dead_links):
+            groups.append([e])
+            link_group[e] = len(groups) - 1
+        self.groups = groups
+        self.link_group = link_group
+
+        # Dead terminals: PEs that can no longer send or no longer receive.
+        n = base.num_processors
+        can_send = [False] * n
+        can_receive = [False] * n
+        for e in range(base.num_links):
+            if e in self.dead_links:
+                continue
+            src, dst = base.link_src[e], base.link_dst[e]
+            if src < n:
+                can_send[src] = True
+            if dst < n:
+                can_receive[dst] = True
+        self.dead_terminals = frozenset(
+            pe for pe in range(n) if not (can_send[pe] and can_receive[pe])
+        )
+        live = n - len(self.dead_terminals)
+        if live < 2:
+            raise PartitionedNetworkError(
+                f"faults leave fewer than two live terminals ({live} of {n})"
+            )
+
+    # --- SimTopology API -----------------------------------------------------
+
+    def injection_options(self, src: int) -> RouteOptions:
+        return self._filter(
+            self.base.injection_options(src),
+            f"PE {src} has no surviving injection channel",
+        )
+
+    def route_options(self, node: int, dst: int) -> RouteOptions:
+        return self._filter(
+            self.base.route_options(node, dst),
+            f"no surviving route from node {node} toward PE {dst}",
+        )
+
+    def _filter(self, opts: RouteOptions, message: str) -> RouteOptions:
+        keep = [i for i, e in enumerate(opts.links) if e not in self.dead_links]
+        if len(keep) == len(opts.links):
+            return opts
+        if not keep:
+            raise PartitionedNetworkError(message)
+        return RouteOptions(
+            links=tuple(opts.links[i] for i in keep),
+            next_nodes=tuple(opts.next_nodes[i] for i in keep),
+        )
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Nominal shortest-path length (masking only filters minimal routes)."""
+        return self.base.path_length(src, dst)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        base = self.base.describe() if hasattr(self.base, "describe") else repr(self.base)
+        extra = (
+            f", {len(self.dead_terminals)} dead terminal(s)"
+            if self.dead_terminals
+            else ""
+        )
+        return f"{base} [{len(self.dead_links)} dead link(s){extra}]"
+
+    def __getattr__(self, name: str):
+        if name == "base":
+            raise AttributeError(name)
+        return getattr(self.base, name)
+
+
+class DegradedTrafficSpec(TrafficSpec):
+    """``base`` with dead terminals removed symmetrically.
+
+    Dead terminals neither send nor receive.  Each surviving source's
+    destination row is renormalized back to its original activity, so
+    per-source injection rates are preserved and the only lost traffic is
+    the dead terminals' own.  A surviving source whose entire row
+    addressed dead terminals becomes silent (activity 0) — the usual
+    silent-source convention, *not* a partition.
+    """
+
+    def __init__(self, base: TrafficSpec, dead_terminals) -> None:
+        self.base = base
+        self.dead_terminals = frozenset(int(p) for p in dead_terminals)
+        self.name = f"degraded({base.name})"
+
+    def validate(self, num_pes: int) -> None:
+        self.base.validate(num_pes)
+        for pe in self.dead_terminals:
+            if not (0 <= pe < num_pes):
+                raise ConfigurationError(
+                    f"dead terminal {pe} out of range (0..{num_pes - 1})"
+                )
+
+    def destination_matrix(self, num_pes: int) -> np.ndarray:
+        self.validate(num_pes)
+        m = np.array(self.base.destination_matrix(num_pes), dtype=float, copy=True)
+        if not self.dead_terminals:
+            return m
+        original = m.sum(axis=1)
+        dead = sorted(self.dead_terminals)
+        m[dead, :] = 0.0
+        m[:, dead] = 0.0
+        remaining = m.sum(axis=1)
+        scale = np.ones(num_pes)
+        renorm = remaining > 0.0
+        scale[renorm] = original[renorm] / remaining[renorm]
+        return m * scale[:, None]
+
+    def describe(self) -> str:
+        return (
+            f"{self.base.describe()} "
+            f"[degraded: {len(self.dead_terminals)} dead terminal(s)]"
+        )
+
+
+def degraded_spec(topology, spec: TrafficSpec | None = None) -> TrafficSpec:
+    """The workload actually offered to a (possibly faulted) topology.
+
+    Returns ``spec`` (or uniform) unchanged when ``topology`` has no dead
+    terminals; otherwise wraps it in :class:`DegradedTrafficSpec`.
+    """
+    base = spec if spec is not None else UniformSpec()
+    dead = getattr(topology, "dead_terminals", None)
+    if not dead:
+        return base
+    return DegradedTrafficSpec(base, dead)

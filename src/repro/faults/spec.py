@@ -1,0 +1,314 @@
+"""Declarative fault specifications: which links and switches are dead.
+
+A :class:`FaultSpec` is a small, JSON-able value object naming failures
+three ways, combinable in one spec:
+
+* **explicit dead links** by channel class and index — the grammar is
+  ``direction:level:index`` (e.g. ``up:1:0``).  Link indices count the
+  construction-ordered members of that :class:`~repro.topology.base.LinkClass`,
+  which every family documents, so ``up:0:1`` is PE 1's injection channel
+  on every topology and ``up:1:0`` the first level-1 network channel;
+* **explicit dead switches** by ``level:address`` (fat-trees) or
+  ``1:address`` (the single router level of direct networks) — killing a
+  switch kills every link incident to it;
+* **seeded random link failures**, either an exact count
+  (``random_link_failures``) or an independent per-link failure
+  probability (``random_link_failure_rate``), drawn among *network* links
+  (level >= 1; terminal channels fail only explicitly) with
+  ``numpy.random.default_rng(seed)`` so a spec resolves to the same
+  physical links on every layer that consumes it.
+
+Resolution against a concrete topology happens in :meth:`FaultSpec.resolve`;
+the result feeds :class:`~repro.faults.mask.FaultedTopology`, which is what
+the model, the simulators, and the design-space search actually consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..topology.base import DOWN, UP, LinkClass, links_in_class
+
+__all__ = [
+    "FaultSpec",
+    "ResolvedFaults",
+    "parse_link_ref",
+    "parse_switch_ref",
+    "link_ref",
+]
+
+_DIRECTIONS = {"up": UP, "down": DOWN}
+_DIRECTION_NAMES = {UP: "up", DOWN: "down"}
+
+
+def parse_link_ref(ref: str) -> tuple[int, int, int]:
+    """Parse ``direction:level:index`` into ``(direction, level, index)``."""
+    parts = str(ref).split(":")
+    if len(parts) != 3:
+        raise ConfigurationError(
+            f"link reference must look like 'up:1:0' (direction:level:index), got {ref!r}"
+        )
+    direction = _DIRECTIONS.get(parts[0].strip().lower())
+    if direction is None:
+        raise ConfigurationError(
+            f"link direction must be 'up' or 'down', got {parts[0]!r}"
+        )
+    try:
+        level, index = int(parts[1]), int(parts[2])
+    except ValueError:
+        raise ConfigurationError(
+            f"link level and index must be integers, got {ref!r}"
+        ) from None
+    if level < 0 or index < 0:
+        raise ConfigurationError(f"link level and index must be non-negative: {ref!r}")
+    return direction, level, index
+
+
+def parse_switch_ref(ref: str) -> tuple[int, int]:
+    """Parse ``level:address`` (or bare ``address``, level 1) for a switch."""
+    parts = str(ref).split(":")
+    if len(parts) == 1:
+        parts = ["1", parts[0]]
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"switch reference must look like 'level:address', got {ref!r}"
+        )
+    try:
+        level, address = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"switch level and address must be integers, got {ref!r}"
+        ) from None
+    if level < 1 or address < 0:
+        raise ConfigurationError(
+            f"switch level must be >= 1 and address >= 0: {ref!r}"
+        )
+    return level, address
+
+
+def link_ref(topology, link_id: int) -> str:
+    """Canonical ``direction:level:index`` name of physical link ``link_id``."""
+    cls = topology.link_class[link_id]
+    index = links_in_class(topology, cls).index(link_id)
+    return f"{_DIRECTION_NAMES[cls.direction]}:{cls.level}:{index}"
+
+
+def _resolve_switch_node(topology, ref: str) -> int:
+    """Node id of the switch named by ``ref`` on ``topology``."""
+    level, address = parse_switch_ref(ref)
+    method = getattr(topology, "_switch_node", None)
+    if method is not None:
+        try:
+            return int(method(level, address))
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # TopologyError from the fat-trees
+            raise ConfigurationError(
+                f"no switch {ref!r} on this topology: {exc}"
+            ) from exc
+    # Direct networks: one router per PE, addressed as level 1.
+    if level != 1:
+        raise ConfigurationError(
+            f"direct networks have a single router level; use '1:{address}', got {ref!r}"
+        )
+    if not (0 <= address < topology.num_processors):
+        raise ConfigurationError(
+            f"router address {address} out of range (0..{topology.num_processors - 1})"
+        )
+    return topology.num_processors + address
+
+
+@dataclass(frozen=True)
+class ResolvedFaults:
+    """A :class:`FaultSpec` bound to one concrete topology.
+
+    ``dead_links`` is the complete physical link-id set (explicit links,
+    links incident to dead switches, and the seeded random draws).
+    """
+
+    spec: "FaultSpec"
+    dead_links: frozenset[int]
+    dead_switch_nodes: tuple[int, ...] = ()
+
+    def dead_link_refs(self, topology) -> list[str]:
+        """Canonical grammar names of the dead links, in link-id order."""
+        return [link_ref(topology, e) for e in sorted(self.dead_links)]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative, JSON-able description of injected failures.
+
+    All fields default to "nothing fails"; :meth:`is_trivial` reports
+    whether the spec actually kills anything.
+    """
+
+    dead_links: tuple[str, ...] = ()
+    dead_switches: tuple[str, ...] = ()
+    random_link_failures: int = 0
+    random_link_failure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dead_links", tuple(str(r) for r in self.dead_links)
+        )
+        object.__setattr__(
+            self, "dead_switches", tuple(str(r) for r in self.dead_switches)
+        )
+        for ref in self.dead_links:
+            parse_link_ref(ref)
+        for ref in self.dead_switches:
+            parse_switch_ref(ref)
+        k = self.random_link_failures
+        if isinstance(k, bool) or not isinstance(k, int) or k < 0:
+            raise ConfigurationError(
+                f"random_link_failures must be a non-negative integer, got {k!r}"
+            )
+        rate = self.random_link_failure_rate
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+            raise ConfigurationError(
+                f"random_link_failure_rate must be a number in [0, 1), got {rate!r}"
+            )
+        if not (0.0 <= float(rate) < 1.0):
+            raise ConfigurationError(
+                f"random_link_failure_rate must be in [0, 1), got {rate!r}"
+            )
+        object.__setattr__(self, "random_link_failure_rate", float(rate))
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigurationError(f"fault seed must be an integer, got {self.seed!r}")
+
+    def is_trivial(self) -> bool:
+        """True when the spec kills nothing (equivalent to no faults)."""
+        return not (
+            self.dead_links
+            or self.dead_switches
+            or self.random_link_failures
+            or self.random_link_failure_rate > 0.0
+        )
+
+    # --- serialization -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Canonical JSON object (round-trips through :meth:`from_json`)."""
+        return {
+            "dead_links": list(self.dead_links),
+            "dead_switches": list(self.dead_switches),
+            "random_link_failures": self.random_link_failures,
+            "random_link_failure_rate": self.random_link_failure_rate,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data) -> "FaultSpec":
+        """Build a spec from a JSON object, rejecting unknown fields."""
+        if isinstance(data, FaultSpec):
+            return data
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault spec must be a JSON object, got {type(data).__name__}"
+            )
+        known = {
+            "dead_links",
+            "dead_switches",
+            "random_link_failures",
+            "random_link_failure_rate",
+            "seed",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        links = data.get("dead_links", ())
+        switches = data.get("dead_switches", ())
+        if isinstance(links, str) or isinstance(switches, str):
+            raise ConfigurationError(
+                "dead_links / dead_switches must be lists of references, not a string"
+            )
+        return cls(
+            dead_links=tuple(links),
+            dead_switches=tuple(switches),
+            random_link_failures=data.get("random_link_failures", 0),
+            random_link_failure_rate=data.get("random_link_failure_rate", 0.0),
+            seed=data.get("seed", 0),
+        )
+
+    # --- resolution ----------------------------------------------------------
+
+    def resolve(self, topology) -> ResolvedFaults:
+        """Bind the spec to ``topology``, returning the physical dead set."""
+        dead: set[int] = set()
+        for ref in self.dead_links:
+            direction, level, index = parse_link_ref(ref)
+            cls = LinkClass(direction, level)
+            ids = links_in_class(topology, cls)
+            if not ids:
+                raise ConfigurationError(
+                    f"no channel class {cls} on this topology (link ref {ref!r})"
+                )
+            if index >= len(ids):
+                raise ConfigurationError(
+                    f"link index {index} out of range for class {cls} "
+                    f"({len(ids)} links; ref {ref!r})"
+                )
+            dead.add(ids[index])
+
+        switch_nodes: list[int] = []
+        for ref in self.dead_switches:
+            node = _resolve_switch_node(topology, ref)
+            switch_nodes.append(node)
+            for e in range(topology.num_links):
+                if topology.link_src[e] == node or topology.link_dst[e] == node:
+                    dead.add(e)
+
+        if self.random_link_failures or self.random_link_failure_rate > 0.0:
+            eligible = [
+                e
+                for e in range(topology.num_links)
+                if topology.link_class[e].level >= 1 and e not in dead
+            ]
+            rng = np.random.default_rng(self.seed)
+            if self.random_link_failures:
+                if self.random_link_failures > len(eligible):
+                    raise ConfigurationError(
+                        f"cannot fail {self.random_link_failures} links: only "
+                        f"{len(eligible)} eligible network links survive"
+                    )
+                chosen = rng.choice(
+                    len(eligible), size=self.random_link_failures, replace=False
+                )
+                dead.update(eligible[int(i)] for i in chosen)
+            if self.random_link_failure_rate > 0.0:
+                draws = rng.random(len(eligible))
+                dead.update(
+                    e
+                    for e, r in zip(eligible, draws)
+                    if r < self.random_link_failure_rate
+                )
+
+        return ResolvedFaults(
+            spec=self,
+            dead_links=frozenset(dead),
+            dead_switch_nodes=tuple(switch_nodes),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        if self.dead_links:
+            parts.append(f"links={','.join(self.dead_links)}")
+        if self.dead_switches:
+            parts.append(f"switches={','.join(self.dead_switches)}")
+        if self.random_link_failures:
+            parts.append(f"random={self.random_link_failures}")
+        if self.random_link_failure_rate > 0.0:
+            parts.append(f"rate={self.random_link_failure_rate:g}")
+        if self.random_link_failures or self.random_link_failure_rate > 0.0:
+            parts.append(f"seed={self.seed}")
+        return "faults(" + (", ".join(parts) if parts else "none") + ")"

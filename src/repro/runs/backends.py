@@ -36,7 +36,6 @@ either way the scalar path stays one solve per point.
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 from typing import Callable
 
 import numpy as np
@@ -47,12 +46,12 @@ from ..core.sweep import LatencyCurve, latency_sweep
 from ..core.throughput import SaturationResult, saturation_injection_rate
 from ..design.families import DesignFamily, design_family
 from ..errors import ConfigurationError
+from ..faults import FaultedTopology, degraded_spec
 from ..simulation.buffered_sim import BufferedWormholeSimulator
 from ..simulation.flit_sim import FlitLevelWormholeSimulator
-from ..simulation.runner import ReplicatedResult
+from ..simulation.runner import run_replications
 from ..simulation.traffic import PoissonTraffic
 from ..simulation.wormhole_sim import EventDrivenWormholeSimulator
-from ..util.rng import replication_seeds
 from .scenario import Scenario
 
 __all__ = ["execute", "backend_names"]
@@ -97,9 +96,41 @@ def _evaluator_for(scenario: Scenario):
     """
     fam, params = _family_for(scenario)
     spec = scenario.spec()
+    faults = scenario.fault_spec()
+    if faults is not None:
+        # Degraded mode: all families and both variants route through the
+        # masked stage graph of the fault-wrapped topology.
+        return fam.faulted_evaluator(
+            params,
+            spec,
+            scenario.message_flits,
+            faults,
+            baseline=scenario.backend == "baseline",
+        )
     if scenario.backend == "baseline":
         return fam.baseline_evaluator(params, spec, scenario.message_flits)
     return fam.evaluator(params, spec, scenario.message_flits)
+
+
+def _fault_provenance(scenario: Scenario, topo=None) -> dict | None:
+    """The fault block recorded in every backend's metrics (None = nominal).
+
+    Resolves the scenario's :class:`~repro.faults.FaultSpec` against the
+    concrete topology so the record names the *physical* links that died —
+    random-failure specs become auditable after the fact.
+    """
+    faults = scenario.fault_spec()
+    if faults is None:
+        return None
+    if topo is None:
+        fam, params = _family_for(scenario)
+        topo = FaultedTopology(fam.topology(params), faults)
+    return {
+        "spec": faults.to_json(),
+        "dead_links": topo.faults.dead_link_refs(topo.base),
+        "dead_switches": list(faults.dead_switches),
+        "dead_terminals": sorted(topo.dead_terminals),
+    }
 
 
 def _variant_label(evaluator) -> str:
@@ -228,6 +259,7 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
         "engine": "scalar" if scalar else "batch",
         "variant": _variant_label(evaluator),
         "family": {"name": fam.name, "params": dict(params)},
+        "faults": _fault_provenance(scenario),
         "point": {"flit_load": scenario.flit_load, "latency": point},
         "saturation": _saturation_metrics(sat),
         "curve": _curve_metrics(curve) if curve is not None else None,
@@ -239,38 +271,62 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
 
 
 def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
-    """Independently seeded replication set at the scenario's operating point."""
+    """Independently seeded replication set at the scenario's operating point.
+
+    Under a fault spec the simulators route the same
+    :class:`~repro.faults.FaultedTopology` mask the analytical backends
+    price, sampling the degraded workload (dead terminals removed), and the
+    crosscheck prediction swaps to the degraded stage graph — so
+    model-vs-simulation comparisons extend to degraded fabrics unchanged.
+    """
     timings: dict[str, float] = {}
     t0 = time.perf_counter()
     fam, params = _family_for(scenario)
     spec = scenario.spec()
     topo = fam.topology(params)
-    # The family's reference model rides along as the crosscheck prediction.
-    evaluator = fam.evaluator(params, spec, scenario.message_flits)
+    faults = scenario.fault_spec()
+    fault_info = None
+    if faults is not None:
+        topo = FaultedTopology(topo, faults)
+        fault_info = _fault_provenance(scenario, topo)
+        sim_spec = degraded_spec(topo, spec)
+        # The degraded model rides along as the crosscheck prediction.
+        evaluator = fam.faulted_evaluator(
+            params, spec, scenario.message_flits, faults
+        )
+    else:
+        sim_spec = spec
+        # The family's reference model rides along as the crosscheck prediction.
+        evaluator = fam.evaluator(params, spec, scenario.message_flits)
     timings["build_s"] = time.perf_counter() - t0
 
     workload = scenario.workload()
     config = scenario.sim_config()
     sim_cls = _SIMULATOR_CLASSES[scenario.simulator]
-    t0 = time.perf_counter()
-    results = []
-    for seed in replication_seeds(config.seed, scenario.replications):
-        cfg = replace(config, seed=seed)
-        kwargs = {}
-        if spec is not None:
-            kwargs["traffic"] = PoissonTraffic(
-                scenario.num_processors, workload, seed=seed, spec=spec
+    traffic_factory = None
+    if sim_spec is not None:
+        def traffic_factory(seed: int) -> PoissonTraffic:
+            return PoissonTraffic(
+                scenario.num_processors, workload, seed=seed, spec=sim_spec
             )
-        results.append(
-            sim_cls(topo, workload, cfg, keep_samples=False, **kwargs).run()
-        )
-    rep = ReplicatedResult(workload=workload, results=tuple(results))
+
+    t0 = time.perf_counter()
+    rep = run_replications(
+        topo,
+        workload,
+        config,
+        replications=scenario.replications,
+        simulator_cls=sim_cls,
+        keep_samples=False,
+        traffic_factory=traffic_factory,
+    )
     timings["simulate_s"] = time.perf_counter() - t0
 
     prediction = _point_latency(evaluator, workload, scalar=False)
     metrics = {
         "engine": scenario.simulator,
         "family": {"name": fam.name, "params": dict(params)},
+        "faults": fault_info,
         "point": {
             "flit_load": scenario.flit_load,
             "latency": rep.latency_mean,
@@ -281,6 +337,15 @@ def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
         },
         "saturation": None,
         "curve": None,
+        "replication_health": {
+            "requested": scenario.replications,
+            "completed": len(rep.results),
+            "rescued": rep.rescued,
+            "failures": [
+                {"seed": f.seed, "attempts": f.attempts, "error": f.error}
+                for f in rep.failures
+            ],
+        },
         "replications": [
             {
                 "seed": r.config.seed,

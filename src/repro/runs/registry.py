@@ -16,7 +16,12 @@ Records written under a different :data:`~repro.runs.result.SCHEMA_VERSION`
 raise :class:`~repro.errors.SchemaVersionError` on direct load;
 iteration-style reads (``query``, ``ids``) skip them and report the count
 through :attr:`RunRegistry.skipped_versions` so a registry that outlives
-a schema bump stays usable.
+a schema bump stays usable.  Corrupted or truncated lines (a crashed
+append, a bad merge) are likewise *skipped* — counted in
+:attr:`RunRegistry.skipped_corrupt` with a once-per-registry warning, never
+an exception — so one bad line cannot brick ``repro runs list``/``diff``;
+:meth:`RunRegistry.doctor` reports them line by line and can quarantine
+them into ``runs.quarantine.jsonl``.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
@@ -36,12 +42,14 @@ __all__ = [
     "RunRegistry",
     "RunDiff",
     "MetricDelta",
+    "DoctorReport",
     "default_registry_dir",
     "diff_metrics",
     "flatten_metrics",
 ]
 
 _RECORDS_FILE = "runs.jsonl"
+_QUARANTINE_FILE = "runs.quarantine.jsonl"
 
 
 def default_registry_dir() -> Path:
@@ -229,6 +237,10 @@ class RunRegistry:
         #: Records skipped by the last iteration-style read because their
         #: schema version did not match (0 after ``save``/``load``).
         self.skipped_versions = 0
+        #: Lines skipped by the last read because they were not valid JSON
+        #: objects (truncated appends, merge debris).
+        self.skipped_corrupt = 0
+        self._warned_corrupt = False
 
     @property
     def records_path(self) -> Path:
@@ -250,6 +262,13 @@ class RunRegistry:
     # --- read --------------------------------------------------------------------
 
     def _iter_raw(self) -> Iterator[dict]:
+        """Yield the parseable JSON-object lines of the records file.
+
+        Corrupted or truncated lines are skipped and counted in
+        :attr:`skipped_corrupt` (warning once per registry instance) — a
+        torn append must not take every *other* record down with it.
+        """
+        self.skipped_corrupt = 0
         if not self.records_path.exists():
             return
         with self.records_path.open("r", encoding="utf-8") as fh:
@@ -258,11 +277,22 @@ class RunRegistry:
                 if not line:
                     continue
                 try:
-                    yield json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise RegistryError(
-                        f"{self.records_path}:{lineno}: unreadable record ({exc})"
-                    ) from exc
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    record = None
+                if not isinstance(record, dict):
+                    self.skipped_corrupt += 1
+                    if not self._warned_corrupt:
+                        self._warned_corrupt = True
+                        warnings.warn(
+                            f"{self.records_path}:{lineno}: skipping corrupted "
+                            "record(s); run `repro runs doctor` for a full "
+                            "audit (and --quarantine to move them aside)",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                    continue
+                yield record
 
     def __iter__(self) -> Iterator[RunResult]:
         """Yield readable records in insertion order (skips foreign schemas)."""
@@ -379,3 +409,135 @@ class RunRegistry:
         metrics_a, label_a = self._resolve_comparand(a)
         metrics_b, label_b = self._resolve_comparand(b)
         return diff_metrics(metrics_a, metrics_b, a_label=label_a, b_label=label_b)
+
+    # --- health ------------------------------------------------------------------
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Sibling file that :meth:`doctor` moves corrupt lines into."""
+        return self.path / _QUARANTINE_FILE
+
+    def doctor(self, *, quarantine: bool = False) -> "DoctorReport":
+        """Audit the records file line by line.
+
+        Classifies every non-blank line as *ok* (loads as a current-schema
+        :class:`RunResult`), *foreign-schema* (valid record written under a
+        different schema version — kept, still listed by tools that
+        understand it), or *corrupt* (not valid JSON, not a JSON object, or
+        a structurally broken record).  With ``quarantine=True`` the corrupt
+        lines are appended to ``runs.quarantine.jsonl`` and the records file
+        is rewritten without them (atomically, via a temp file).
+        """
+        path = self.records_path
+        if not path.exists():
+            return DoctorReport(
+                path=str(path),
+                total_records=0,
+                ok=0,
+                foreign_schema=0,
+                corrupt=(),
+            )
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        ok = foreign = total = 0
+        corrupt: list[tuple[int, str]] = []
+        keep: list[str] = []
+        bad: list[str] = []
+        for lineno, line in enumerate(raw_lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            total += 1
+            reason: str | None = None
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                reason = f"not valid JSON ({exc})"
+            else:
+                if not isinstance(record, dict):
+                    reason = f"JSON {type(record).__name__} is not a record object"
+                else:
+                    try:
+                        RunResult.from_json(record)
+                    except SchemaVersionError:
+                        foreign += 1
+                    except Exception as exc:  # noqa: BLE001 - reported, not raised
+                        reason = f"{type(exc).__name__}: {exc}"
+                    else:
+                        ok += 1
+            if reason is None:
+                keep.append(stripped)
+            else:
+                corrupt.append((lineno, reason))
+                bad.append(stripped)
+        quarantined = 0
+        qpath: str | None = None
+        if quarantine and bad:
+            with self.quarantine_path.open("a", encoding="utf-8") as fh:
+                for line in bad:
+                    fh.write(line + "\n")
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text("".join(line + "\n" for line in keep), encoding="utf-8")
+            os.replace(tmp, path)
+            quarantined = len(bad)
+            qpath = str(self.quarantine_path)
+        return DoctorReport(
+            path=str(path),
+            total_records=total,
+            ok=ok,
+            foreign_schema=foreign,
+            corrupt=tuple(corrupt),
+            quarantined=quarantined,
+            quarantine_path=qpath,
+        )
+
+
+@dataclass(frozen=True)
+class DoctorReport:
+    """Result of :meth:`RunRegistry.doctor` — one registry health audit."""
+
+    path: str
+    total_records: int
+    ok: int
+    foreign_schema: int
+    corrupt: tuple[tuple[int, str], ...]
+    quarantined: int = 0
+    quarantine_path: str | None = None
+
+    @property
+    def healthy(self) -> bool:
+        """True when every record line parsed (foreign schemas are fine)."""
+        return not self.corrupt
+
+    def render(self) -> str:
+        lines = [
+            f"registry doctor: {self.path}",
+            f"  records: {self.total_records} "
+            f"({self.ok} ok, {self.foreign_schema} foreign-schema, "
+            f"{len(self.corrupt)} corrupt)",
+        ]
+        for lineno, reason in self.corrupt:
+            lines.append(f"  line {lineno}: {reason}")
+        if self.quarantined:
+            lines.append(
+                f"  quarantined {self.quarantined} record(s) to "
+                f"{self.quarantine_path}"
+            )
+        elif self.corrupt:
+            lines.append("  re-run with --quarantine to move them aside")
+        else:
+            lines.append("  no corruption found")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "total_records": self.total_records,
+            "ok": self.ok,
+            "foreign_schema": self.foreign_schema,
+            "corrupt": [
+                {"line": lineno, "reason": reason} for lineno, reason in self.corrupt
+            ],
+            "quarantined": self.quarantined,
+            "quarantine_path": self.quarantine_path,
+            "healthy": self.healthy,
+        }

@@ -171,6 +171,14 @@ class Scenario:
         Measurement protocol of the ``simulate`` backend.
     label:
         Free-form tag recorded with the run (useful for registry queries).
+    faults:
+        Optional fault specification — a
+        :class:`~repro.faults.FaultSpec` or its JSON mapping form —
+        evaluated by *every* backend: the analytical backends solve the
+        degraded stage graph of the fault-masked topology, and the
+        simulate backend routes the same mask.  Stored in canonical JSON
+        form (``None`` when the spec kills nothing), so scenarios with
+        and without trivial fault blocks compare equal.
     """
 
     topology: str = "bft"
@@ -194,6 +202,7 @@ class Scenario:
     measure_cycles: float = 9_000.0
     seed: int = 1
     label: str = ""
+    faults: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -224,6 +233,18 @@ class Scenario:
             raise ConfigurationError("sweep_fraction must be in (0, 1)")
         if self.replications < 1:
             raise ConfigurationError("replications must be >= 1")
+        # Canonicalize the fault block eagerly: accept a FaultSpec object
+        # or its JSON form, validate it, and store the canonical mapping
+        # (dropping trivial specs so faultless scenarios compare equal).
+        if self.faults is not None:
+            from ..faults import FaultSpec
+
+            fault_spec = FaultSpec.from_json(self.faults)
+            object.__setattr__(
+                self,
+                "faults",
+                None if fault_spec.is_trivial() else fault_spec.to_json(),
+            )
         # Normalize the per-family structural parameters (fill defaults,
         # derive missing values from num_processors, reject fields that do
         # not belong to the family), then let the design-family registry
@@ -314,6 +335,14 @@ class Scenario:
             return None
         return make_spec(self.pattern, **dict(self.pattern_params))
 
+    def fault_spec(self):
+        """The :class:`~repro.faults.FaultSpec`, or None for a nominal run."""
+        if self.faults is None:
+            return None
+        from ..faults import FaultSpec
+
+        return FaultSpec.from_json(self.faults)
+
     def sim_config(self) -> SimConfig:
         """The measurement protocol of the ``simulate`` backend."""
         return SimConfig(
@@ -336,10 +365,14 @@ class Scenario:
         shape = "" if not params else (
             "[" + ",".join(f"{k}={v}" for k, v in params.items()) + "]"
         )
+        fault_note = ""
+        spec = self.fault_spec()
+        if spec is not None:
+            fault_note = f", {spec.describe()}"
         return (
             f"Scenario({self.topology}{shape} N={self.num_processors}, "
             f"{self.message_flits}-flit, load={self.flit_load:g} fl/cyc/PE, "
-            f"pattern={self.pattern}, backend={self.backend})"
+            f"pattern={self.pattern}, backend={self.backend}{fault_note})"
         )
 
     # --- serialization -----------------------------------------------------------

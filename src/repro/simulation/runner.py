@@ -17,6 +17,7 @@ import numpy as np
 
 from ..config import SimConfig, Workload
 from ..core.sweep import LatencyCurve
+from ..errors import ConfigurationError, PartitionedNetworkError
 from ..topology.base import SimTopology
 from ..util.parallel import parallel_map
 from ..util.rng import replication_seeds
@@ -24,7 +25,21 @@ from ..util.stats import mean_confidence_interval
 from .metrics import SimulationResult
 from .wormhole_sim import EventDrivenWormholeSimulator
 
-__all__ = ["ReplicatedResult", "run_replications", "simulated_latency_curve"]
+__all__ = [
+    "ReplicatedResult",
+    "ReplicationFailure",
+    "run_replications",
+    "simulated_latency_curve",
+]
+
+
+@dataclass(frozen=True)
+class ReplicationFailure:
+    """One replication slot that produced no result despite rescue retries."""
+
+    seed: int
+    attempts: int
+    error: str
 
 
 @dataclass(frozen=True)
@@ -33,6 +48,11 @@ class ReplicatedResult:
 
     workload: Workload
     results: tuple[SimulationResult, ...]
+    #: Replication slots that failed even after rescue reseeding.
+    failures: tuple[ReplicationFailure, ...] = ()
+    #: Number of results that came from a rescue seed rather than the
+    #: originally scheduled one.
+    rescued: int = 0
 
     @property
     def latency_mean(self) -> float:
@@ -57,6 +77,17 @@ class ReplicatedResult:
         return 2 * votes > len(self.results)
 
 
+def _rescue_seed(base_seed: int, index: int, attempt: int) -> int:
+    """Deterministic replacement seed for a crashed replication.
+
+    Derived from the protocol's base seed plus the replication index and
+    the retry attempt, so a rescued run is reproducible and distinct from
+    every scheduled replication seed.
+    """
+    ss = np.random.SeedSequence([abs(int(base_seed)), 0x5EED, index, attempt])
+    return int(ss.generate_state(1, np.uint64)[0])
+
+
 def run_replications(
     topology: SimTopology,
     workload: Workload,
@@ -65,17 +96,76 @@ def run_replications(
     replications: int = 3,
     simulator_cls=EventDrivenWormholeSimulator,
     keep_samples: bool = False,
+    traffic_factory=None,
+    max_rescues: int = 2,
 ) -> ReplicatedResult:
-    """Run ``replications`` independently seeded simulations of one point."""
+    """Run ``replications`` independently seeded simulations of one point.
+
+    A replication that *crashes* (raises) is retried up to ``max_rescues``
+    times with deterministic rescue seeds (:func:`_rescue_seed`) — a
+    defective seed should not void a whole measurement campaign.
+    Deterministic configuration problems are different: a
+    :class:`~repro.errors.ConfigurationError` or
+    :class:`~repro.errors.PartitionedNetworkError` would fail identically
+    under any seed, so those re-raise immediately.  Slots that fail every
+    attempt are recorded as :class:`ReplicationFailure` on the result (the
+    aggregate degrades to the surviving replications); if *no* slot
+    produces a result, the last error re-raises.
+
+    ``traffic_factory``, when given, is called with each replication's
+    seed and must return the simulator's ``traffic`` source — this is how
+    pattern and degraded (fault-masked) workloads reseed per replication.
+    """
     results = []
-    for seed in replication_seeds(config.seed, replications):
-        # replace() reseeds without hand-copying fields (a hand-written copy
-        # silently dropped `extra` and would drop any future field).
-        cfg = replace(config, seed=seed)
-        results.append(
-            simulator_cls(topology, workload, cfg, keep_samples=keep_samples).run()
-        )
-    return ReplicatedResult(workload=workload, results=tuple(results))
+    failures: list[ReplicationFailure] = []
+    rescued = 0
+    last_error: Exception | None = None
+    for index, seed in enumerate(replication_seeds(config.seed, replications)):
+        attempt = 0
+        attempt_seed = seed
+        while True:
+            # replace() reseeds without hand-copying fields (a hand-written
+            # copy silently dropped `extra` and would drop any future field).
+            cfg = replace(config, seed=attempt_seed)
+            kwargs = {}
+            if traffic_factory is not None:
+                kwargs["traffic"] = traffic_factory(attempt_seed)
+            try:
+                results.append(
+                    simulator_cls(
+                        topology, workload, cfg, keep_samples=keep_samples, **kwargs
+                    ).run()
+                )
+            except (ConfigurationError, PartitionedNetworkError):
+                # Deterministic: no seed can rescue these.
+                raise
+            except Exception as exc:
+                last_error = exc
+                if attempt >= max_rescues:
+                    failures.append(
+                        ReplicationFailure(
+                            seed=seed,
+                            attempts=attempt + 1,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    break
+                attempt += 1
+                attempt_seed = _rescue_seed(config.seed, index, attempt)
+            else:
+                if attempt > 0:
+                    rescued += 1
+                break
+    if not results:
+        if last_error is not None:
+            raise last_error
+        raise ConfigurationError("replications must be >= 1")
+    return ReplicatedResult(
+        workload=workload,
+        results=tuple(results),
+        failures=tuple(failures),
+        rescued=rescued,
+    )
 
 
 def _curve_point(

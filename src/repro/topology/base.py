@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
-__all__ = ["LinkClass", "RouteOptions", "SimTopology", "UP", "DOWN"]
+__all__ = ["LinkClass", "RouteOptions", "SimTopology", "UP", "DOWN", "links_in_class"]
 
 #: Direction tags for link classes (fat-tree terminology; for cube networks
 #: every network link is tagged UP and ejection links DOWN, purely as labels).
@@ -96,3 +96,20 @@ class SimTopology(Protocol):
     def path_length(self, src: int, dst: int) -> int:
         """Number of links on a shortest path from PE ``src`` to PE ``dst``."""
         ...
+
+
+def links_in_class(topology, cls: LinkClass) -> list[int]:
+    """All link ids of ``topology`` in channel class ``cls``, in id order.
+
+    Link ids follow construction order, which every family documents, so
+    the ``index`` of the fault grammar ``direction:level:index``
+    (:mod:`repro.faults`) names one stable physical link: ``up:0:1`` is
+    PE 1's injection channel on every family, ``up:1:0`` the first
+    level-1 network channel.  Topologies may provide their own
+    ``links_in_class`` method; this helper falls back to scanning
+    ``link_class``.
+    """
+    method = getattr(topology, "links_in_class", None)
+    if method is not None:
+        return list(method(cls))
+    return [e for e, c in enumerate(topology.link_class) if c == cls]

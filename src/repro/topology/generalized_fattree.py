@@ -272,6 +272,10 @@ class GeneralizedFatTree:
             raise ConfigurationError(f"level must be in [1, {self.levels}]")
         return self._switches_at[level]
 
+    def links_in_class(self, cls: LinkClass) -> list[int]:
+        """All link indices belonging to channel class ``cls``."""
+        return [e for e, c in enumerate(self.link_class) if c == cls]
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

@@ -102,6 +102,10 @@ class Hypercube:
             return 0
         return (src ^ dst).bit_count() + 2
 
+    def links_in_class(self, cls: LinkClass) -> list[int]:
+        """All link indices belonging to channel class ``cls``."""
+        return [e for e, c in enumerate(self.link_class) if c == cls]
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

@@ -121,6 +121,10 @@ class KaryNCube:
         hops = sum((d - s) % self.radix for s, d in zip(sc, dc))
         return hops + 2
 
+    def links_in_class(self, cls: LinkClass) -> list[int]:
+        """All link indices belonging to channel class ``cls``."""
+        return [e for e, c in enumerate(self.link_class) if c == cls]
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

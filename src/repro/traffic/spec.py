@@ -42,6 +42,7 @@ keeps the Poisson arrival assumption and sees the long-run mean rate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -256,9 +257,24 @@ class HotspotSpec(TrafficSpec):
     name: str = "hotspot"
 
     def __post_init__(self) -> None:
-        if not (0.0 <= self.fraction <= 1.0):
-            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
-        if not isinstance(self.target, int) or self.target < 0:
+        # Bad CLI/JSON input must surface as ConfigurationError (exit 2 with a
+        # one-line message), never a bare TypeError from the comparison below.
+        if isinstance(self.fraction, bool) or not isinstance(
+            self.fraction, (int, float)
+        ):
+            raise ConfigurationError(
+                "hotspot_fraction must be a number, got "
+                f"{type(self.fraction).__name__}"
+            )
+        if math.isnan(self.fraction) or not (0.0 <= self.fraction <= 1.0):
+            raise ConfigurationError(
+                f"hotspot_fraction must be in [0, 1], got {self.fraction!r}"
+            )
+        if (
+            isinstance(self.target, bool)
+            or not isinstance(self.target, int)
+            or self.target < 0
+        ):
             raise ConfigurationError("hotspot_target must be a non-negative integer")
 
     def validate(self, num_pes: int) -> None:

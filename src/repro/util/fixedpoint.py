@@ -77,20 +77,27 @@ def fixed_point(
         raise ValueError(f"damping must be in (0, 1], got {damping!r}")
     x = np.asarray(x0, dtype=float).copy()
     residual = np.inf
+    worst = None
     for it in range(1, max_iter + 1):
         fx = np.asarray(func(x), dtype=float)
         if not np.all(np.isfinite(fx)):
             # Saturation: propagate the non-finite iterate as a terminal state.
             return FixedPointResult(value=fx, iterations=it, residual=np.inf, converged=True)
         new = (1.0 - damping) * x + damping * fx
-        residual = float(np.max(np.abs(new - x))) if new.size else 0.0
+        update = np.abs(new - x)
+        residual = float(np.max(update)) if new.size else 0.0
+        worst = int(np.argmax(update)) if new.size else None
         x = new
         if residual <= tol:
             return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
     if allow_divergence:
         return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
     raise ConvergenceError(
-        f"fixed point not reached after {max_iter} iterations (residual {residual:.3e})"
+        f"fixed point not reached after {max_iter} iterations "
+        f"(residual {residual:.3e}, worst component {worst})",
+        iterations=max_iter,
+        residual=residual,
+        worst_component=worst,
     )
 
 
@@ -124,6 +131,7 @@ def fixed_point_batch(
     n_points = x.shape[1]
     active = np.ones(n_points, dtype=bool)
     residual = np.inf
+    worst = None
     for it in range(1, max_iter + 1):
         fx = np.asarray(func(x), dtype=float)
         diverged = active & ~np.all(np.isfinite(fx), axis=0)
@@ -133,7 +141,10 @@ def fixed_point_batch(
         if not np.any(active):
             return FixedPointResult(value=x, iterations=it, residual=0.0, converged=True)
         new = (1.0 - damping) * x[:, active] + damping * fx[:, active]
-        residual = float(np.max(np.abs(new - x[:, active]))) if new.size else 0.0
+        update = np.abs(new - x[:, active])
+        residual = float(np.max(update)) if new.size else 0.0
+        # Worst state component (row) over the still-active points.
+        worst = int(np.argmax(np.max(update, axis=1))) if new.size else None
         x[:, active] = new
         if residual <= tol:
             return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
@@ -141,5 +152,9 @@ def fixed_point_batch(
         return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
     raise ConvergenceError(
         f"batched fixed point not reached after {max_iter} iterations "
-        f"(residual {residual:.3e}, active points {int(np.sum(active))}/{n_points})"
+        f"(residual {residual:.3e}, worst component {worst}, "
+        f"active points {int(np.sum(active))}/{n_points})",
+        iterations=max_iter,
+        residual=residual,
+        worst_component=worst,
     )

@@ -487,13 +487,19 @@ class TestRegistry:
         with pytest.raises(SchemaVersionError):  # direct load refuses it
             registry.load("run-from-the-future")
 
-    def test_corrupt_line_is_clean_error(self, tmp_path):
+    def test_corrupt_line_is_skipped_and_counted(self, tmp_path):
+        # A torn append must not take the readable records down with it:
+        # iteration skips the bad line, counts it, and warns once; `doctor`
+        # (tested in test_faults.py) reports and quarantines it.
         registry = RunRegistry(tmp_path)
         self.synthetic_trajectory(registry)
         with registry.records_path.open("a") as fh:
             fh.write("{not json\n")
-        with pytest.raises(RegistryError):
-            list(registry)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert len(list(registry)) == 3
+        assert registry.skipped_corrupt == 1
+        assert len(caught) == 1
 
 
 class TestFlatten:
