@@ -1,0 +1,39 @@
+"""Static-analysis layer: code-level lint + model-level pre-solve checks.
+
+Two cooperating passes, both emitting typed :class:`Finding` records:
+
+* :mod:`repro.analysis.lint` — an AST-based invariant linter (rules
+  REP001..REP006) run as ``python -m repro.analysis.lint src/repro``.
+* :mod:`repro.analysis.model` — a pre-solve scenario analyzer
+  (:func:`analyze_scenario`, rules REP101..REP104) wired into
+  ``repro check`` and ``repro run --check``.
+
+The submodules are imported lazily so that core modules may import
+:mod:`repro.analysis.findings` without dragging the whole stack in
+(``repro.analysis.model`` imports topology/traffic/design machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .findings import Finding, render_findings
+
+__all__ = [
+    "Finding",
+    "render_findings",
+    "analyze_scenario",
+    "lint_paths",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name == "analyze_scenario":
+        from .model import analyze_scenario
+
+        return analyze_scenario
+    if name == "lint_paths":
+        from .lint import lint_paths
+
+        return lint_paths
+    raise AttributeError(name)  # lint: allow-raise (getattr protocol)

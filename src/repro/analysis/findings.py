@@ -1,0 +1,81 @@
+"""Typed findings shared by the code linter and the pre-solve analyzer.
+
+A :class:`Finding` locates one violated invariant.  Code-level rules
+(REP001..REP006) anchor to a ``path``/``line``; model-level rules
+(REP101..REP104) anchor to a ``channel`` (a canonical link or stage
+reference such as ``up:1:3`` or ``pool12``).  Every finding carries a fix
+``hint`` so the report is actionable without reading the rule catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = ["ERROR", "WARNING", "Finding", "render_findings"]
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant, located in code or in the channel graph."""
+
+    rule: str
+    severity: str
+    message: str
+    path: str | None = None
+    line: int | None = None
+    channel: str | None = None
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ConfigurationError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def location(self) -> str:
+        """Human-readable anchor: ``path:line``, ``channel``, or ``-``."""
+        if self.path is not None:
+            return f"{self.path}:{self.line}" if self.line is not None else self.path
+        if self.channel is not None:
+            return self.channel
+        return "-"
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f" [{self.hint}]"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.path is not None:
+            out["path"] = self.path
+        if self.line is not None:
+            out["line"] = self.line
+        if self.channel is not None:
+            out["channel"] = self.channel
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path or "", self.line or 0, self.channel or "", self.rule)
+
+
+def render_findings(findings: list[Finding] | tuple[Finding, ...]) -> str:
+    """Render findings one per line, sorted by location then rule."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    return "\n".join(f.render() for f in ordered)

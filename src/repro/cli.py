@@ -154,48 +154,76 @@ def build_parser() -> argparse.ArgumentParser:
             help="run-registry directory (default: benchmarks/results/runs)",
         )
 
+    def add_scenario_shape(p: argparse.ArgumentParser) -> None:
+        """Flags that pick the topology family, its shape, and the faults."""
+        add_common(p)
+        p.add_argument(
+            "--topology",
+            choices=TOPOLOGIES,
+            default="bft",
+            help="topology family; -n/--processors sets the machine size and "
+            "the family flags below refine the shape",
+        )
+        p.add_argument(
+            "--children",
+            type=int,
+            default=None,
+            help="generalized-fattree: block radix (default 4)",
+        )
+        p.add_argument(
+            "--parents",
+            type=int,
+            default=None,
+            help="generalized-fattree: up-links per switch (default 2)",
+        )
+        p.add_argument(
+            "--levels",
+            type=int,
+            default=None,
+            help="generalized-fattree: tree height (derived from -n by default)",
+        )
+        p.add_argument(
+            "--dimension",
+            type=int,
+            default=None,
+            help="hypercube: cube dimension (derived from -n by default)",
+        )
+        p.add_argument(
+            "--radix",
+            type=int,
+            default=None,
+            help="kary-ncube: ring length k (default 4)",
+        )
+        p.add_argument(
+            "--kill-links",
+            default="",
+            help="comma-separated dead links as direction:level:index "
+            "(e.g. up:0:1 kills PE 1's injection link)",
+        )
+        p.add_argument(
+            "--kill-switches",
+            default="",
+            help="comma-separated dead switches as level:address "
+            "(every incident link dies)",
+        )
+        p.add_argument(
+            "--random-link-failures",
+            type=int,
+            default=0,
+            help="additionally kill this many random level>=1 links",
+        )
+        p.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for --random-link-failures draws",
+        )
+
     p_run = sub.add_parser(
         "run",
         help="evaluate one Scenario through a backend (the unified facade)",
     )
-    add_common(p_run)
-    p_run.add_argument(
-        "--topology",
-        choices=TOPOLOGIES,
-        default="bft",
-        help="topology family; -n/--processors sets the machine size and "
-        "the family flags below refine the shape",
-    )
-    p_run.add_argument(
-        "--children",
-        type=int,
-        default=None,
-        help="generalized-fattree: block radix (default 4)",
-    )
-    p_run.add_argument(
-        "--parents",
-        type=int,
-        default=None,
-        help="generalized-fattree: up-links per switch (default 2)",
-    )
-    p_run.add_argument(
-        "--levels",
-        type=int,
-        default=None,
-        help="generalized-fattree: tree height (derived from -n by default)",
-    )
-    p_run.add_argument(
-        "--dimension",
-        type=int,
-        default=None,
-        help="hypercube: cube dimension (derived from -n by default)",
-    )
-    p_run.add_argument(
-        "--radix",
-        type=int,
-        default=None,
-        help="kary-ncube: ring length k (default 4)",
-    )
+    add_scenario_shape(p_run)
     p_run.add_argument(
         "--backend",
         choices=BACKENDS,
@@ -221,34 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--warmup", type=float, default=3000.0)
     p_run.add_argument("--measure", type=float, default=9000.0)
     p_run.add_argument(
-        "--kill-links",
-        default="",
-        help="comma-separated dead links as direction:level:index "
-        "(e.g. up:0:1 kills PE 1's injection link)",
-    )
-    p_run.add_argument(
-        "--kill-switches",
-        default="",
-        help="comma-separated dead switches as level:address "
-        "(every incident link dies)",
-    )
-    p_run.add_argument(
-        "--random-link-failures",
-        type=int,
-        default=0,
-        help="additionally kill this many random level>=1 links",
-    )
-    p_run.add_argument(
-        "--fault-seed",
-        type=int,
-        default=0,
-        help="seed for --random-link-failures draws",
+        "--check",
+        action="store_true",
+        help="run the pre-solve static checks first; refuse to solve (exit 2) "
+        "on any error finding and record the report in the run's provenance",
     )
     p_run.add_argument("--label", default="", help="free-form tag for the registry")
     p_run.add_argument(
         "--save", action="store_true", help="persist the record in the run registry"
     )
     add_registry(p_run)
+
+    p_check = sub.add_parser(
+        "check",
+        help="pre-solve static analysis of one scenario (no solving): flow "
+        "conservation, stage-graph structure, entry weights, stability",
+    )
+    add_scenario_shape(p_check)
 
     p_runs = sub.add_parser("runs", help="run-registry operations")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
@@ -473,13 +490,15 @@ def _faults_from_args(args):
     return faults
 
 
-# --- command handlers: each returns (text, json_payload) ----------------------------
+def _scenario_from_args(args):
+    """The :class:`Scenario` described by the shared scenario flags.
 
+    Flags a subcommand does not define (``repro check`` has no backend or
+    measurement protocol) fall back to the Scenario defaults.
+    """
+    from .runs import Scenario
 
-def _cmd_run(args):
-    from .runs import Runner, Scenario
-
-    scenario = Scenario(
+    return Scenario(
         topology=args.topology,
         num_processors=args.processors,
         children=args.children,
@@ -491,18 +510,46 @@ def _cmd_run(args):
         flit_load=args.load,
         pattern=args.pattern,
         pattern_params=_pattern_params_from_args(args),
-        backend=args.backend,
-        sweep_points=args.points,
-        simulator=args.simulator,
-        replications=args.replications,
-        warmup_cycles=args.warmup,
-        measure_cycles=args.measure,
-        seed=args.seed,
-        label=args.label,
+        backend=getattr(args, "backend", "batch"),
+        sweep_points=getattr(args, "points", 8),
+        simulator=getattr(args, "simulator", "event"),
+        replications=getattr(args, "replications", 3),
+        warmup_cycles=getattr(args, "warmup", 3000.0),
+        measure_cycles=getattr(args, "measure", 9000.0),
+        seed=getattr(args, "seed", 1),
+        label=getattr(args, "label", ""),
         faults=_faults_from_args(args),
     )
+
+
+# --- command handlers: each returns (text, json_payload[, exit_status]) -------------
+
+
+def _cmd_check(args):
+    from .analysis.model import analyze_scenario
+
+    report = analyze_scenario(_scenario_from_args(args))
+    return report.render(), report.to_json(), 0 if report.ok else 2
+
+
+def _cmd_run(args):
+    from .runs import Runner
+
+    scenario = _scenario_from_args(args)
+    extra_provenance = None
+    if args.check:
+        from .analysis.model import analyze_scenario
+
+        report = analyze_scenario(scenario)
+        if not report.ok:
+            first = report.errors()[0]
+            raise ConfigurationError(
+                f"pre-solve check failed ({len(report.errors())} error(s)); "
+                f"first: {first.rule} at {first.location}: {first.message}"
+            )
+        extra_provenance = {"pre_solve_checks": report.to_json()}
     runner = Runner(registry=_registry_from_args(args) if args.save else None)
-    result = runner.run(scenario)
+    result = runner.run(scenario, extra_provenance=extra_provenance)
 
     lines = [scenario.describe()]
     rows = []
@@ -860,6 +907,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "check": _cmd_check,
         "runs": _cmd_runs,
         "model": _cmd_model,
         "sweep": _cmd_sweep,
@@ -870,8 +918,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "design": _cmd_design,
         "experiment": _cmd_experiment,
     }
+    status = 0
     try:
-        text, payload = handlers[args.command](args)
+        outcome = handlers[args.command](args)
+        if len(outcome) == 3:
+            text, payload, status = outcome
+        else:
+            text, payload = outcome
         try:
             print(render_output(text, payload, as_json=getattr(args, "json", False)))
         except BrokenPipeError:
@@ -886,7 +939,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.findings import ERROR, Finding
 from ..config import Workload
 from ..errors import ConfigurationError, ConvergenceError
 from ..queueing.distributions import scv_for_mode_batch
@@ -313,6 +314,93 @@ class ChannelGraphModel:
     def is_acyclic(self) -> bool:
         """True when one reverse sweep solves the graph exactly."""
         return self._order is not None
+
+    def _cycle_members(self) -> list[str]:
+        """Stage names on or feeding into a cycle (empty when acyclic)."""
+        if self._order is not None:
+            return []
+        indeg = {name: len(s.transitions) for name, s in self.stages.items()}
+        rev: dict[str, list[str]] = {name: [] for name in self.stages}
+        for name, s in self.stages.items():
+            for t in s.transitions:
+                rev[t.target].append(name)
+        ready = [n for n, d in indeg.items() if d == 0]
+        done: set[str] = set()
+        while ready:
+            n = ready.pop()
+            done.add(n)
+            for upstream in rev[n]:
+                indeg[upstream] -= 1
+                if indeg[upstream] == 0:
+                    ready.append(upstream)
+        return sorted(set(self.stages) - done)
+
+    def check(
+        self, *, expect_acyclic: bool | None = None, load_scale: float = 1.0
+    ) -> list[Finding]:
+        """Static pre-solve checks; returns findings instead of solving.
+
+        Verifies — without running any fixed point — that (a) the entry
+        weights still sum to 1 (REP103), (b) the graph structure matches
+        the solver the caller intends to use (REP102: ``expect_acyclic=True``
+        demands a feed-forward graph; ``False``/``None`` accepts cycles,
+        which the batched fixed point handles), and (c) a *necessary*
+        stability condition holds at ``load_scale`` times the built rates
+        (REP104): service of a worm takes at least ``message_flits`` cycles,
+        so a stage with ``total_rate * scale * message_flits >= servers``
+        is certainly saturated (Eq. 26 can only be tighter).
+        """
+        findings: list[Finding] = []
+        total_weight = sum(e.weight for e in self.entries)
+        if not math.isclose(total_weight, 1.0, rel_tol=0.0, abs_tol=1e-9) or not all(
+            math.isfinite(e.weight) and e.weight >= 0.0 for e in self.entries
+        ):
+            findings.append(
+                Finding(
+                    rule="REP103",
+                    severity=ERROR,
+                    message=(
+                        f"entry-point weights sum to {total_weight!r}, expected 1"
+                    ),
+                    channel="entries",
+                    hint="entry weights must form a probability distribution",
+                )
+            )
+        if expect_acyclic is True and not self.is_acyclic:
+            members = self._cycle_members()
+            shown = ", ".join(members[:6]) + ("..." if len(members) > 6 else "")
+            findings.append(
+                Finding(
+                    rule="REP102",
+                    severity=ERROR,
+                    message=(
+                        "stage graph is cyclic but the feed-forward solver was "
+                        f"requested; cycle-reachable stages: {shown}"
+                    ),
+                    channel=members[0] if members else "graph",
+                    hint="use the cyclic batch solver or fix the transition graph",
+                )
+            )
+        if math.isfinite(load_scale) and load_scale > 0.0:
+            for name in sorted(self.stages):
+                stage = self.stages[name]
+                demand = stage.total_rate * load_scale * self.message_flits
+                if demand >= stage.servers:
+                    findings.append(
+                        Finding(
+                            rule="REP104",
+                            severity=ERROR,
+                            message=(
+                                f"stage {name!r} is saturated at the requested "
+                                f"load: rho >= {demand / stage.servers:.3f} even "
+                                "at the minimal service time "
+                                f"({self.message_flits} flit cycles)"
+                            ),
+                            channel=name,
+                            hint="lower the injection rate below saturation",
+                        )
+                    )
+        return findings
 
     # --- solving ----------------------------------------------------------------
 

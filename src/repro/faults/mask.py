@@ -139,7 +139,7 @@ class FaultedTopology:
 
     def __getattr__(self, name: str):
         if name == "base":
-            raise AttributeError(name)
+            raise AttributeError(name)  # lint: allow-raise (getattr protocol)
         return getattr(self.base, name)
 
 

@@ -17,6 +17,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..util.validation import is_zero
 
 __all__ = [
     "erlang_c",
@@ -43,7 +44,7 @@ def erlang_c(servers: int, offered_load: float) -> float:
         raise ConfigurationError(f"servers must be a positive integer, got {servers!r}")
     if offered_load < 0:
         raise ConfigurationError(f"offered_load must be >= 0, got {offered_load!r}")
-    if offered_load == 0:
+    if is_zero(offered_load):
         return 0.0
     if offered_load >= servers:
         return 1.0
@@ -78,7 +79,7 @@ def erlang_c_batch(servers: int, offered_load: np.ndarray) -> np.ndarray:
     rho = safe / servers
     with np.errstate(divide="ignore", invalid="ignore"):
         out = b / (1.0 - rho + rho * b)
-    out = np.where(safe == 0.0, 0.0, out)
+    out = np.where(is_zero(safe), 0.0, out)
     return np.where(saturated, 1.0, out)
 
 
@@ -102,7 +103,7 @@ def mmc_waiting_time(arrival_rate: float, mean_service: float, servers: int) -> 
     a = arrival_rate * mean_service
     if a >= servers:
         return math.inf
-    if a == 0:
+    if is_zero(a):
         return 0.0
     return erlang_c(servers, a) * mean_service / (servers - a)
 
@@ -124,7 +125,7 @@ def mmc_waiting_time_batch(
     safe_a = np.where(saturated, 0.0, a)
     with np.errstate(divide="ignore", invalid="ignore"):
         out = erlang_c_batch(servers, safe_a) * safe_service / (servers - safe_a)
-    out = np.where(safe_a == 0.0, 0.0, out)
+    out = np.where(is_zero(safe_a), 0.0, out)
     return np.where(saturated | ~finite, np.inf, out)
 
 

@@ -17,6 +17,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..util.validation import is_zero
 from .distributions import scv_draper_ghosh
 
 __all__ = [
@@ -61,7 +62,7 @@ def mg1_waiting_time(arrival_rate: float, mean_service: float, scv: float = 0.0)
     rho = mg1_utilization(arrival_rate, mean_service)
     if rho >= 1.0:
         return math.inf
-    if rho == 0.0:
+    if is_zero(rho):
         return 0.0
     return rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho))
 
@@ -86,7 +87,7 @@ def mg1_waiting_time_batch(
     safe_rho = np.where(saturated, 0.0, rho)
     with np.errstate(divide="ignore", invalid="ignore"):
         out = safe_rho * safe_service * (1.0 + scv_arr) / (2.0 * (1.0 - safe_rho))
-    out = np.where(safe_rho == 0.0, 0.0, out)
+    out = np.where(is_zero(safe_rho), 0.0, out)
     return np.where(saturated | ~finite, np.inf, out)
 
 

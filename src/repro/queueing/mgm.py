@@ -31,6 +31,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..util.validation import is_zero
 from .distributions import scv_draper_ghosh
 from .markovian import mmc_waiting_time, mmc_waiting_time_batch
 
@@ -71,7 +72,7 @@ def hokstad_mg2_waiting_time(
     a = total_arrival_rate * mean_service
     if a >= 2.0:
         return math.inf
-    if a == 0.0:
+    if is_zero(a):
         return 0.0
     lam2x2 = total_arrival_rate * total_arrival_rate * mean_service * mean_service
     return (

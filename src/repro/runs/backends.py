@@ -36,7 +36,7 @@ either way the scalar path stays one solve per point.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -85,7 +85,7 @@ def _family_for(scenario: Scenario) -> tuple[DesignFamily, dict[str, int]]:
     return design_family(scenario.topology), scenario.family_params()
 
 
-def _evaluator_for(scenario: Scenario):
+def _evaluator_for(scenario: Scenario) -> Any:
     """The object whose (batch) engine answers this scenario.
 
     Resolved through the family registry: uniform traffic keeps the
@@ -112,7 +112,7 @@ def _evaluator_for(scenario: Scenario):
     return fam.evaluator(params, spec, scenario.message_flits)
 
 
-def _fault_provenance(scenario: Scenario, topo=None) -> dict | None:
+def _fault_provenance(scenario: Scenario, topo: Any = None) -> dict | None:
     """The fault block recorded in every backend's metrics (None = nominal).
 
     Resolves the scenario's :class:`~repro.faults.FaultSpec` against the
@@ -133,13 +133,13 @@ def _fault_provenance(scenario: Scenario, topo=None) -> dict | None:
     }
 
 
-def _variant_label(evaluator) -> str:
+def _variant_label(evaluator: Any) -> str:
     """The model-variant label recorded with analytical metrics."""
     variant = getattr(evaluator, "variant", None)
     return getattr(variant, "label", type(evaluator).__name__)
 
 
-def _point_latency(evaluator, workload: Workload, *, scalar: bool) -> float:
+def _point_latency(evaluator: Any, workload: Workload, *, scalar: bool) -> float:
     """Latency at one operating point through either engine.
 
     The scalar path uses the per-point ``latency``/one-point-batch route

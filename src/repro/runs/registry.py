@@ -157,7 +157,7 @@ class RunDiff:
 
     def render(self, *, top: int | None = 25) -> str:
         """Aligned table of the largest relative changes first."""
-        def rank(d: MetricDelta):
+        def rank(d: MetricDelta) -> tuple[int, float, str]:
             # Largest |rel| first, infinities before everything, undefined
             # (nan) comparisons last.
             if math.isnan(d.rel):

@@ -21,8 +21,8 @@ import hashlib
 import json
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import InitVar, dataclass, field
+from typing import Any, Callable, Mapping
 
 from ..errors import ConfigurationError, RegistryError, SchemaVersionError
 from .scenario import Scenario
@@ -106,6 +106,11 @@ class RunResult:
     values compare equal to themselves after a round trip (plain float
     comparison would make any record containing ``nan`` unequal to its
     own deserialization).
+
+    ``clock`` is an init-only seam for the creation timestamp: when
+    ``created_at`` is unset, it is stamped from ``clock()`` (defaulting to
+    ``time.time``).  Tests pass a deterministic clock instead of sleeping
+    or monkeypatching the time module.
     """
 
     metrics: dict
@@ -117,14 +122,15 @@ class RunResult:
     created_at: float = 0.0
     run_id: str = ""
     schema_version: int = SCHEMA_VERSION
+    clock: InitVar[Callable[[], float] | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, clock: Callable[[], float] | None) -> None:
         if self.kind not in ("scenario", "bench"):
             raise ConfigurationError(f"unknown RunResult kind {self.kind!r}")
         if self.kind == "scenario" and self.scenario is None:
             raise ConfigurationError("scenario records require a Scenario")
         if not self.created_at:
-            object.__setattr__(self, "created_at", time.time())
+            object.__setattr__(self, "created_at", (clock or time.time)())
         if not self.run_id:
             digest = hashlib.sha256(
                 _canonical(

@@ -19,6 +19,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from .backends import execute
 from .registry import RunRegistry
@@ -52,16 +53,30 @@ class Runner:
 
     registry: RunRegistry | None = None
 
-    def run(self, scenario: Scenario, *, save: bool | None = None) -> RunResult:
-        """Evaluate ``scenario`` and return (and maybe persist) its record."""
+    def run(
+        self,
+        scenario: Scenario,
+        *,
+        save: bool | None = None,
+        extra_provenance: Mapping[str, Any] | None = None,
+    ) -> RunResult:
+        """Evaluate ``scenario`` and return (and maybe persist) its record.
+
+        ``extra_provenance`` entries (e.g. the ``repro run --check``
+        pre-solve report) are merged into the provenance stamp; they must
+        be JSON-able since the record may be persisted.
+        """
         started = time.perf_counter()
         metrics, timings = execute(scenario)
         timings = {**timings, "total_s": time.perf_counter() - started}
+        provenance = provenance_stamp(backend=scenario.backend)
+        if extra_provenance:
+            provenance.update(extra_provenance)
         result = RunResult(
             metrics=metrics,
             scenario=scenario,
             kind="scenario",
-            provenance=provenance_stamp(backend=scenario.backend),
+            provenance=provenance,
             timings=timings,
             label=scenario.label,
         )

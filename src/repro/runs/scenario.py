@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, cast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultSpec
 
 from ..config import SimConfig, Workload
 from ..errors import ConfigurationError
@@ -302,20 +305,23 @@ class Scenario:
         caller) can resolve evaluators, topologies and hardware through the
         shared family registry.
         """
+        # __post_init__ has already normalized the per-family fields to
+        # concrete ints, hence the casts from their Optional declarations.
         if self.topology == "bft":
             return {"processors": self.num_processors}
         if self.topology == "generalized-fattree":
             return {
-                "children": self.children,
-                "parents": self.parents,
-                "levels": self.levels,
+                "children": cast(int, self.children),
+                "parents": cast(int, self.parents),
+                "levels": cast(int, self.levels),
             }
         if self.topology == "hypercube":
-            return {"dimension": self.dimension}
+            return {"dimension": cast(int, self.dimension)}
         if self.topology == "kary-ncube":
+            radix = cast(int, self.radix)
             return {
-                "radix": self.radix,
-                "dimensions": exact_exponent(self.radix, self.num_processors),
+                "radix": radix,
+                "dimensions": cast(int, exact_exponent(radix, self.num_processors)),
             }
         raise ConfigurationError(  # pragma: no cover - __post_init__ validates
             f"unknown topology {self.topology!r}"
@@ -335,7 +341,7 @@ class Scenario:
             return None
         return make_spec(self.pattern, **dict(self.pattern_params))
 
-    def fault_spec(self):
+    def fault_spec(self) -> "FaultSpec | None":
         """The :class:`~repro.faults.FaultSpec`, or None for a nominal run."""
         if self.faults is None:
             return None

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+from ..errors import ConfigurationError
+
 __all__ = ["LinkClass", "RouteOptions", "SimTopology", "UP", "DOWN", "links_in_class"]
 
 #: Direction tags for link classes (fat-tree terminology; for cube networks
@@ -65,7 +67,7 @@ class RouteOptions:
 
     def __post_init__(self) -> None:
         if len(self.links) != len(self.next_nodes) or not self.links:
-            raise ValueError("RouteOptions requires equal-length, non-empty tuples")
+            raise ConfigurationError("RouteOptions requires equal-length, non-empty tuples")
 
 
 @runtime_checkable

@@ -23,6 +23,8 @@ from .validation import (
     check_non_negative,
     check_probability,
     check_power_of,
+    exact_exponent,
+    is_zero,
 )
 
 __all__ = [
@@ -38,4 +40,6 @@ __all__ = [
     "check_non_negative",
     "check_probability",
     "check_power_of",
+    "exact_exponent",
+    "is_zero",
 ]

@@ -7,6 +7,7 @@ that invalid parameters are reported consistently across the library.
 from __future__ import annotations
 
 import math
+from typing import Any
 
 from ..errors import ConfigurationError
 
@@ -16,7 +17,22 @@ __all__ = [
     "check_probability",
     "check_power_of",
     "exact_exponent",
+    "is_zero",
 ]
+
+
+def is_zero(value: Any, *, tol: float = 0.0) -> Any:
+    """Intention-revealing zero test for computed rates and loads.
+
+    With the default ``tol=0.0`` this is the *exact* sentinel guard the
+    queueing hot paths use (``rho == 0.0`` short-circuits the wait formulas
+    without perturbing any nonzero result — the solvers' outputs must stay
+    bit-identical).  A positive ``tol`` turns it into a tolerance test.
+    Works elementwise on NumPy arrays (returns a boolean array).
+    """
+    if tol:
+        return abs(value) <= tol
+    return value == 0.0
 
 
 def check_positive(name: str, value: float) -> float:

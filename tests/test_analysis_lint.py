@@ -1,0 +1,309 @@
+"""True/false-positive fixture tests for every code-lint rule (REP001-006)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import Finding, render_findings
+from repro.analysis.lint import lint_file, lint_paths, lint_source, main
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint_snippet(snippet: str, path: str = "pkg/mod.py"):
+    """Lint a snippet at a non-repro path (no allowlists apply)."""
+    return lint_source(snippet, Path(path))
+
+
+class TestFinding:
+    def test_render_and_json(self):
+        f = Finding(
+            rule="REP001", severity="error", message="m", path="a.py", line=3, hint="h"
+        )
+        assert f.render() == "a.py:3: error: REP001: m [h]"
+        assert f.to_json() == {
+            "rule": "REP001",
+            "severity": "error",
+            "message": "m",
+            "path": "a.py",
+            "line": 3,
+            "hint": "h",
+        }
+
+    def test_channel_location(self):
+        f = Finding(rule="REP101", severity="error", message="m", channel="up:1:3")
+        assert f.location == "up:1:3"
+
+    def test_invalid_severity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Finding(rule="R", severity="fatal", message="m")
+
+    def test_render_findings_sorted(self):
+        out = render_findings(
+            [
+                Finding(rule="R2", severity="error", message="b", path="b.py", line=2),
+                Finding(rule="R1", severity="error", message="a", path="a.py", line=9),
+            ]
+        )
+        assert out.splitlines()[0].startswith("a.py:9")
+
+
+class TestREP001Rng:
+    def test_unseeded_default_rng_flagged(self):
+        fs = lint_snippet("import numpy as np\nrng = np.random.default_rng()\n")
+        assert rules_of(fs) == ["REP001"]
+
+    def test_seeded_default_rng_ok(self):
+        fs = lint_snippet("import numpy as np\nrng = np.random.default_rng(42)\n")
+        assert fs == []
+
+    def test_global_seed_flagged(self):
+        fs = lint_snippet("import numpy as np\nnp.random.seed(0)\n")
+        assert rules_of(fs) == ["REP001"]
+
+    def test_legacy_sampler_flagged(self):
+        fs = lint_snippet("import numpy as np\nx = np.random.rand(3)\n")
+        assert rules_of(fs) == ["REP001"]
+
+    def test_stdlib_random_import_flagged(self):
+        assert rules_of(lint_snippet("import random\n")) == ["REP001"]
+        assert rules_of(lint_snippet("from random import choice\n")) == ["REP001"]
+
+    def test_rng_module_allowlisted(self):
+        fs = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            Path("src/repro/util/rng.py"),
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint_snippet(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # lint: allow-rng\n"
+        )
+        assert fs == []
+
+
+class TestREP002Specs:
+    def test_unfrozen_spec_flagged(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class FooSpec:\n"
+            "    x: int = 0\n"
+        )
+        assert rules_of(fs) == ["REP002"]
+
+    def test_frozen_jsonable_spec_ok(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass, field\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    x: int = 0\n"
+            "    names: tuple[str, ...] = ()\n"
+            "    table: dict[str, float] = field(default_factory=dict)\n"
+        )
+        assert fs == []
+
+    def test_mutable_default_flagged(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    xs: list = []\n"
+        )
+        assert "REP002" in rules_of(fs)
+
+    def test_non_jsonable_annotation_flagged(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass\n"
+            "import numpy as np\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    arr: np.ndarray = None\n"
+        )
+        assert "REP002" in rules_of(fs)
+
+    def test_non_spec_class_ignored(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Accumulator:\n"
+            "    xs: list = None\n"
+        )
+        assert fs == []
+
+    def test_field_pragma_suppresses(self):
+        fs = lint_snippet(
+            "from dataclasses import dataclass\n"
+            "import numpy as np\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    arr: np.ndarray = None  # lint: allow-spec-field\n"
+        )
+        assert fs == []
+
+
+class TestREP003Raises:
+    def test_stdlib_raise_flagged(self):
+        fs = lint_snippet("def f():\n    raise ValueError('nope')\n")
+        assert rules_of(fs) == ["REP003"]
+
+    def test_repro_error_ok(self):
+        fs = lint_snippet("def f():\n    raise ConfigurationError('x')\n")
+        assert fs == []
+
+    def test_bare_reraise_ok(self):
+        fs = lint_snippet(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert fs == []
+
+    def test_variable_reraise_ok(self):
+        fs = lint_snippet("def f(last_error):\n    raise last_error\n")
+        assert fs == []
+
+    def test_not_implemented_ok(self):
+        fs = lint_snippet("def f():\n    raise NotImplementedError\n")
+        assert fs == []
+
+    def test_util_stdlib_allowlisted(self):
+        fs = lint_source(
+            "def f():\n    raise ValueError('x')\n",
+            Path("src/repro/util/helpers.py"),
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint_snippet(
+            "def f():\n    raise AttributeError('x')  # lint: allow-raise\n"
+        )
+        assert fs == []
+
+
+class TestREP004FloatEq:
+    def test_nonsentinel_literal_flagged(self):
+        fs = lint_snippet("ok = x == 0.5\n")
+        assert rules_of(fs) == ["REP004"]
+
+    def test_sentinel_literals_ok(self):
+        assert lint_snippet("ok = x == 0.0\n") == []
+        assert lint_snippet("ok = x != 1.0\n") == []
+
+    def test_int_literal_ok(self):
+        assert lint_snippet("ok = x == 3\n") == []
+
+    def test_variable_comparison_ok(self):
+        assert lint_snippet("ok = a == b\n") == []
+
+    def test_negative_literal_flagged(self):
+        fs = lint_snippet("ok = x == -2.5\n")
+        assert rules_of(fs) == ["REP004"]
+
+    def test_pragma_suppresses(self):
+        assert lint_snippet("ok = x == 0.5  # lint: allow-float-eq\n") == []
+
+
+class TestREP005Shims:
+    def test_toplevel_shim_import_flagged(self):
+        fs = lint_source(
+            "from repro import latency_sweep\n",
+            Path("src/repro/design/foo.py"),
+        )
+        assert rules_of(fs) == ["REP005"]
+
+    def test_relative_root_shim_import_flagged(self):
+        fs = lint_source(
+            "from .. import explore\n",
+            Path("src/repro/design/foo.py"),
+        )
+        assert rules_of(fs) == ["REP005"]
+
+    def test_shim_attribute_flagged(self):
+        fs = lint_snippet("import repro\nrepro.latency_sweep(16)\n")
+        assert rules_of(fs) == ["REP005"]
+
+    def test_replacement_import_ok(self):
+        fs = lint_source(
+            "from ..runs import run\n",
+            Path("src/repro/design/foo.py"),
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint_source(
+            "from repro import latency_sweep  # lint: allow-shim-import\n",
+            Path("src/repro/design/foo.py"),
+        )
+        assert fs == []
+
+
+class TestREP006WallClock:
+    def test_time_time_flagged(self):
+        fs = lint_snippet("import time\nt = time.time()\n")
+        assert rules_of(fs) == ["REP006"]
+
+    def test_datetime_now_flagged(self):
+        fs = lint_snippet(
+            "from datetime import datetime\nt = datetime.now()\n"
+        )
+        assert rules_of(fs) == ["REP006"]
+
+    def test_perf_counter_ok(self):
+        assert lint_snippet("import time\nt = time.perf_counter()\n") == []
+
+    def test_provenance_module_allowlisted(self):
+        fs = lint_source(
+            "import time\nt = time.time()\n",
+            Path("src/repro/runs/result.py"),
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint_snippet("import time\nt = time.time()  # lint: allow-wall-clock\n")
+        assert fs == []
+
+
+class TestDrivers:
+    def test_syntax_error_reported_not_raised(self):
+        fs = lint_snippet("def broken(:\n")
+        assert rules_of(fs) == ["REP000"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text("t = time.time()\n")
+        fs = lint_paths([tmp_path])
+        assert rules_of(fs) == ["REP001", "REP006"]
+
+    def test_lint_file(self, tmp_path):
+        p = tmp_path / "c.py"
+        p.write_text("x = y == 0.25\n")
+        assert rules_of(lint_file(p)) == ["REP004"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert "REP001" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_repo_source_tree_is_finding_free(self):
+        findings = lint_paths([SRC])
+        assert findings == [], render_findings(findings)

@@ -1,0 +1,265 @@
+"""Pre-solve analyzer tests: conservation matrix, corrupted flows, CLI wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.model import (
+    EXPECTED_ACYCLIC,
+    analyze_scenario,
+    check_flow_conservation,
+    scenario_flows,
+)
+from repro.cli import main
+from repro.core.generic_model import ChannelGraphModel, Stage, Transition
+from repro.runs import Scenario
+
+
+def scenario_for(topology: str, **kw) -> Scenario:
+    shapes = {
+        "bft": dict(num_processors=16),
+        "generalized-fattree": dict(
+            num_processors=8, children=2, parents=2, levels=3
+        ),
+        "hypercube": dict(num_processors=16),
+        "kary-ncube": dict(num_processors=9, radix=3),
+    }
+    params = {**shapes[topology], **kw}
+    return Scenario(topology=topology, **params)
+
+
+# The conservation matrix: every family in its nominal shape, the
+# pattern-aware families across patterns, and a faulted butterfly.
+MATRIX = [
+    scenario_for("bft"),
+    scenario_for("bft", pattern="transpose"),
+    scenario_for("bft", pattern="bit-reversal"),
+    scenario_for("bft", pattern="tornado"),
+    scenario_for("bft", pattern="hotspot", pattern_params={"hotspot_fraction": 0.2}),
+    scenario_for("bft", pattern="permutation", pattern_params={"permutation_seed": 7}),
+    scenario_for("bft", pattern="quad-local"),
+    scenario_for("generalized-fattree"),
+    scenario_for("hypercube"),
+    scenario_for("hypercube", pattern="bit-complement"),
+    scenario_for("hypercube", pattern="transpose"),
+    scenario_for("kary-ncube"),
+    scenario_for("bft", faults={"dead_links": ["up:0:1"]}),
+    scenario_for("bft", faults={"dead_links": ["up:1:0"], "dead_switches": []}),
+]
+
+
+class TestConservationMatrix:
+    @pytest.mark.parametrize(
+        "scenario", MATRIX, ids=[s.describe() for s in MATRIX]
+    )
+    def test_valid_scenarios_pass_all_checks(self, scenario):
+        report = analyze_scenario(scenario)
+        assert report.ok, report.render()
+        assert report.checks == ("REP101", "REP102", "REP103", "REP104")
+        assert report.findings == ()
+
+    def test_corrupted_flow_pinpoints_the_channel(self):
+        from repro.faults.spec import link_ref
+
+        scenario = scenario_for("bft")
+        flows = scenario_flows(scenario)
+        victim = 7
+        flows.link_rate[victim] += 1e-3
+        findings = check_flow_conservation(flows)
+        assert findings, "corruption must be detected"
+        ref = link_ref(flows.topology, victim)
+        assert findings[0].rule == "REP101"
+        assert findings[0].channel == ref
+        assert f"link {victim}" in findings[0].message
+
+    def test_within_tolerance_perturbation_passes(self):
+        flows = scenario_flows(scenario_for("bft"))
+        flows.link_rate[7] += 1e-12
+        assert check_flow_conservation(flows) == []
+
+    def test_forwarding_deficit_detected(self):
+        flows = scenario_flows(scenario_for("bft"))
+        # Remove some forwarded mass from a non-ejection link: the link
+        # then sinks flow it is supposed to pass on.
+        for e, targets in enumerate(flows.edge_flow):
+            if targets:
+                victim, target = e, next(iter(targets))
+                break
+        flows.edge_flow[victim][target] *= 0.5
+        findings = check_flow_conservation(flows)
+        assert any(f.rule == "REP101" for f in findings)
+
+    def test_faulted_flows_conserve(self):
+        flows = scenario_flows(scenario_for("bft", faults={"dead_links": ["up:0:1"]}))
+        assert check_flow_conservation(flows) == []
+
+    def test_partitioned_network_reports_rep102(self):
+        # Killing every injection link of a PE quadrant's switch row can
+        # partition the network; easier: kill all up links out of all PEs
+        # except one is a partition by construction.  Use dead switches on
+        # the only level-1 switch column of a 16-PE machine via random
+        # failures is fragile — instead kill every injection link but one.
+        dead = [f"up:0:{i}" for i in range(1, 16)]
+        report = analyze_scenario(scenario_for("bft", faults={"dead_links": dead}))
+        assert not report.ok
+        assert any(f.rule == "REP102" for f in report.findings)
+
+
+class TestModelCheck:
+    def test_saturated_load_reports_rep104(self):
+        report = analyze_scenario(scenario_for("bft", flit_load=0.9))
+        assert not report.ok
+        rules = {f.rule for f in report.findings}
+        assert rules == {"REP104"}
+
+    def test_expected_acyclic_families(self):
+        assert EXPECTED_ACYCLIC == {
+            "bft": True,
+            "generalized-fattree": True,
+            "hypercube": True,
+            "kary-ncube": False,
+        }
+
+    def test_cyclic_graph_rejected_when_acyclic_expected(self):
+        loop = ChannelGraphModel(
+            [
+                Stage("a", rate_per_server=0.001, transitions=(Transition("b", 1.0),)),
+                Stage("b", rate_per_server=0.001, transitions=(Transition("a", 1.0),)),
+            ],
+            message_flits=16,
+            entry="a",
+            average_distance=2.0,
+        )
+        assert not loop.is_acyclic
+        findings = loop.check(expect_acyclic=True)
+        assert any(f.rule == "REP102" for f in findings)
+        # The same structure is fine for the cyclic solver.
+        assert loop.check(expect_acyclic=False) == []
+
+    def test_acyclic_graph_passes(self):
+        graph = ChannelGraphModel(
+            [
+                Stage("inj", rate_per_server=0.001, transitions=(Transition("ej", 1.0),)),
+                Stage("ej", rate_per_server=0.001, transitions=()),
+            ],
+            message_flits=16,
+            entry="inj",
+            average_distance=2.0,
+        )
+        assert graph.check(expect_acyclic=True) == []
+
+    def test_stability_precondition(self):
+        graph = ChannelGraphModel(
+            [Stage("inj", rate_per_server=0.5, transitions=())],
+            message_flits=16,
+            entry="inj",
+            average_distance=1.0,
+        )
+        findings = graph.check(expect_acyclic=True)
+        assert any(f.rule == "REP104" for f in findings)
+        # At a scale far below saturation the same graph passes.
+        assert graph.check(expect_acyclic=True, load_scale=0.01) == []
+
+    def test_report_render_and_json(self):
+        report = analyze_scenario(scenario_for("bft"))
+        assert "ok" in report.render()
+        data = report.to_json()
+        assert data["ok"] is True
+        assert data["findings"] == []
+        assert data["checks"] == ["REP101", "REP102", "REP103", "REP104"]
+
+
+class TestCli:
+    def test_check_ok_exit_zero(self, capsys):
+        assert main(["check", "-n", "16", "-f", "16", "-l", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-solve checks" in out
+        assert "ok" in out
+
+    def test_check_all_families(self, capsys):
+        for argv in (
+            ["check", "-n", "16"],
+            ["check", "--topology", "generalized-fattree", "-n", "8",
+             "--children", "2", "--parents", "2"],
+            ["check", "--topology", "hypercube", "-n", "16"],
+            ["check", "--topology", "kary-ncube", "-n", "9", "--radix", "3"],
+        ):
+            assert main(argv + ["-f", "16", "-l", "0.03"]) == 0, argv
+
+    def test_check_faulted(self, capsys):
+        assert (
+            main(["check", "-n", "16", "-f", "16", "-l", "0.03",
+                  "--kill-links", "up:0:1"])
+            == 0
+        )
+
+    def test_check_saturated_exit_two(self, capsys):
+        assert main(["check", "-n", "16", "-f", "16", "-l", "0.9"]) == 2
+        out = capsys.readouterr().out
+        assert "REP104" in out
+
+    def test_run_check_records_provenance(self, capsys):
+        assert (
+            main(["run", "-n", "16", "-f", "16", "-l", "0.03", "--points", "0",
+                  "--check", "--json"])
+            == 0
+        )
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        checks = payload["provenance"]["pre_solve_checks"]
+        assert checks["ok"] is True
+        assert checks["findings"] == []
+
+    def test_run_check_refuses_corrupted_stage_graph(self, capsys, monkeypatch):
+        import repro.traffic.flows as flows_mod
+
+        real = flows_mod.bft_channel_flows
+
+        def corrupted(topology, spec):
+            flows = real(topology, spec)
+            flows.link_rate[7] += 1e-3
+            return flows
+
+        monkeypatch.setattr(flows_mod, "bft_channel_flows", corrupted)
+        code = main(["run", "-n", "16", "-f", "16", "-l", "0.03", "--points", "0",
+                     "--check"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "REP101" in err
+        assert "down:0:3" in err  # the corrupted channel, by canonical ref
+
+    def test_run_without_check_still_solves(self, capsys):
+        assert (
+            main(["run", "-n", "16", "-f", "16", "-l", "0.03", "--points", "0"]) == 0
+        )
+
+
+class TestMypyConfig:
+    def test_config_committed(self):
+        from pathlib import Path
+
+        ini = Path(__file__).resolve().parent.parent / "mypy.ini"
+        text = ini.read_text()
+        assert "[mypy-repro.util.*]" in text
+        assert "[mypy-repro.runs.*]" in text
+
+    def test_strict_islands_clean(self):
+        """Run mypy over the strict islands when it is installed."""
+        import shutil
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        if shutil.which("mypy") is None:
+            pytest.skip("mypy not installed in this environment")
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", str(root / "mypy.ini")],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
