@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import ButterflyFatTree, ButterflyFatTreeModel, Workload
 from repro.core.generic_model import bft_stage_graph
+from repro.obs import METRICS
 from repro.core.throughput import saturation_injection_rate
 from repro.design import (
     DesignSpace,
@@ -183,7 +184,21 @@ def collect(*, repeats: int | None = None, quick: bool = False) -> dict:
         cfg = dataclasses.replace(cfg, repeats=repeats)
     benches = {}
     for name, setup in BENCHES.items():
-        benches[name] = {"median_s": time_median(setup(cfg), repeats=cfg.repeats)}
+        fn = setup(cfg)
+        entry = {"median_s": time_median(fn, repeats=cfg.repeats)}
+        # One extra instrumented pass (outside the timed runs, so the
+        # medians stay at disabled-observability cost) records how much
+        # solver work each bench actually does — a perf regression shows
+        # up as "same counters, more seconds" vs "more solves".
+        with METRICS.collect() as telemetry:
+            fn()
+        counters = telemetry.data.get("counters", {})
+        entry["counters"] = {
+            key: counters[key]
+            for key in sorted(counters)
+            if key.startswith(("solve.", "fixed_point.", "design."))
+        }
+        benches[name] = entry
     n_candidates = len(design_space_for(cfg).candidates())
     derived = {
         "batch_sweep_speedup": (

@@ -157,8 +157,10 @@ _WALL_CLOCK_TAILS = (
     ("datetime", "today"),
     ("date", "today"),
 )
-# Provenance modules where stamping wall-clock time is the point.
-_WALL_CLOCK_MODULES = frozenset({"runs.result"})
+# Provenance modules where stamping wall-clock time is the point:
+# runs.result stamps record creation, obs.clock stamps trace files
+# (every other observability timing is monotonic perf_counter).
+_WALL_CLOCK_MODULES = frozenset({"runs.result", "obs.clock"})
 
 # Modules where REP001 does not apply (the sanctioned RNG home).
 _RNG_MODULES = frozenset({"util.rng"})

@@ -258,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--save", action="store_true", help="persist the record in the run registry"
     )
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace-format JSON of the run's spans to PATH "
+        "(load it in chrome://tracing or Perfetto)",
+    )
     add_registry(p_run)
 
     p_check = sub.add_parser(
@@ -296,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
         "records file without them",
     )
     add_json(p_doctor)
+    p_stats = runs_sub.add_parser(
+        "stats", help="aggregate observability telemetry across persisted runs"
+    )
+    add_registry(p_stats)
+    p_stats.add_argument("--backend", default=None, help="filter by backend")
+    p_stats.add_argument("--topology", default=None, help="filter by topology family")
+    p_stats.add_argument("--label", default=None, help="filter by label")
+    add_json(p_stats)
 
     p_model = sub.add_parser("model", help="evaluate the analytical model once")
     add_common(p_model)
@@ -549,7 +564,14 @@ def _cmd_run(args):
             )
         extra_provenance = {"pre_solve_checks": report.to_json()}
     runner = Runner(registry=_registry_from_args(args) if args.save else None)
-    result = runner.run(scenario, extra_provenance=extra_provenance)
+    if args.trace:
+        from .obs import tracing
+
+        with tracing() as tracer:
+            result = runner.run(scenario, extra_provenance=extra_provenance)
+        tracer.write(args.trace)
+    else:
+        result = runner.run(scenario, extra_provenance=extra_provenance)
 
     lines = [scenario.describe()]
     rows = []
@@ -564,7 +586,10 @@ def _cmd_run(args):
     if faults:
         rows.append(("faults.dead_links", ",".join(faults["dead_links"]) or "-"))
         rows.append(("faults.dead_terminals", len(faults["dead_terminals"])))
-    rows.append(("wall_time_s", result.timings.get("total_s")))
+    # Per-phase wall times (build_s, saturation_s, evaluate_s/simulate_s,
+    # total_s) — not just the total, which hid where a slow run spent it.
+    for key in sorted(result.timings):
+        rows.append((f"time.{key}", result.timings[key]))
     lines.append(format_table(["metric", "value"], rows, title=result.run_id))
     curve = result.metrics.get("curve")
     if curve:
@@ -603,12 +628,19 @@ def _cmd_runs(args):
                     sc.pattern if sc else "-",
                     point.get("latency"),
                     sat.get("flit_load"),
+                    r.timings.get("build_s"),
+                    r.timings.get("saturation_s"),
+                    # Analytical backends time "evaluate", the simulator
+                    # "simulate" — one column, whichever the run recorded.
+                    r.timings.get("evaluate_s", r.timings.get("simulate_s")),
+                    r.timings.get("total_s"),
                     r.label or "-",
                 )
             )
         text = format_table(
             ["run id", "kind", "backend", "topology", "N", "flits", "pattern",
-             "latency", "sat load", "label"],
+             "latency", "sat load", "build s", "sat s", "eval s", "total s",
+             "label"],
             rows,
             title=f"{len(rows)} run(s) in {registry.path}",
         )
@@ -633,6 +665,16 @@ def _cmd_runs(args):
         return diff.render(top=args.top), diff.to_json()
     if args.runs_command == "doctor":
         report = registry.doctor(quarantine=args.quarantine)
+        return report.render(), report.to_json()
+    if args.runs_command == "stats":
+        from .runs import collect_stats
+
+        report = collect_stats(
+            registry.query(
+                backend=args.backend, topology=args.topology, label=args.label
+            ),
+            source=str(registry.path),
+        )
         return report.render(), report.to_json()
     raise ConfigurationError(f"unknown runs subcommand {args.runs_command!r}")
 

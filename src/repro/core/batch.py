@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.metrics import METRICS
 
 __all__ = [
     "BatchSolution",
@@ -190,6 +191,15 @@ def assemble_level_batch(
         & np.all(np.isfinite(up_service), axis=0)
         & np.all(np.isfinite(up_wait), axis=0)
     )
+    if METRICS.enabled:
+        # Same counter names as the stage-graph engine, so the model and
+        # batch backends report identical solve telemetry per operating
+        # point whichever family answered.
+        METRICS.add("solve.batch")
+        METRICS.add("solve.points", float(finite.size))
+        METRICS.add(
+            "solve.saturated_points", float(finite.size - np.count_nonzero(finite))
+        )
     latencies = np.where(
         finite,
         up_wait[0] + up_service[0] + average_distance - 1.0,

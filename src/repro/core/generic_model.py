@@ -45,6 +45,7 @@ import numpy as np
 from ..analysis.findings import ERROR, Finding
 from ..config import Workload
 from ..errors import ConfigurationError, ConvergenceError
+from ..obs import METRICS, trace_span
 from ..queueing.distributions import scv_for_mode_batch
 from ..queueing.mgm import mgm_waiting_time_batch
 from ..topology.properties import bft_average_distance, hypercube_average_distance
@@ -449,20 +450,26 @@ class ChannelGraphModel:
         saturated points at ``inf`` while the rest converge.
         """
         scales = as_injection_rates(rate_scales)
+        if METRICS.enabled:
+            METRICS.add("solve.batch")
+            METRICS.add("solve.points", float(scales.size))
         rates = {
             name: stage.rate_per_server * scales
             for name, stage in self.stages.items()
         }
-        if self._order is not None:
-            solved: dict[str, StageBatchSolution] = {}
-            for name in self._order:
-                stage = self.stages[name]
-                service = self._service_of_batch(stage, solved, rates, scales.size)
-                solved[name] = StageBatchSolution(
-                    service, self._wait_batch(stage, service, rates[name])
-                )
-            return solved
-        return self._solve_cyclic_batch(rates, scales.size)
+        with trace_span(
+            "solve/stage_graph", stages=len(self.stages), points=int(scales.size)
+        ):
+            if self._order is not None:
+                solved: dict[str, StageBatchSolution] = {}
+                for name in self._order:
+                    stage = self.stages[name]
+                    service = self._service_of_batch(stage, solved, rates, scales.size)
+                    solved[name] = StageBatchSolution(
+                        service, self._wait_batch(stage, service, rates[name])
+                    )
+                return solved
+            return self._solve_cyclic_batch(rates, scales.size)
 
     def _solve_cyclic_batch(
         self, rates: dict[str, np.ndarray], n_points: int
@@ -493,19 +500,22 @@ class ChannelGraphModel:
         # below this floor, and diagnosed as a ConvergenceError otherwise.
         residual_floor = 1e-6
         try:
-            result = fixed_point_batch(
-                step, x0, tol=1e-12, max_iter=20_000, damping=0.5
-            )
+            with trace_span("solve/fixed_point", points=n_points):
+                result = fixed_point_batch(
+                    step, x0, tol=1e-12, max_iter=20_000, damping=0.5
+                )
         except ConvergenceError as exc:
             if exc.residual <= residual_floor:
-                result = fixed_point_batch(
-                    step,
-                    x0,
-                    tol=1e-12,
-                    max_iter=20_000,
-                    damping=0.5,
-                    allow_divergence=True,
-                )
+                METRICS.add("fixed_point.exhausted_accepted")
+                with trace_span("solve/fixed_point", points=n_points, retry=True):
+                    result = fixed_point_batch(
+                        step,
+                        x0,
+                        tol=1e-12,
+                        max_iter=20_000,
+                        damping=0.5,
+                        allow_divergence=True,
+                    )
             else:
                 channel = (
                     names[exc.worst_component]

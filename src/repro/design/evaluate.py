@@ -33,6 +33,7 @@ import numpy as np
 
 from ..config import Workload
 from ..errors import ConfigurationError, PartitionedNetworkError, SaturatedError
+from ..obs.metrics import METRICS
 from ..util.parallel import parallel_map
 from .cost import CostBreakdown
 from .families import Hardware, design_family
@@ -186,15 +187,18 @@ def faulted_metrics_for(
     mk = (_model_key(candidate), faults)
     cached = _FAULT_SATURATION_CACHE.get(mk, "miss")
     if cached is None:
+        METRICS.add("design.fault_cache.hits")
         return None
     lat_key = (mk, demand_flit_load)
     if cached != "miss" and lat_key in _FAULT_LATENCY_CACHE:
+        METRICS.add("design.fault_cache.hits")
         zero_load, saturation = cached
         return CandidateMetrics(
             latency=_FAULT_LATENCY_CACHE[lat_key],
             zero_load_latency=zero_load,
             saturation_flit_load=saturation,
         )
+    METRICS.add("design.fault_cache.misses")
     fam = design_family(candidate.family)
     try:
         model = fam.faulted_evaluator(
@@ -243,8 +247,14 @@ def metrics_for(
         need_latency = (mk, demand_flit_load) not in _LATENCY_CACHE
         if (need_saturation or need_latency) and mk not in fresh:
             fresh[mk] = (c, need_saturation)
+            METRICS.add("design.cache.misses")
+        else:
+            # Either fully memoized or deduplicated onto an already
+            # scheduled model key (buffer-depth-only twins).
+            METRICS.add("design.cache.hits")
     if fresh:
         tasks = [(c, demand_flit_load, sat) for c, sat in fresh.values()]
+        METRICS.add("design.solves", float(len(tasks)))
         results = parallel_map(
             _metrics_worker, tasks, processes=processes, chunksize=chunksize
         )
@@ -255,6 +265,11 @@ def metrics_for(
                     metrics.zero_load_latency,
                     metrics.saturation_flit_load,
                 )
+    if METRICS.enabled:
+        METRICS.gauge("design.cache.latency_entries", float(len(_LATENCY_CACHE)))
+        METRICS.gauge(
+            "design.cache.saturation_entries", float(len(_SATURATION_CACHE))
+        )
     out: dict[tuple, CandidateMetrics] = {}
     for c in candidates:
         mk = _model_key(c)

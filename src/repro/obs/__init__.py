@@ -1,0 +1,45 @@
+"""Zero-dependency observability: metrics, spans, Chrome-format traces.
+
+Three pieces, stdlib-only, importable before numpy is available:
+
+* :data:`~repro.obs.metrics.METRICS` — the process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms every instrumented path records into;
+* :func:`~repro.obs.trace.trace_span` /
+  :class:`~repro.obs.trace.Tracer` — span timing with Chrome-trace-format
+  JSON output (``repro run --trace out.json``);
+* :mod:`~repro.obs.clock` — the monotonic default clock and the one
+  sanctioned wall-clock read (REP006-allowlisted).
+
+**Overhead contract.**  Observability is *disabled by default* and the
+disabled path must stay effectively free: every recording method begins
+with ``if not self.enabled: return`` and :func:`trace_span` returns a
+shared no-op object without reading the clock, so an un-observed
+fixed-point solve pays only a handful of attribute checks.  The CI
+obs-smoke job holds the quick benchmark suite to within 5% of its
+no-observability medians; treat any instrumentation that cannot meet that
+bar (per-iteration work, allocation on the disabled path) as a bug.
+
+Enablement: ``REPRO_OBS=1`` turns the global registry on for a whole
+process; :meth:`MetricsRegistry.collect` force-enables for one scope —
+:class:`repro.runs.Runner` uses it so every
+:class:`~repro.runs.RunResult` carries an ``observability`` metrics block
+regardless of the environment flag.
+"""
+
+from .clock import DEFAULT_CLOCK, Clock, session_wall_time
+from .metrics import METRICS, Collection, MetricsRegistry
+from .trace import Tracer, current_tracer, trace_span, tracing
+
+__all__ = [
+    "Clock",
+    "Collection",
+    "DEFAULT_CLOCK",
+    "METRICS",
+    "MetricsRegistry",
+    "Tracer",
+    "current_tracer",
+    "session_wall_time",
+    "trace_span",
+    "tracing",
+]

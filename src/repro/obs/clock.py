@@ -1,0 +1,34 @@
+"""Clock seams for the observability layer.
+
+Telemetry durations must come from the monotonic ``time.perf_counter``
+(wall clocks jump under NTP slew and DST, which would corrupt span
+durations), so that is the only clock the metrics and tracing machinery
+defaults to.  The single sanctioned *wall*-clock read lives here too:
+:func:`session_wall_time` stamps trace metadata so a trace file can be
+correlated with registry records after the fact.  This module is the
+REP006 allowlist home for that read — everywhere else in the library,
+wall-clock calls are a lint error (see :mod:`repro.analysis.lint`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "DEFAULT_CLOCK", "session_wall_time"]
+
+#: A zero-argument monotonic time source, in seconds.  Injectable wherever
+#: telemetry reads time (the PR-7 ``InitVar`` seam on :class:`~repro.obs.trace.Tracer`,
+#: the ``clock`` argument of :func:`~repro.obs.trace.trace_span`), so tests
+#: drive deterministic timestamps instead of sleeping.
+Clock = Callable[[], float]
+
+DEFAULT_CLOCK: Clock = time.perf_counter
+
+
+def session_wall_time() -> float:
+    """Wall-clock stamp recorded once per trace session (metadata only).
+
+    Never used for durations — those are all ``perf_counter`` deltas.
+    """
+    return time.time()

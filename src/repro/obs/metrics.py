@@ -1,0 +1,197 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+One module-level :data:`METRICS` registry is shared by every instrumented
+path (fixed-point solver, stage-graph engine, design-explorer caches,
+simulator replications, run registry).  It is **disabled by default**:
+every recording method starts with ``if not self.enabled: return``, so an
+un-observed solve pays one attribute check and a branch per event — the
+overhead contract the benchmarks pin (see :mod:`repro.obs`).
+
+Enable it three ways:
+
+* ``REPRO_OBS=1`` in the environment enables the process-global registry;
+* :meth:`MetricsRegistry.collect` force-enables for a scope and returns
+  the scope's own snapshot (this is how :class:`repro.runs.Runner` attaches
+  an ``observability`` block to every :class:`~repro.runs.RunResult`);
+* setting :attr:`MetricsRegistry.enabled` directly (tests).
+
+Histograms are four running moments per name — count, total, min, max —
+never samples, so memory stays O(distinct names) no matter how many
+fixed-point solves a sweep performs.  Span durations recorded through
+:func:`repro.obs.trace.trace_span` land here under ``span/<name>`` keys;
+:meth:`~MetricsRegistry.snapshot` splits them out into a ``spans`` block.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Collection", "MetricsRegistry", "METRICS"]
+
+_SPAN_PREFIX = "span/"
+
+
+class Collection:
+    """Handle yielded by :meth:`MetricsRegistry.collect`.
+
+    ``data`` holds the scope's :meth:`~MetricsRegistry.snapshot` once the
+    ``with`` block exits (it is empty while the scope is still open).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with cheap no-op defaults.
+
+    Not thread-safe by design: the library's parallelism is process-based
+    (:mod:`repro.util.parallel`), and each worker process gets its own
+    registry.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_hist")
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total, min, max] (running moments, never samples).
+        self._hist: dict[str, list[float]] = {}
+
+    # --- recording (no-ops while disabled) ---------------------------------------
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        if not self.enabled:
+            return
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        if not self.enabled:
+            return
+        h = self._hist.get(name)
+        if h is None:
+            v = float(value)
+            self._hist[name] = [1.0, v, v, v]
+        else:
+            v = float(value)
+            h[0] += 1.0
+            h[1] += v
+            if v < h[2]:
+                h[2] = v
+            if v > h[3]:
+                h[3] = v
+
+    def reset(self) -> None:
+        """Drop every recorded value (keeps the enabled flag)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._hist.clear()
+
+    # --- reading -----------------------------------------------------------------
+
+    @staticmethod
+    def _tidy(value: float) -> float | int:
+        """Present integral floats as ints (counter JSON stays readable)."""
+        return int(value) if value == int(value) else value
+
+    def snapshot(self) -> dict:
+        """JSON-able view: counters, gauges, histograms and span aggregates.
+
+        ``span/<name>`` histograms (written by
+        :func:`repro.obs.trace.trace_span`) are reported under ``spans`` as
+        ``{count, total_s, mean_s, max_s}``; everything else keeps the raw
+        ``{count, total, mean, min, max}`` moments.
+        """
+        histograms: dict[str, dict] = {}
+        spans: dict[str, dict] = {}
+        for name in sorted(self._hist):
+            count, total, lo, hi = self._hist[name]
+            if name.startswith(_SPAN_PREFIX):
+                spans[name[len(_SPAN_PREFIX):]] = {
+                    "count": int(count),
+                    "total_s": total,
+                    "mean_s": total / count,
+                    "max_s": hi,
+                }
+            else:
+                histograms[name] = {
+                    "count": int(count),
+                    "total": self._tidy(total),
+                    "mean": total / count,
+                    "min": self._tidy(lo),
+                    "max": self._tidy(hi),
+                }
+        return {
+            "counters": {
+                k: self._tidy(self._counters[k]) for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": histograms,
+            "spans": spans,
+        }
+
+    # --- scoped collection ---------------------------------------------------------
+
+    @contextmanager
+    def collect(self) -> Iterator[Collection]:
+        """Force-enable for a scope and capture that scope's own telemetry.
+
+        The scope starts from empty dicts, so the returned snapshot holds
+        exactly the events of the ``with`` block.  On exit the previous
+        state (including the enabled flag) is restored, and — when the
+        registry was already recording — the scope's activity is merged
+        back so an outer :meth:`collect` or the env-enabled global view
+        still sees the totals.  Nests cleanly.
+        """
+        saved_enabled = self.enabled
+        saved = (self._counters, self._gauges, self._hist)
+        self.enabled = True
+        self._counters, self._gauges, self._hist = {}, {}, {}
+        handle = Collection()
+        try:
+            yield handle
+        finally:
+            handle.data = self.snapshot()
+            scope_counters, scope_gauges, scope_hist = (
+                self._counters,
+                self._gauges,
+                self._hist,
+            )
+            self.enabled = saved_enabled
+            self._counters, self._gauges, self._hist = saved
+            if self.enabled:
+                for k, v in scope_counters.items():
+                    self._counters[k] = self._counters.get(k, 0.0) + v
+                self._gauges.update(scope_gauges)
+                for k, h in scope_hist.items():
+                    outer = self._hist.get(k)
+                    if outer is None:
+                        self._hist[k] = list(h)
+                    else:
+                        outer[0] += h[0]
+                        outer[1] += h[1]
+                        if h[2] < outer[2]:
+                            outer[2] = h[2]
+                        if h[3] > outer[3]:
+                            outer[3] = h[3]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+#: The process-global registry every instrumented path records into.
+METRICS = MetricsRegistry(enabled=_env_enabled())

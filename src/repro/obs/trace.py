@@ -1,0 +1,175 @@
+"""Span tracing with Chrome-trace-format JSON output.
+
+A :class:`Tracer` collects complete (``"ph": "X"``) duration events; its
+:meth:`~Tracer.to_json` emits the Trace Event Format that
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly.  ``repro run --trace out.json`` activates one tracer around a
+scenario evaluation (see :mod:`repro.cli`).
+
+Instrumentation sites all go through :func:`trace_span`:
+
+>>> from repro.obs import trace_span
+>>> with trace_span("solve/fixed_point", channel="up0"):
+...     pass
+
+When no tracer is active *and* metrics are disabled, :func:`trace_span`
+returns a shared no-op span — no object allocation, no clock read — which
+is what keeps un-observed hot paths at their baseline cost.  Otherwise the
+span times itself with the tracer's clock (or the monotonic default),
+feeds the duration into :data:`repro.obs.metrics.METRICS` under
+``span/<name>``, and appends a trace event when a tracer is active.
+
+Timestamps in the emitted JSON are microseconds relative to the tracer's
+origin; durations are ``perf_counter`` deltas.  The single wall-clock
+stamp (``otherData.trace_unix_time``, for correlating a trace with
+registry records) comes from the allowlisted
+:func:`repro.obs.clock.session_wall_time`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import InitVar, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .clock import DEFAULT_CLOCK, Clock, session_wall_time
+from .metrics import METRICS
+
+__all__ = ["Tracer", "current_tracer", "trace_span", "tracing"]
+
+
+@dataclass
+class Tracer:
+    """Chrome-trace event collector.
+
+    ``clock`` is an init-only seam (the same pattern as
+    :class:`repro.runs.RunResult`): tests pass a deterministic counter and
+    get exact ``ts``/``dur`` values instead of racing the real clock.
+    ``origin`` defaults to the clock's value at construction, so event
+    timestamps start near zero.
+    """
+
+    events: list[dict] = field(default_factory=list)
+    origin: float = 0.0
+    clock: InitVar[Clock | None] = None
+
+    def __post_init__(self, clock: Clock | None) -> None:
+        self.clock_fn: Clock = clock or DEFAULT_CLOCK
+        if not self.origin:
+            self.origin = self.clock_fn()
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Append one complete event (absolute clock seconds in, µs out)."""
+        event: dict = {
+            "name": name,
+            "cat": name.split("/", 1)[0],
+            "ph": "X",
+            "ts": (start - self.origin) * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": os.getpid(),
+            "tid": 1,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def to_json(self) -> dict:
+        """The Trace Event Format object viewers load."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_unix_time": session_wall_time()},
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize to ``path`` (parent directories created on demand)."""
+        out = Path(path)
+        if out.parent and str(out.parent) != ".":
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return out
+
+
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed by the innermost :func:`tracing` scope, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (or a fresh one) as the active tracer for a scope."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+class _NullSpan:
+    """Shared do-nothing span (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times itself, feeds metrics, records a trace event."""
+
+    __slots__ = ("name", "args", "tracer", "clock_fn", "start")
+
+    def __init__(
+        self, name: str, args: dict | None, tracer: Tracer | None
+    ) -> None:
+        self.name = name
+        self.args = args
+        self.tracer = tracer
+        self.clock_fn = tracer.clock_fn if tracer is not None else DEFAULT_CLOCK
+        self.start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.start = self.clock_fn()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = self.clock_fn()
+        METRICS.observe(f"span/{self.name}", end - self.start)
+        if self.tracer is not None:
+            self.tracer.record(self.name, self.start, end, self.args)
+        return False
+
+
+def trace_span(name: str, **args: Any) -> "_NullSpan | _Span":
+    """A context manager timing one named region (see module docstring).
+
+    ``args`` become the trace event's ``args`` payload (small JSON-able
+    values only — they are serialized verbatim into the trace file).
+    """
+    tracer = _ACTIVE
+    if tracer is None and not METRICS.enabled:
+        return _NULL_SPAN
+    return _Span(name, args or None, tracer)

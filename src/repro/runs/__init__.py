@@ -32,6 +32,7 @@ from .registry import (
 from .result import SCHEMA_VERSION, RunResult, json_restore, json_safe
 from .runner import Runner, provenance_stamp, run
 from .scenario import BACKENDS, SIMULATORS, TOPOLOGIES, Scenario
+from .stats import StatsReport, collect_stats
 
 __all__ = [
     "BACKENDS",
@@ -44,7 +45,9 @@ __all__ = [
     "RunResult",
     "Runner",
     "Scenario",
+    "StatsReport",
     "backend_names",
+    "collect_stats",
     "default_registry_dir",
     "diff_metrics",
     "execute",

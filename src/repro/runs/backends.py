@@ -47,6 +47,7 @@ from ..core.throughput import SaturationResult, saturation_injection_rate
 from ..design.families import DesignFamily, design_family
 from ..errors import ConfigurationError
 from ..faults import FaultedTopology, degraded_spec
+from ..obs import trace_span
 from ..simulation.buffered_sim import BufferedWormholeSimulator
 from ..simulation.flit_sim import FlitLevelWormholeSimulator
 from ..simulation.runner import run_replications
@@ -210,8 +211,9 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
     scalar = scenario.backend == "model"
     timings: dict[str, float] = {}
     t0 = time.perf_counter()
-    fam, params = _family_for(scenario)
-    evaluator = _evaluator_for(scenario)
+    with trace_span("run/build", topology=scenario.topology):
+        fam, params = _family_for(scenario)
+        evaluator = _evaluator_for(scenario)
     timings["build_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -221,38 +223,42 @@ def _run_analytical(scenario: Scenario) -> tuple[dict, dict]:
     # ``model`` and ``batch`` backends therefore see the same saturation
     # point and the same grid — the bit-identity the parity tests pin
     # covers the whole curve, not just the operating point.
-    sat = saturation_injection_rate(evaluator, scenario.message_flits)
+    with trace_span("run/saturation"):
+        sat = saturation_injection_rate(evaluator, scenario.message_flits)
     timings["saturation_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    point = _point_latency(evaluator, scenario.workload(), scalar=scalar)
-    grid = _grid_for(scenario, sat.flit_load)
-    curve = None
-    if grid is not None:
-        if scalar:
-            # Reference engine: one model solve per grid point.
-            flits = scenario.message_flits
-            lat = np.array(
-                [
-                    _point_latency(
-                        evaluator, Workload.from_flit_load(float(x), flits), scalar=True
-                    )
-                    for x in grid
-                ]
-            )
-            curve = LatencyCurve(
-                label=f"{scenario.backend} {flits}-flit",
-                message_flits=flits,
-                flit_loads=grid,
-                latencies=lat,
-            )
-        else:
-            curve = latency_sweep(
-                evaluator,
-                scenario.message_flits,
-                grid,
-                label=f"{scenario.backend} {scenario.message_flits}-flit",
-            )
+    with trace_span("run/evaluate", points=scenario.sweep_points):
+        point = _point_latency(evaluator, scenario.workload(), scalar=scalar)
+        grid = _grid_for(scenario, sat.flit_load)
+        curve = None
+        if grid is not None:
+            if scalar:
+                # Reference engine: one model solve per grid point.
+                flits = scenario.message_flits
+                lat = np.array(
+                    [
+                        _point_latency(
+                            evaluator,
+                            Workload.from_flit_load(float(x), flits),
+                            scalar=True,
+                        )
+                        for x in grid
+                    ]
+                )
+                curve = LatencyCurve(
+                    label=f"{scenario.backend} {flits}-flit",
+                    message_flits=flits,
+                    flit_loads=grid,
+                    latencies=lat,
+                )
+            else:
+                curve = latency_sweep(
+                    evaluator,
+                    scenario.message_flits,
+                    grid,
+                    label=f"{scenario.backend} {scenario.message_flits}-flit",
+                )
     timings["evaluate_s"] = time.perf_counter() - t0
 
     metrics = {
@@ -281,23 +287,24 @@ def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
     """
     timings: dict[str, float] = {}
     t0 = time.perf_counter()
-    fam, params = _family_for(scenario)
-    spec = scenario.spec()
-    topo = fam.topology(params)
-    faults = scenario.fault_spec()
-    fault_info = None
-    if faults is not None:
-        topo = FaultedTopology(topo, faults)
-        fault_info = _fault_provenance(scenario, topo)
-        sim_spec = degraded_spec(topo, spec)
-        # The degraded model rides along as the crosscheck prediction.
-        evaluator = fam.faulted_evaluator(
-            params, spec, scenario.message_flits, faults
-        )
-    else:
-        sim_spec = spec
-        # The family's reference model rides along as the crosscheck prediction.
-        evaluator = fam.evaluator(params, spec, scenario.message_flits)
+    with trace_span("run/build", topology=scenario.topology):
+        fam, params = _family_for(scenario)
+        spec = scenario.spec()
+        topo = fam.topology(params)
+        faults = scenario.fault_spec()
+        fault_info = None
+        if faults is not None:
+            topo = FaultedTopology(topo, faults)
+            fault_info = _fault_provenance(scenario, topo)
+            sim_spec = degraded_spec(topo, spec)
+            # The degraded model rides along as the crosscheck prediction.
+            evaluator = fam.faulted_evaluator(
+                params, spec, scenario.message_flits, faults
+            )
+        else:
+            sim_spec = spec
+            # The family's reference model rides along as the crosscheck prediction.
+            evaluator = fam.evaluator(params, spec, scenario.message_flits)
     timings["build_s"] = time.perf_counter() - t0
 
     workload = scenario.workload()
@@ -311,15 +318,16 @@ def _run_simulate(scenario: Scenario) -> tuple[dict, dict]:
             )
 
     t0 = time.perf_counter()
-    rep = run_replications(
-        topo,
-        workload,
-        config,
-        replications=scenario.replications,
-        simulator_cls=sim_cls,
-        keep_samples=False,
-        traffic_factory=traffic_factory,
-    )
+    with trace_span("run/simulate", replications=scenario.replications):
+        rep = run_replications(
+            topo,
+            workload,
+            config,
+            replications=scenario.replications,
+            simulator_cls=sim_cls,
+            keep_samples=False,
+            traffic_factory=traffic_factory,
+        )
     timings["simulate_s"] = time.perf_counter() - t0
 
     prediction = _point_latency(evaluator, workload, scalar=False)

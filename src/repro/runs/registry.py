@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
 
 from ..errors import ConfigurationError, RegistryError, SchemaVersionError
+from ..obs.metrics import METRICS
 from ..util.tables import format_table
 from .result import RunResult, json_restore
 
@@ -257,6 +258,7 @@ class RunRegistry:
         self.path.mkdir(parents=True, exist_ok=True)
         with self.records_path.open("a", encoding="utf-8") as fh:
             fh.write(result.to_json_str() + "\n")
+        METRICS.add("registry.saves")
         return result.run_id
 
     # --- read --------------------------------------------------------------------
@@ -269,6 +271,7 @@ class RunRegistry:
         torn append must not take every *other* record down with it.
         """
         self.skipped_corrupt = 0
+        METRICS.add("registry.scans")
         if not self.records_path.exists():
             return
         with self.records_path.open("r", encoding="utf-8") as fh:
@@ -282,6 +285,7 @@ class RunRegistry:
                     record = None
                 if not isinstance(record, dict):
                     self.skipped_corrupt += 1
+                    METRICS.add("registry.skipped_corrupt")
                     if not self._warned_corrupt:
                         self._warned_corrupt = True
                         warnings.warn(
@@ -292,6 +296,7 @@ class RunRegistry:
                             stacklevel=3,
                         )
                     continue
+                METRICS.add("registry.records_read")
                 yield record
 
     def __iter__(self) -> Iterator[RunResult]:
@@ -302,6 +307,7 @@ class RunRegistry:
                 yield RunResult.from_json(raw)
             except SchemaVersionError:
                 self.skipped_versions += 1
+                METRICS.add("registry.skipped_versions")
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

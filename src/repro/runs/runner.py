@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..obs import METRICS, trace_span
 from .backends import execute
 from .registry import RunRegistry
 from .result import RunResult
@@ -67,7 +68,18 @@ class Runner:
         be JSON-able since the record may be persisted.
         """
         started = time.perf_counter()
-        metrics, timings = execute(scenario)
+        # Every run collects its own telemetry scope: counters, histograms
+        # and span aggregates land in metrics["observability"], so the
+        # record carries its convergence/cache/replication story through
+        # the JSON codec and `repro runs diff`/`stats` like any metric.
+        with METRICS.collect() as telemetry:
+            with trace_span(
+                f"run/{scenario.backend}",
+                topology=scenario.topology,
+                num_processors=scenario.num_processors,
+            ):
+                metrics, timings = execute(scenario)
+        metrics = {**metrics, "observability": telemetry.data}
         timings = {**timings, "total_s": time.perf_counter() - started}
         provenance = provenance_stamp(backend=scenario.backend)
         if extra_provenance:

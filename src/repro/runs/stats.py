@@ -1,0 +1,183 @@
+"""Aggregate observability telemetry across run records.
+
+Every :class:`~repro.runs.RunResult` produced by the facade carries an
+``observability`` metrics block (counters, histograms, span aggregates —
+see :mod:`repro.obs`).  :func:`collect_stats` folds those blocks across a
+set of records into one :class:`StatsReport`: total solves and fixed-point
+iterations, cache hit rates, cumulative span time — the "where does the
+work go" view ``repro runs stats`` renders over a registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..util.tables import format_table
+from .result import RunResult
+
+__all__ = ["StatsReport", "collect_stats"]
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """Telemetry folded over a set of run records.
+
+    ``counters`` maps name to ``{total, runs}`` (sum across records and
+    how many records carried the counter); ``histograms`` merges the
+    running moments (``count``/``total``/``min``/``max`` with a derived
+    ``mean``); ``spans`` sums counts and durations, keeping the worst
+    single span in ``max_s``.
+    """
+
+    source: str
+    runs: int
+    instrumented: int
+    counters: dict[str, dict[str, float]]
+    histograms: dict[str, dict[str, float]]
+    spans: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        lines = [
+            f"runs stats: {self.source}",
+            f"  {self.runs} run(s), {self.instrumented} with telemetry",
+        ]
+        if self.counters:
+            lines.append(
+                format_table(
+                    ["counter", "total", "runs"],
+                    [
+                        (name, entry["total"], int(entry["runs"]))
+                        for name, entry in sorted(self.counters.items())
+                    ],
+                )
+            )
+        if self.histograms:
+            lines.append(
+                format_table(
+                    ["histogram", "count", "mean", "min", "max"],
+                    [
+                        (
+                            name,
+                            int(entry["count"]),
+                            entry["mean"],
+                            entry["min"],
+                            entry["max"],
+                        )
+                        for name, entry in sorted(self.histograms.items())
+                    ],
+                )
+            )
+        if self.spans:
+            lines.append(
+                format_table(
+                    ["span", "count", "total s", "mean s", "max s"],
+                    [
+                        (
+                            name,
+                            int(entry["count"]),
+                            entry["total_s"],
+                            entry["mean_s"],
+                            entry["max_s"],
+                        )
+                        for name, entry in sorted(self.spans.items())
+                    ],
+                )
+            )
+        if self.instrumented == 0:
+            lines.append(
+                "  (no observability blocks found; records predate the "
+                "telemetry schema)"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "source": self.source,
+            "runs": self.runs,
+            "instrumented": self.instrumented,
+            "counters": self.counters,
+            "histograms": self.histograms,
+            "spans": self.spans,
+        }
+
+
+def collect_stats(
+    records: Iterable[RunResult], *, source: str = "records"
+) -> StatsReport:
+    """Fold the ``observability`` blocks of ``records`` into one report.
+
+    Records without a block (older schemas, hand-built results) count
+    toward ``runs`` but contribute nothing; non-numeric leaves are skipped
+    rather than raising, so a foreign or damaged block cannot take the
+    whole summary down.
+    """
+    runs = instrumented = 0
+    counters: dict[str, dict[str, float]] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    spans: dict[str, dict[str, float]] = {}
+    for record in records:
+        runs += 1
+        obs = record.metrics.get("observability")
+        if not isinstance(obs, Mapping):
+            continue
+        instrumented += 1
+        raw_counters = obs.get("counters")
+        if isinstance(raw_counters, Mapping):
+            for name, value in raw_counters.items():
+                if not _is_number(value):
+                    continue
+                entry = counters.setdefault(
+                    str(name), {"total": 0.0, "runs": 0.0}
+                )
+                entry["total"] += float(value)
+                entry["runs"] += 1.0
+        raw_hist = obs.get("histograms")
+        if isinstance(raw_hist, Mapping):
+            for name, h in raw_hist.items():
+                if not isinstance(h, Mapping) or not all(
+                    _is_number(h.get(k)) for k in ("count", "total", "min", "max")
+                ):
+                    continue
+                merged = histograms.get(str(name))
+                if merged is None:
+                    histograms[str(name)] = {
+                        "count": float(h["count"]),
+                        "total": float(h["total"]),
+                        "min": float(h["min"]),
+                        "max": float(h["max"]),
+                    }
+                else:
+                    merged["count"] += float(h["count"])
+                    merged["total"] += float(h["total"])
+                    merged["min"] = min(merged["min"], float(h["min"]))
+                    merged["max"] = max(merged["max"], float(h["max"]))
+        raw_spans = obs.get("spans")
+        if isinstance(raw_spans, Mapping):
+            for name, s in raw_spans.items():
+                if not isinstance(s, Mapping) or not all(
+                    _is_number(s.get(k)) for k in ("count", "total_s", "max_s")
+                ):
+                    continue
+                entry = spans.setdefault(
+                    str(name), {"count": 0.0, "total_s": 0.0, "max_s": 0.0}
+                )
+                entry["count"] += float(s["count"])
+                entry["total_s"] += float(s["total_s"])
+                entry["max_s"] = max(entry["max_s"], float(s["max_s"]))
+    for entry in histograms.values():
+        entry["mean"] = entry["total"] / entry["count"] if entry["count"] else 0.0
+    for entry in spans.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+    return StatsReport(
+        source=source,
+        runs=runs,
+        instrumented=instrumented,
+        counters=counters,
+        histograms=histograms,
+        spans=spans,
+    )

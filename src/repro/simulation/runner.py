@@ -18,6 +18,7 @@ import numpy as np
 from ..config import SimConfig, Workload
 from ..core.sweep import LatencyCurve
 from ..errors import ConfigurationError, PartitionedNetworkError
+from ..obs import METRICS, trace_span
 from ..topology.base import SimTopology
 from ..util.parallel import parallel_map
 from ..util.rng import replication_seeds
@@ -131,17 +132,21 @@ def run_replications(
             if traffic_factory is not None:
                 kwargs["traffic"] = traffic_factory(attempt_seed)
             try:
-                results.append(
-                    simulator_cls(
-                        topology, workload, cfg, keep_samples=keep_samples, **kwargs
-                    ).run()
-                )
+                with trace_span(
+                    "simulate/replication", seed=attempt_seed, attempt=attempt
+                ):
+                    results.append(
+                        simulator_cls(
+                            topology, workload, cfg, keep_samples=keep_samples, **kwargs
+                        ).run()
+                    )
             except (ConfigurationError, PartitionedNetworkError):
                 # Deterministic: no seed can rescue these.
                 raise
             except Exception as exc:
                 last_error = exc
                 if attempt >= max_rescues:
+                    METRICS.add("sim.replications.failed")
                     failures.append(
                         ReplicationFailure(
                             seed=seed,
@@ -152,9 +157,12 @@ def run_replications(
                     break
                 attempt += 1
                 attempt_seed = _rescue_seed(config.seed, index, attempt)
+                METRICS.add("sim.replications.rescue_attempts")
             else:
+                METRICS.add("sim.replications.completed")
                 if attempt > 0:
                     rescued += 1
+                    METRICS.add("sim.replications.rescued")
                 break
     if not results:
         if last_error is not None:

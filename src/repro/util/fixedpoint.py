@@ -9,14 +9,26 @@ point.  This module provides the shared solver.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs.metrics import METRICS
 
 __all__ = ["FixedPointResult", "fixed_point", "fixed_point_batch"]
+
+
+def _record_solve(iterations: int, residual: float) -> None:
+    """Convergence telemetry of one completed solve (no-op when disabled)."""
+    if not METRICS.enabled:
+        return
+    METRICS.add("fixed_point.solves")
+    METRICS.observe("fixed_point.iterations", float(iterations))
+    if math.isfinite(residual):
+        METRICS.observe("fixed_point.residual", residual)
 
 
 @dataclass(frozen=True)
@@ -82,6 +94,7 @@ def fixed_point(
         fx = np.asarray(func(x), dtype=float)
         if not np.all(np.isfinite(fx)):
             # Saturation: propagate the non-finite iterate as a terminal state.
+            _record_solve(it, np.inf)
             return FixedPointResult(value=fx, iterations=it, residual=np.inf, converged=True)
         new = (1.0 - damping) * x + damping * fx
         update = np.abs(new - x)
@@ -89,9 +102,12 @@ def fixed_point(
         worst = int(np.argmax(update)) if new.size else None
         x = new
         if residual <= tol:
+            _record_solve(it, residual)
             return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
     if allow_divergence:
+        _record_solve(max_iter, residual)
         return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
+    METRICS.add("fixed_point.exhausted")
     raise ConvergenceError(
         f"fixed point not reached after {max_iter} iterations "
         f"(residual {residual:.3e}, worst component {worst})",
@@ -139,6 +155,7 @@ def fixed_point_batch(
             x[:, diverged] = np.inf
             active &= ~diverged
         if not np.any(active):
+            _record_solve(it, 0.0)
             return FixedPointResult(value=x, iterations=it, residual=0.0, converged=True)
         new = (1.0 - damping) * x[:, active] + damping * fx[:, active]
         update = np.abs(new - x[:, active])
@@ -147,9 +164,12 @@ def fixed_point_batch(
         worst = int(np.argmax(np.max(update, axis=1))) if new.size else None
         x[:, active] = new
         if residual <= tol:
+            _record_solve(it, residual)
             return FixedPointResult(value=x, iterations=it, residual=residual, converged=True)
     if allow_divergence:
+        _record_solve(max_iter, residual)
         return FixedPointResult(value=x, iterations=max_iter, residual=residual, converged=False)
+    METRICS.add("fixed_point.exhausted")
     raise ConvergenceError(
         f"batched fixed point not reached after {max_iter} iterations "
         f"(residual {residual:.3e}, worst component {worst}, "

@@ -275,6 +275,24 @@ class TestREP006WallClock:
         fs = lint_snippet("import time\nt = time.time()  # lint: allow-wall-clock\n")
         assert fs == []
 
+    def test_obs_clock_module_allowlisted(self):
+        # obs.clock is the sanctioned wall-clock home of the observability
+        # layer (trace-file correlation stamps).
+        fs = lint_source(
+            "import time\nt = time.time()\n",
+            Path("src/repro/obs/clock.py"),
+        )
+        assert fs == []
+
+    def test_other_obs_modules_still_flagged(self):
+        # The allowlist is the one module, not the whole obs package —
+        # metrics and tracing must stay on monotonic perf_counter.
+        fs = lint_source(
+            "import time\nt = time.time()\n",
+            Path("src/repro/obs/metrics.py"),
+        )
+        assert rules_of(fs) == ["REP006"]
+
 
 class TestDrivers:
     def test_syntax_error_reported_not_raised(self):
