@@ -1,0 +1,180 @@
+"""Bench SERVE — scenario-cache hit throughput and indexed registry queries.
+
+The scenario service's two performance promises:
+
+* a cache *hit* answers in index-lookup time — orders of magnitude under
+  a fresh solve (``serve_cache_speedup``: cold solve seconds over cached
+  lookup seconds);
+* a *selective* registry query through the SQLite index touches only the
+  matching records, while the linear JSONL scan parses every line — at
+  ten thousand records the indexed path must be at least 20x faster
+  (``index_query_speedup``, asserted below).
+
+Both paths also run inside the canonical perf baseline
+(``benchmarks/BENCH_perf.json``, written by :mod:`run_benchmarks`) as the
+``serve_cached_lookup`` / ``registry_query_indexed`` /
+``registry_query_scan`` entries, so CI's quick mode tracks them per PR.
+
+Run directly with
+
+    PYTHONPATH=src pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import register_result
+
+from repro.experiments import write_report
+from repro.runs import RunIndex, RunRegistry, RunResult, Scenario, run
+from repro.serve import ScenarioCache
+
+#: Record count the headline speedup is measured at (the paper-repro
+#: registry after a few hundred PRs of sweeps, not a toy).
+FULL_REGISTRY_RECORDS = 10_000
+
+#: Labels: the bulk of the registry vs the handful a selective query wants.
+_BULK_LABELS = 7
+_NEEDLES = 5
+
+
+def bench_scenario(**overrides) -> Scenario:
+    """The scenario the cache benches solve (small enough to repeat)."""
+    defaults = dict(
+        num_processors=64,
+        message_flits=16,
+        flit_load=0.03,
+        sweep_points=8,
+        label="bench-serve",
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+_SEEDED: dict[int, RunRegistry] = {}
+
+
+def seeded_registry(records: int) -> RunRegistry:
+    """A registry of ``records`` synthetic runs (memoized per size).
+
+    Every record goes through ``RunRegistry.save`` — the canonical append
+    path — so the benches time exactly what production reads see.  A few
+    ``needle``-labelled records are sprinkled in: the selective query the
+    index answers from its B-tree while the scan parses all lines.
+    """
+    registry = _SEEDED.get(records)
+    if registry is not None:
+        return registry
+    root = Path(tempfile.mkdtemp(prefix=f"repro-bench-serve-{records}-"))
+    registry = RunRegistry(root / "registry")
+    scenario = Scenario(
+        num_processors=16, message_flits=16, flit_load=0.02, sweep_points=0
+    )
+    needle_every = max(1, records // _NEEDLES)
+    for i in range(records):
+        is_needle = i % needle_every == needle_every - 1
+        registry.save(
+            RunResult(
+                metrics={"point": {"latency": 20.0 + (i % 50)}},
+                scenario=scenario,
+                label="needle" if is_needle else f"bulk-{i % _BULK_LABELS}",
+                created_at=float(i + 1),
+            )
+        )
+    _SEEDED[records] = registry
+    return registry
+
+
+def warm_cache(registry: RunRegistry) -> tuple[ScenarioCache, Scenario]:
+    """A cache whose backing registry already holds the bench scenario."""
+    cache = ScenarioCache(registry)
+    scenario = bench_scenario()
+    cache.solve(scenario)  # miss once so every timed solve is a hit
+    return cache, scenario
+
+
+def cold_solve_bench():
+    """A fresh solve of the bench scenario — what every cache miss pays."""
+    scenario = bench_scenario()
+    return lambda: run(scenario)
+
+
+def cached_solve_bench(registry: RunRegistry):
+    cache, scenario = warm_cache(registry)
+
+    def solve():
+        record, was_hit = cache.solve(scenario)
+        assert was_hit
+        return record
+
+    return solve
+
+
+def indexed_query_bench(registry: RunRegistry, label: str = "needle"):
+    index = RunIndex(registry)
+    index.refresh()  # timed runs measure the query, not the build
+    return lambda: index.query(label=label)
+
+
+def scan_query_bench(registry: RunRegistry, label: str = "needle"):
+    list(registry)  # parity: let the scan start from its warmed memo
+    return lambda: registry.query(label=label)
+
+
+def _median_seconds(fn, *, repeats: int = 5, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_cached_lookup_beats_cold_solve(benchmark):
+    """A cache hit answers far faster than re-solving the scenario."""
+    registry = seeded_registry(FULL_REGISTRY_RECORDS)
+    solve = cached_solve_bench(registry)
+    record = benchmark(solve)
+    assert record.scenario == bench_scenario()
+    cold_s = _median_seconds(lambda: run(bench_scenario()), repeats=3)
+    benchmark.extra_info["cold_solve_s"] = cold_s
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        cached_s = benchmark.stats["median"]
+        benchmark.extra_info["cached_queries_per_s"] = 1.0 / cached_s
+        benchmark.extra_info["serve_cache_speedup"] = cold_s / cached_s
+        assert cached_s < cold_s
+
+
+def test_indexed_query_20x_faster_than_scan_at_10k(benchmark):
+    """The headline contract: selective indexed queries >= 20x the scan."""
+    registry = seeded_registry(FULL_REGISTRY_RECORDS)
+    indexed = indexed_query_bench(registry)
+    scan = scan_query_bench(registry)
+    expected = scan()
+    assert len(expected) == _NEEDLES
+    assert benchmark(indexed) == expected
+    scan_s = _median_seconds(scan, repeats=3)
+    benchmark.extra_info["scan_s"] = scan_s
+    if benchmark.stats is not None:
+        indexed_s = benchmark.stats["median"]
+        speedup = scan_s / indexed_s
+        benchmark.extra_info["index_query_speedup"] = speedup
+        assert speedup >= 20.0, (
+            f"indexed query only {speedup:.1f}x faster than the linear scan "
+            f"at {FULL_REGISTRY_RECORDS} records"
+        )
+    lines = [
+        f"registry records:      {FULL_REGISTRY_RECORDS}",
+        f"linear scan median:    {scan_s * 1e3:.3f} ms",
+    ]
+    if benchmark.stats is not None:
+        lines.append(f"indexed query median:  {indexed_s * 1e3:.3f} ms")
+        lines.append(f"speedup:               {speedup:.1f}x")
+    path = write_report("serve_index_queries", "\n".join(lines))
+    register_result(path)

@@ -21,7 +21,9 @@ sweep solved in one ``latency_batch`` pass versus the same grid looped
 through scalar ``latency`` calls, the vectorized Eq. 26 saturation search
 versus the scalar bracket-plus-bisection, and the design-space explorer's
 candidate throughput (candidates evaluated per second, cold metrics
-cache).
+cache).  The serve/registry entries (from :mod:`bench_serve`) track the
+scenario service: a cache hit versus a cold solve, and a selective
+indexed registry query versus the linear JSONL scan.
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ class BenchConfig:
     design_hypercube_dims: tuple[int, ...] = (4, 5)
     design_flits: tuple[int, ...] = (16, 32)
     design_patterns: tuple[str, ...] = ("uniform", "hotspot")
+    registry_records: int = 10_000
     repeats: int = 5
 
     @classmethod
@@ -75,6 +78,7 @@ class BenchConfig:
             design_hypercube_dims=(4,),
             design_flits=(16,),
             design_patterns=("uniform", "hotspot"),
+            registry_records=2_000,
             repeats=2,
         )
 
@@ -153,6 +157,40 @@ def bench_design_explore(cfg: BenchConfig) -> Callable[[], object]:
     return run
 
 
+def bench_serve_cold_solve(cfg: BenchConfig) -> Callable[[], object]:
+    """A fresh solve of the service's bench scenario (the cache-miss cost)."""
+    import bench_serve
+
+    return bench_serve.cold_solve_bench()
+
+
+def bench_serve_cached_lookup(cfg: BenchConfig) -> Callable[[], object]:
+    """A cache hit against a large registry: index lookup + one record read."""
+    import bench_serve
+
+    return bench_serve.cached_solve_bench(
+        bench_serve.seeded_registry(cfg.registry_records)
+    )
+
+
+def bench_registry_query_indexed(cfg: BenchConfig) -> Callable[[], object]:
+    """Selective label query through the SQLite index."""
+    import bench_serve
+
+    return bench_serve.indexed_query_bench(
+        bench_serve.seeded_registry(cfg.registry_records)
+    )
+
+
+def bench_registry_query_scan(cfg: BenchConfig) -> Callable[[], object]:
+    """The same query as a linear JSONL scan (every record parsed)."""
+    import bench_serve
+
+    return bench_serve.scan_query_bench(
+        bench_serve.seeded_registry(cfg.registry_records)
+    )
+
+
 BENCHES: dict[str, Callable[[BenchConfig], Callable[[], object]]] = {
     "model_solve": bench_model_solve,
     "batch_sweep": bench_batch_sweep,
@@ -162,6 +200,10 @@ BENCHES: dict[str, Callable[[BenchConfig], Callable[[], object]]] = {
     "generic_graph": bench_generic_graph,
     "topology_build": bench_topology_build,
     "design_explore": bench_design_explore,
+    "serve_cold_solve": bench_serve_cold_solve,
+    "serve_cached_lookup": bench_serve_cached_lookup,
+    "registry_query_indexed": bench_registry_query_indexed,
+    "registry_query_scan": bench_registry_query_scan,
 }
 
 
@@ -196,7 +238,9 @@ def collect(*, repeats: int | None = None, quick: bool = False) -> dict:
         entry["counters"] = {
             key: counters[key]
             for key in sorted(counters)
-            if key.startswith(("solve.", "fixed_point.", "design."))
+            if key.startswith(
+                ("solve.", "fixed_point.", "design.", "serve.", "index.", "registry.")
+            )
         }
         benches[name] = entry
     n_candidates = len(design_space_for(cfg).candidates())
@@ -211,6 +255,14 @@ def collect(*, repeats: int | None = None, quick: bool = False) -> dict:
         "design_candidates_per_s": (
             n_candidates / benches["design_explore"]["median_s"]
         ),
+        "serve_cache_speedup": (
+            benches["serve_cold_solve"]["median_s"]
+            / benches["serve_cached_lookup"]["median_s"]
+        ),
+        "index_query_speedup": (
+            benches["registry_query_scan"]["median_s"]
+            / benches["registry_query_indexed"]["median_s"]
+        ),
     }
     return {
         "quick": quick,
@@ -218,6 +270,7 @@ def collect(*, repeats: int | None = None, quick: bool = False) -> dict:
         "message_flits": cfg.sweep_flits,
         "num_processors": cfg.sweep_processors,
         "design_candidates": n_candidates,
+        "registry_records": cfg.registry_records,
         "repeats": cfg.repeats,
         "benches": benches,
         "derived": derived,

@@ -19,6 +19,13 @@ REP005  internal modules must not import the deprecated top-level shims.
 REP006  no wall-clock reads (``time.time``, ``datetime.now``, ...) outside
         the provenance modules; ``perf_counter`` is always fine.
         Pragma: ``# lint: allow-wall-clock``.
+REP007  no direct ``open()``/``read_text``/``write_text`` on run-registry
+        files (``runs.jsonl``, ``runs.quarantine.jsonl``,
+        ``runs.index.sqlite``, the ``records_path``/``quarantine_path``
+        attributes) outside ``runs/registry.py`` and ``runs/index.py`` —
+        every append must go through the canonical O_APPEND writer and
+        every read through the registry/index APIs.
+        Pragma: ``# lint: allow-registry-open``.
 
 The linter is stdlib-only (``ast`` + ``re``) so it can gate CI before any
 third-party dependency is importable.  Exit codes: 0 clean, 1 findings,
@@ -51,6 +58,7 @@ _PRAGMA_FOR_RULE = {
     "REP004": "allow-float-eq",
     "REP005": "allow-shim-import",
     "REP006": "allow-wall-clock",
+    "REP007": "allow-registry-open",
 }
 
 # ---------------------------------------------------------------------------
@@ -165,6 +173,18 @@ _WALL_CLOCK_MODULES = frozenset({"runs.result", "obs.clock"})
 # Modules where REP001 does not apply (the sanctioned RNG home).
 _RNG_MODULES = frozenset({"util.rng"})
 
+# REP007 — file-access call tails that can bypass the registry writers.
+_REGISTRY_OPEN_TAILS = frozenset(
+    {"open", "read_text", "write_text", "read_bytes", "write_bytes"}
+)
+# Registry file names: a string literal mentioning one of these inside an
+# open-style call addresses registry storage directly.
+_REGISTRY_FILE_NAMES = ("runs.jsonl", "runs.quarantine.jsonl", "runs.index.sqlite")
+# Registry path attributes (RunRegistry.records_path / .quarantine_path).
+_REGISTRY_PATH_ATTRS = frozenset({"records_path", "quarantine_path"})
+# The two modules that own the storage layer.
+_REGISTRY_FILE_MODULES = frozenset({"runs.registry", "runs.index"})
+
 
 def _module_of(path: Path) -> str:
     """Dotted module path inside the ``repro`` package, or '' if outside.
@@ -249,7 +269,44 @@ class _FileLinter(ast.NodeVisitor):
         if chain:
             self._check_rng_call(node, chain)
             self._check_wall_clock(node, chain)
+        self._check_registry_open(node)
         self.generic_visit(node)
+
+    def _check_registry_open(self, node: ast.Call) -> None:
+        if self.module in _REGISTRY_FILE_MODULES:
+            return
+        # The attr chain is empty for computed receivers like
+        # ``(path / "runs.jsonl").read_text()``; take the call name from
+        # the Attribute/Name node directly so those are covered too.
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            tail = func.attr
+        elif isinstance(func, ast.Name):
+            tail = func.id
+        else:
+            return
+        if tail not in _REGISTRY_OPEN_TAILS:
+            return
+        # The whole call — receiver chain and arguments — is searched for
+        # registry markers, so `registry.records_path.open("a")` and
+        # `open(path / "runs.jsonl")` are both caught.
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr in _REGISTRY_PATH_ATTRS:
+                marker = sub.attr
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str) and any(
+                name in sub.value for name in _REGISTRY_FILE_NAMES
+            ):
+                marker = sub.value
+            else:
+                continue
+            self._report(
+                "REP007",
+                node,
+                f"direct {tail}() on registry storage ({marker!r})",
+                "go through RunRegistry.save/query or RunIndex — the JSONL "
+                "writer and index must stay the only storage accessors",
+            )
+            return
 
     def _check_rng_call(self, node: ast.Call, chain: tuple[str, ...]) -> None:
         if self.module in _RNG_MODULES:

@@ -7,8 +7,13 @@ Gives downstream users the main entry points without writing Python:
   record in the run registry; ``--kill-links``/``--kill-switches``/
   ``--random-link-failures`` evaluate the same scenario on a degraded
   fabric;
-* ``runs``        — registry operations: ``runs list``, ``runs diff`` and
-  ``runs doctor`` (corruption audit / quarantine);
+* ``serve``       — long-running scenario service: POST a Scenario JSON to
+  ``/solve``, get the RunResult record back, with identical questions
+  answered from the content-addressed registry cache (see
+  :mod:`repro.serve`);
+* ``runs``        — registry operations: ``runs list`` (``--indexed`` for
+  SQLite-backed queries), ``runs diff``, ``runs doctor`` (corruption
+  audit / quarantine) and ``runs reindex`` (rebuild the query index);
 * ``model``       — one analytical evaluation (latency breakdown);
 * ``sweep``       — model latency-vs-load table up to saturation;
 * ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
@@ -17,6 +22,8 @@ Gives downstream users the main entry points without writing Python:
 * ``patterns``    — list the registered traffic scenarios;
 * ``design``      — SLO-driven design-space exploration (feasible set,
   cheapest design, Pareto frontier) over topology families and patterns;
+  ``--save`` records the frontier as a ``kind="exploration"`` run so it
+  diffs across PRs like any other record;
 * ``experiment``  — regenerate a paper artifact (fig3, throughput, scaling,
   ablations, other-networks, crosscheck, generalized, buffering, traffic,
   design, topologies, faults).
@@ -274,6 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_shape(p_check)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running scenario service: POST /solve a Scenario JSON, "
+        "identical questions answered from the indexed registry",
+    )
+    add_registry(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    p_serve.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--solver-threads",
+        type=int,
+        default=1,
+        help="solve worker threads (solves are CPU-bound; concurrency "
+        "comes from cache hits and request coalescing)",
+    )
+
     p_runs = sub.add_parser("runs", help="run-registry operations")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
     p_list = runs_sub.add_parser("list", help="list persisted runs")
@@ -281,7 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--backend", default=None, help="filter by backend")
     p_list.add_argument("--topology", default=None, help="filter by topology family")
     p_list.add_argument("--label", default=None, help="filter by label")
+    p_list.add_argument(
+        "--indexed",
+        action="store_true",
+        help="answer from the SQLite index (refreshed first) instead of "
+        "scanning the JSONL file",
+    )
     add_json(p_list)
+    p_reindex = runs_sub.add_parser(
+        "reindex",
+        help="rebuild the SQLite query index from the JSONL source of truth",
+    )
+    add_registry(p_reindex)
+    add_json(p_reindex)
     p_diff = runs_sub.add_parser(
         "diff", help="compare two runs (ids, 'latest', or JSON baseline files)"
     )
@@ -431,6 +468,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_design.add_argument(
         "--processes", type=int, default=1, help="worker processes for evaluation"
     )
+    p_design.add_argument(
+        "--save",
+        action="store_true",
+        help="record the exploration (feasible set, Pareto frontier) as a "
+        "kind='exploration' run in the registry so frontiers diff across PRs",
+    )
+    p_design.add_argument("--label", default="", help="free-form tag for the registry")
+    add_registry(p_design)
     add_json(p_design)
     p_design.add_argument(
         "--hotspot-fraction",
@@ -606,12 +651,65 @@ def _cmd_run(args):
     return "\n".join(lines), result.to_json()
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from .serve import ScenarioService
+
+    service = ScenarioService(
+        _registry_from_args(args),
+        host=args.host,
+        port=args.port,
+        solver_threads=args.solver_threads,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"repro serve: listening on {service.address} "
+            f"(registry: {service.cache.registry.path}); "
+            "POST /solve, GET /stats, GET /health",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return "repro serve: stopped", {"address": service.address}
+
+
 def _cmd_runs(args):
     registry = _registry_from_args(args)
-    if args.runs_command == "list":
-        records = registry.query(
-            backend=args.backend, topology=args.topology, label=args.label
+    if args.runs_command == "reindex":
+        from .runs import RunIndex
+
+        with RunIndex(registry) as index:
+            indexed = index.rebuild()
+            skipped = index.skipped
+        text = (
+            f"reindexed {registry.path}: {indexed} record(s) -> {index.path.name}"
+            + (f" ({skipped} unindexable record(s) skipped)" if skipped else "")
         )
+        return text, {
+            "registry": str(registry.path),
+            "index": str(index.path),
+            "indexed": indexed,
+            "skipped": skipped,
+        }
+    if args.runs_command == "list":
+        if args.indexed:
+            from .runs import RunIndex
+
+            with RunIndex(registry) as index:
+                records = index.query(
+                    backend=args.backend, topology=args.topology, label=args.label
+                )
+        else:
+            records = registry.query(
+                backend=args.backend, topology=args.topology, label=args.label
+            )
         rows = []
         for r in records:
             sc = r.scenario
@@ -914,7 +1012,15 @@ def _cmd_design(args):
         fault_seed=args.fault_seed,
     )
     result = explore(space, requirements, processes=args.processes)
-    return result.render(), result.to_json()
+    text = result.render()
+    payload = result.to_json()
+    if args.save:
+        registry = _registry_from_args(args)
+        record = result.to_run_result(label=args.label)
+        registry.save(record)
+        text += f"\nsaved to {registry.records_path} as {record.run_id}"
+        payload = {"run_id": record.run_id, **payload}
+    return text, payload
 
 
 def _cmd_experiment(args):
@@ -950,6 +1056,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "check": _cmd_check,
+        "serve": _cmd_serve,
         "runs": _cmd_runs,
         "model": _cmd_model,
         "sweep": _cmd_sweep,

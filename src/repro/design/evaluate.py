@@ -67,6 +67,22 @@ class CandidateMetrics:
         """Saturation load over demand (>= 1 means the demand is inside)."""
         return self.saturation_flit_load / demand_flit_load
 
+    def as_json(self) -> dict:
+        """JSON-safe dict (non-finite floats become None)."""
+        return {
+            "latency": self.latency if math.isfinite(self.latency) else None,
+            "zero_load_latency": (
+                self.zero_load_latency
+                if math.isfinite(self.zero_load_latency)
+                else None
+            ),
+            "saturation_flit_load": (
+                self.saturation_flit_load
+                if math.isfinite(self.saturation_flit_load)
+                else None
+            ),
+        }
+
 
 def _model_key(candidate: Candidate):
     # buffer_depth deliberately excluded: it never enters the latency model.
@@ -328,9 +344,7 @@ class Evaluation:
             "message_flits": self.candidate.message_flits,
             "pattern": self.candidate.pattern,
             "buffer_depth": self.candidate.buffer_depth,
-            "latency": num(self.metrics.latency),
-            "zero_load_latency": num(self.metrics.zero_load_latency),
-            "saturation_flit_load": num(self.metrics.saturation_flit_load),
+            **self.metrics.as_json(),
             "headroom": num(self.headroom),
             "hardware": {
                 "switches": self.hardware.switches,
@@ -340,15 +354,7 @@ class Evaluation:
             "cost": self.cost.as_dict(),
             "feasible": self.feasible,
             "violations": list(self.violations),
-            "degraded": (
-                None
-                if self.degraded is None
-                else {
-                    "latency": num(self.degraded.latency),
-                    "zero_load_latency": num(self.degraded.zero_load_latency),
-                    "saturation_flit_load": num(self.degraded.saturation_flit_load),
-                }
-            ),
+            "degraded": None if self.degraded is None else self.degraded.as_json(),
         }
 
 

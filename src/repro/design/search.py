@@ -319,6 +319,42 @@ class ExplorationResult:
             ],
         }
 
+    def to_run_result(self, *, label: str = ""):
+        """This exploration as a ``kind="exploration"`` run-registry record.
+
+        The record's ``metrics["exploration"]`` block carries the verdicts
+        that should diff across PRs — feasible set, cheapest/largest
+        selections and the Pareto frontier — but not the full evaluation
+        table (regenerate it from the requirements when needed), so
+        frontier drift shows up in ``repro runs diff`` without drowning it
+        in per-candidate noise.
+        """
+        from ..runs import RunResult
+        from ..runs.runner import provenance_stamp
+
+        report = self.to_json()
+        cheapest = report["cheapest_feasible"]
+        largest = report["largest_feasible"]
+        metrics = {
+            "exploration": {
+                "requirements": report["requirements"],
+                "candidates": len(self.evaluations),
+                "feasible_count": report["feasible_count"],
+                "skipped_count": len(self.skipped),
+                "cheapest_feasible": cheapest,
+                "largest_feasible": largest,
+                "pareto": report["pareto"],
+                "feasible": [e.as_json() for e in self.feasible],
+            }
+        }
+        return RunResult(
+            metrics=metrics,
+            scenario=None,
+            kind="exploration",
+            label=label,
+            provenance=provenance_stamp(backend="design"),
+        )
+
 
 def explore(
     space: DesignSpace,

@@ -21,17 +21,19 @@ CLI equivalents: ``repro run``, ``repro runs list``, ``repro runs diff``.
 """
 
 from .backends import backend_names, execute
+from .index import RunIndex
 from .registry import (
     MetricDelta,
     RunDiff,
     RunRegistry,
     default_registry_dir,
     diff_metrics,
+    flatten_leaves,
     flatten_metrics,
 )
 from .result import SCHEMA_VERSION, RunResult, json_restore, json_safe
 from .runner import Runner, provenance_stamp, run
-from .scenario import BACKENDS, SIMULATORS, TOPOLOGIES, Scenario
+from .scenario import BACKENDS, SIMULATORS, TOPOLOGIES, Scenario, scenario_key
 from .stats import StatsReport, collect_stats
 
 __all__ = [
@@ -41,6 +43,7 @@ __all__ = [
     "TOPOLOGIES",
     "MetricDelta",
     "RunDiff",
+    "RunIndex",
     "RunRegistry",
     "RunResult",
     "Runner",
@@ -51,9 +54,11 @@ __all__ = [
     "default_registry_dir",
     "diff_metrics",
     "execute",
+    "flatten_leaves",
     "flatten_metrics",
     "json_restore",
     "json_safe",
     "provenance_stamp",
     "run",
+    "scenario_key",
 ]

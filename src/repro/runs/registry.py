@@ -46,6 +46,7 @@ __all__ = [
     "DoctorReport",
     "default_registry_dir",
     "diff_metrics",
+    "flatten_leaves",
     "flatten_metrics",
 ]
 
@@ -91,6 +92,29 @@ def flatten_metrics(obj: Any, prefix: str = "") -> dict[str, float]:
         for i, v in enumerate(obj):
             out.update(flatten_metrics(v, f"{prefix}[{i}]"))
         return out
+    return out
+
+
+def flatten_leaves(obj: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten nested dicts/lists into dotted leaves of *any* type.
+
+    Unlike :func:`flatten_metrics` (numeric leaves only, the deltas'
+    domain), this keeps labels, booleans and ``None`` — the full leaf key
+    set is what decides whether a metric was *added or removed* between
+    two records, which must not depend on the leaf's type.
+    """
+    out: dict[str, Any] = {}
+    if isinstance(obj, Mapping):
+        for k, v in obj.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_leaves(v, key))
+        return out
+    if isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            out.update(flatten_leaves(v, f"{prefix}[{i}]"))
+        return out
+    if prefix:
+        out[prefix] = obj
     return out
 
 
@@ -207,16 +231,25 @@ def diff_metrics(
     a_label: str = "a",
     b_label: str = "b",
 ) -> RunDiff:
-    """Compare two (possibly nested) metric mappings key by key."""
+    """Compare two (possibly nested) metric mappings key by key.
+
+    ``deltas`` covers the leaves both sides hold *numerically*;
+    ``only_a``/``only_b`` (the removed/added report) cover every leaf
+    present on exactly one side regardless of type — a boolean or label
+    leaf missing from the other record is a structural change and must be
+    reported, not silently dropped just because it cannot be subtracted.
+    """
     flat_a = flatten_metrics(a)
     flat_b = flatten_metrics(b)
+    keys_a = set(flatten_leaves(a))
+    keys_b = set(flatten_leaves(b))
     shared = sorted(set(flat_a) & set(flat_b))
     return RunDiff(
         a_label=a_label,
         b_label=b_label,
         deltas=tuple(MetricDelta(k, flat_a[k], flat_b[k]) for k in shared),
-        only_a=tuple(sorted(set(flat_a) - set(flat_b))),
-        only_b=tuple(sorted(set(flat_b) - set(flat_a))),
+        only_a=tuple(sorted(keys_a - keys_b)),
+        only_b=tuple(sorted(keys_b - keys_a)),
     )
 
 
@@ -242,26 +275,89 @@ class RunRegistry:
         #: objects (truncated appends, merge debris).
         self.skipped_corrupt = 0
         self._warned_corrupt = False
+        # Scan memo: raw records already parsed from the consumed byte
+        # prefix [0, _scan_offset) of the records file.  Repeated reads
+        # re-yield the cached dicts and parse only appended bytes; the
+        # cache is dropped whenever the file shrinks (doctor --quarantine
+        # rewrites, manual edits).  ``registry.records_read`` therefore
+        # counts *line parses*, not records returned — the memoization
+        # contract the tests pin.
+        self._scan_records: list[dict] = []
+        self._scan_offset = 0
+        self._scan_corrupt = 0
+        self._scan_lines = 0
+        self._scan_active = False
 
     @property
     def records_path(self) -> Path:
         return self.path / _RECORDS_FILE
 
+    def invalidate_cache(self) -> None:
+        """Forget the memoized scan (the next read re-parses from byte 0)."""
+        self._scan_records = []
+        self._scan_offset = 0
+        self._scan_corrupt = 0
+        self._scan_lines = 0
+
     # --- write -------------------------------------------------------------------
 
     def save(self, result: RunResult) -> str:
-        """Append one record; returns its run id."""
+        """Append one record; returns its run id.
+
+        The record is written with a single ``os.write`` on an
+        ``O_APPEND`` descriptor: POSIX appends the whole buffer at the
+        end-of-file atomically, so concurrent writer *processes* sharing
+        one registry can never interleave partial lines (the property the
+        multiprocessing stress test pins).  A short write — out of disk,
+        interrupted — is reported as a :class:`RegistryError` instead of
+        silently leaving a torn record.
+        """
         if not isinstance(result, RunResult):
             raise ConfigurationError(
                 f"registry.save expects a RunResult, got {type(result).__name__}"
             )
         self.path.mkdir(parents=True, exist_ok=True)
-        with self.records_path.open("a", encoding="utf-8") as fh:
-            fh.write(result.to_json_str() + "\n")
+        line = (result.to_json_str() + "\n").encode("utf-8")
+        fd = os.open(
+            self.records_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666
+        )
+        try:
+            written = os.write(fd, line)
+        finally:
+            os.close(fd)
+        if written != len(line):
+            raise RegistryError(
+                f"short append to {self.records_path}: wrote {written} of "
+                f"{len(line)} bytes (disk full?); run `repro runs doctor`"
+            )
         METRICS.add("registry.saves")
         return result.run_id
 
     # --- read --------------------------------------------------------------------
+
+    def _parse_line(self, raw_line: bytes) -> dict | None:
+        """One JSONL line to a record dict, or None when corrupt."""
+        stripped = raw_line.strip()
+        if not stripped:
+            return None
+        try:
+            record = json.loads(stripped.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _note_corrupt(self, lineno: int) -> None:
+        self.skipped_corrupt += 1
+        METRICS.add("registry.skipped_corrupt")
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"{self.records_path}:{lineno}: skipping corrupted "
+                "record(s); run `repro runs doctor` for a full "
+                "audit (and --quarantine to move them aside)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def _iter_raw(self) -> Iterator[dict]:
         """Yield the parseable JSON-object lines of the records file.
@@ -269,35 +365,58 @@ class RunRegistry:
         Corrupted or truncated lines are skipped and counted in
         :attr:`skipped_corrupt` (warning once per registry instance) — a
         torn append must not take every *other* record down with it.
+
+        Reads are *incremental*: the already-parsed prefix is served from
+        the in-memory memo and only bytes appended since the previous scan
+        are parsed (blank and corrupt lines included in the consumed
+        prefix).  A final line with no trailing newline — an append still
+        in flight — is yielded but never memoized, so the completed line
+        is re-read on the next scan.
         """
-        self.skipped_corrupt = 0
         METRICS.add("registry.scans")
         if not self.records_path.exists():
+            self.invalidate_cache()
+            self.skipped_corrupt = 0
             return
-        with self.records_path.open("r", encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    record = None
-                if not isinstance(record, dict):
-                    self.skipped_corrupt += 1
-                    METRICS.add("registry.skipped_corrupt")
-                    if not self._warned_corrupt:
-                        self._warned_corrupt = True
-                        warnings.warn(
-                            f"{self.records_path}:{lineno}: skipping corrupted "
-                            "record(s); run `repro runs doctor` for a full "
-                            "audit (and --quarantine to move them aside)",
-                            RuntimeWarning,
-                            stacklevel=3,
-                        )
-                    continue
-                METRICS.add("registry.records_read")
-                yield record
+        size = self.records_path.stat().st_size
+        if size < self._scan_offset:
+            # The file shrank under us: doctor --quarantine rewrote it (or
+            # someone edited it by hand).  The memoized prefix no longer
+            # describes the bytes on disk; rescan from the start.
+            self.invalidate_cache()
+        self.skipped_corrupt = self._scan_corrupt
+        yield from self._scan_records
+        if size <= self._scan_offset:
+            return
+        # Nested scans on one instance (a query predicate calling load,
+        # zipped iterations) must not both extend the memo: only the
+        # outermost generator advances it, inner ones read pass-through.
+        memoize = not self._scan_active
+        if memoize:
+            self._scan_active = True
+        try:
+            with self.records_path.open("rb") as fh:
+                fh.seek(self._scan_offset)
+                for raw_line in fh:
+                    complete = raw_line.endswith(b"\n")
+                    lineno = self._scan_lines + 1
+                    record = self._parse_line(raw_line)
+                    if complete and memoize:
+                        self._scan_offset += len(raw_line)
+                        self._scan_lines = lineno
+                    if record is None:
+                        if raw_line.strip():
+                            if complete and memoize:
+                                self._scan_corrupt += 1
+                            self._note_corrupt(lineno)
+                        continue
+                    METRICS.add("registry.records_read")
+                    if complete and memoize:
+                        self._scan_records.append(record)
+                    yield record
+        finally:
+            if memoize:
+                self._scan_active = False
 
     def __iter__(self) -> Iterator[RunResult]:
         """Yield readable records in insertion order (skips foreign schemas)."""
@@ -484,6 +603,9 @@ class RunRegistry:
             tmp = path.with_name(path.name + ".tmp")
             tmp.write_text("".join(line + "\n" for line in keep), encoding="utf-8")
             os.replace(tmp, path)
+            # The rewrite invalidates any memoized scan of this instance
+            # (other instances notice via the file-shrunk check).
+            self.invalidate_cache()
             quarantined = len(bad)
             qpath = str(self.quarantine_path)
         return DoctorReport(

@@ -100,7 +100,9 @@ class RunResult:
 
     ``kind`` distinguishes scenario-driven records (``"scenario"``, the
     output of :func:`repro.runs.run`) from free-form ones such as the
-    benchmark baseline (``"bench"``), which carry metrics but no scenario.
+    benchmark baseline (``"bench"``) and recorded design-space searches
+    (``"exploration"``, whose ``metrics["exploration"]`` block holds the
+    feasible/Pareto frontier), which carry metrics but no scenario.
 
     Equality is defined over the canonical JSON form, so ``nan`` metric
     values compare equal to themselves after a round trip (plain float
@@ -125,7 +127,7 @@ class RunResult:
     clock: InitVar[Callable[[], float] | None] = None
 
     def __post_init__(self, clock: Callable[[], float] | None) -> None:
-        if self.kind not in ("scenario", "bench"):
+        if self.kind not in ("scenario", "bench", "exploration"):
             raise ConfigurationError(f"unknown RunResult kind {self.kind!r}")
         if self.kind == "scenario" and self.scenario is None:
             raise ConfigurationError("scenario records require a Scenario")

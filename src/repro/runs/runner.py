@@ -25,7 +25,7 @@ from ..obs import METRICS, trace_span
 from .backends import execute
 from .registry import RunRegistry
 from .result import RunResult
-from .scenario import Scenario
+from .scenario import Scenario, scenario_key
 
 __all__ = ["Runner", "run", "provenance_stamp"]
 
@@ -82,6 +82,9 @@ class Runner:
         metrics = {**metrics, "observability": telemetry.data}
         timings = {**timings, "total_s": time.perf_counter() - started}
         provenance = provenance_stamp(backend=scenario.backend)
+        # The content address of the question: exact (and fault-spec-aware)
+        # cache lookups key on this, so it is stamped on every record.
+        provenance["scenario_key"] = scenario_key(scenario)
         if extra_provenance:
             provenance.update(extra_provenance)
         result = RunResult(

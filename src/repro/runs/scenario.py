@@ -27,6 +27,8 @@ True
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, cast
 
@@ -38,7 +40,7 @@ from ..errors import ConfigurationError
 from ..traffic.spec import TrafficSpec, available_patterns, make_spec
 from ..util.validation import exact_exponent
 
-__all__ = ["BACKENDS", "SIMULATORS", "TOPOLOGIES", "Scenario"]
+__all__ = ["BACKENDS", "SIMULATORS", "TOPOLOGIES", "Scenario", "scenario_key"]
 
 #: Evaluation backends a scenario can dispatch to.
 BACKENDS = ("model", "batch", "simulate", "baseline")
@@ -123,6 +125,46 @@ def _normalized_family_fields(scenario: "Scenario") -> dict[str, int | None]:
             )
         out.update(radix=radix)
     return out
+
+
+#: Version prefix of :func:`scenario_key`.  Bump it whenever the key
+#: derivation changes (fields added to the digest, canonicalization
+#: altered), so stale cache entries miss instead of aliasing: a key is a
+#: *content address* and two library generations must never produce the
+#: same key for semantically different questions.
+SCENARIO_KEY_VERSION = "sk1"
+
+
+def scenario_key(scenario: "Scenario") -> str:
+    """Content address of one scenario: what is asked, never who asked.
+
+    The key is the sha256 of the canonical (sorted-key, separator-free)
+    JSON form of the scenario with the free-form ``label`` removed — the
+    label tags registry records, it does not change the question — so two
+    scenarios asking the same thing hash identically no matter how they
+    were constructed (defaults filled in, family fields derived, fault
+    blocks canonicalized: all of that happens eagerly in
+    ``Scenario.__post_init__`` before the JSON form exists).  ``backend``
+    and the ``faults`` block *are* part of the key: a cache must never
+    serve a simulator answer for a model question, nor a nominal answer
+    for a degraded fabric.
+
+    **Stability contract.**  The digest input is the versioned canonical
+    JSON, so the key is stable across processes, platforms and library
+    releases for as long as :data:`SCENARIO_KEY_VERSION` and the
+    scenario's JSON schema stay put; any change to either must bump the
+    version prefix.  The registry stores the key in every record's
+    provenance (``provenance["scenario_key"]``), which is what makes
+    served-from-cache lookups exact.
+    """
+    data = scenario.to_json()
+    data.pop("label", None)
+    canonical = json.dumps(
+        {"version": SCENARIO_KEY_VERSION, "scenario": data},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return f"{SCENARIO_KEY_VERSION}-{hashlib.sha256(canonical.encode()).hexdigest()}"
 
 
 @dataclass(frozen=True)
@@ -360,6 +402,10 @@ class Scenario:
     def with_backend(self, backend: str) -> "Scenario":
         """The same question answered by a different backend."""
         return dataclasses.replace(self, backend=backend)
+
+    def key(self) -> str:
+        """The content address of this scenario (see :func:`scenario_key`)."""
+        return scenario_key(self)
 
     def describe(self) -> str:
         """One-line human-readable summary."""

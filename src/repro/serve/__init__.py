@@ -1,0 +1,23 @@
+"""`repro serve`: a concurrent scenario-answering service, stdlib-only.
+
+POST a :class:`~repro.runs.Scenario` as JSON, receive the full
+:class:`~repro.runs.RunResult` record as JSON.  Identical questions —
+same content-addressed :func:`~repro.runs.scenario.scenario_key`, faults
+and backend included — are answered from the indexed run registry instead
+of being re-solved, and N concurrent identical requests coalesce into a
+single solve.
+
+Two layers:
+
+* :class:`~repro.serve.cache.ScenarioCache` — the synchronous
+  lookup/solve/store core over a :class:`~repro.runs.RunRegistry` and its
+  :class:`~repro.runs.RunIndex` (also what ``bench_serve.py`` measures);
+* :class:`~repro.serve.service.ScenarioService` — the asyncio HTTP front
+  end (``POST /solve``, ``GET /stats``, ``GET /health``) with request
+  coalescing and its own always-on metrics registry.
+"""
+
+from .cache import ScenarioCache
+from .service import ScenarioService
+
+__all__ = ["ScenarioCache", "ScenarioService"]

@@ -1,0 +1,80 @@
+"""The service's synchronous core: content-addressed solve-or-fetch.
+
+A :class:`ScenarioCache` answers one question — "has this exact scenario
+been solved before?" — using the content-addressed
+:func:`~repro.runs.scenario.scenario_key` stamped into every record's
+provenance and the :class:`~repro.runs.RunIndex` B-tree over it.  A hit
+returns the stored :class:`~repro.runs.RunResult` unchanged (byte-identical
+metrics, scenario and provenance; only the record's own timestamps differ
+from what a fresh solve would stamp).  A miss solves, persists the record
+through the canonical registry writer, refreshes the index, and returns.
+
+The cache layer is deliberately synchronous and transport-free so it can
+be exercised directly by tests and ``benchmarks/bench_serve.py``; the
+asyncio service in :mod:`repro.serve.service` adds concurrency and
+request coalescing on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..runs import RunIndex, RunRegistry, RunResult, Scenario, run, scenario_key
+
+__all__ = ["ScenarioCache"]
+
+
+class ScenarioCache:
+    """Solve-or-fetch over one registry (see the module docstring).
+
+    Parameters
+    ----------
+    registry:
+        The backing store; solved records are appended to it so cache
+        contents survive restarts and are shared with every other tool
+        reading the same registry.
+    solver:
+        Scenario evaluator for misses; defaults to :func:`repro.runs.run`
+        (no save — the cache persists the record itself).  Tests inject
+        blocking or counting solvers here.
+    metrics:
+        Where ``serve.cache.hits``/``serve.cache.misses`` land; defaults
+        to the process-global registry, the service passes its own
+        always-enabled one.
+    """
+
+    def __init__(
+        self,
+        registry: RunRegistry,
+        *,
+        solver: Callable[[Scenario], RunResult] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry
+        self.index = RunIndex(registry)
+        self.solver = solver if solver is not None else run
+        self.metrics = metrics if metrics is not None else METRICS
+
+    def lookup(self, scenario: Scenario) -> RunResult | None:
+        """The stored answer to exactly this scenario, if any (no solve)."""
+        return self.index.find_by_scenario_key(scenario_key(scenario))
+
+    def store(self, result: RunResult) -> None:
+        """Persist a freshly solved record and index it."""
+        self.registry.save(result)
+        self.index.refresh()
+
+    def solve(self, scenario: Scenario) -> tuple[RunResult, bool]:
+        """Answer ``scenario``; returns ``(record, was_cache_hit)``."""
+        hit = self.lookup(scenario)
+        if hit is not None:
+            self.metrics.add("serve.cache.hits")
+            return hit, True
+        self.metrics.add("serve.cache.misses")
+        result = self.solver(scenario)
+        self.store(result)
+        return result, False
+
+    def close(self) -> None:
+        self.index.close()

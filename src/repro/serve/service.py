@@ -1,0 +1,266 @@
+"""The asyncio HTTP front end of ``repro serve`` (stdlib only).
+
+One :class:`ScenarioService` owns a :class:`~repro.serve.cache.ScenarioCache`
+and an ``asyncio.start_server`` listener speaking just enough HTTP/1.1
+for curl and ``http.client``:
+
+* ``POST /solve`` — body is a Scenario JSON object (the
+  :meth:`~repro.runs.Scenario.to_json` shape, unknown fields rejected);
+  the response body is the full RunResult record JSON.  The
+  ``X-Repro-Cache`` header says how it was answered: ``miss`` (solved
+  now), ``hit`` (served from the indexed registry), or ``coalesced``
+  (attached to an identical in-flight solve).
+* ``GET /stats`` — the service's metrics snapshot (always-on private
+  registry, independent of ``REPRO_OBS``): ``serve.requests``,
+  ``serve.cache.hits``/``misses``, ``serve.coalesced``, the
+  ``serve.inflight`` gauge and ``serve/request``/``serve/solve`` spans.
+* ``GET /health`` — liveness probe.
+
+Concurrency model: the event loop handles sockets, cache lookups and
+registry/index access (so the SQLite connection stays on one thread);
+actual solves run in a worker pool of default size 1 — solves are
+CPU-bound, so parallel service throughput comes from cache hits and
+from *coalescing*: every request for a scenario whose solve is already
+in flight awaits that same future, giving N concurrent identical
+requests exactly one solve.
+
+Client errors (malformed JSON, unknown fields, saturated or partitioned
+scenarios) map to HTTP 4xx with a one-line JSON error; unexpected
+failures map to 500 without killing the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..errors import (
+    ConfigurationError,
+    PartitionedNetworkError,
+    ReproError,
+    SaturatedError,
+)
+from ..obs.metrics import MetricsRegistry
+from ..runs import RunRegistry, RunResult, Scenario
+from .cache import ScenarioCache
+
+__all__ = ["ScenarioService"]
+
+_MAX_BODY = 1 << 20  # 1 MiB: a Scenario JSON is a few hundred bytes.
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class ScenarioService:
+    """Concurrent scenario-answering HTTP service (see module docstring).
+
+    Parameters
+    ----------
+    registry:
+        Backing run registry (cache contents persist here).
+    host, port:
+        Listen address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    solver:
+        Miss evaluator forwarded to :class:`ScenarioCache` (test seam).
+    solver_threads:
+        Size of the solve worker pool.  Solves are CPU-bound, so the
+        default of 1 serializes them; cache hits and coalesced requests
+        never enter the pool and stay fully concurrent.
+    """
+
+    def __init__(
+        self,
+        registry: RunRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        solver: Callable[[Scenario], RunResult] | None = None,
+        solver_threads: int = 1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.metrics = MetricsRegistry(enabled=True)
+        self.cache = ScenarioCache(registry, solver=solver, metrics=self.metrics)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, solver_threads), thread_name_prefix="repro-solve"
+        )
+        self._inflight: dict[str, asyncio.Future[RunResult]] = {}
+        self._server: asyncio.AbstractServer | None = None
+
+    # --- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (resolves ``port=0`` to the chosen port)."""
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=True)
+        self.cache.close()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # --- the solve path ----------------------------------------------------------
+
+    async def solve_scenario(self, scenario: Scenario) -> tuple[RunResult, str]:
+        """Answer one scenario; returns ``(record, "hit"|"miss"|"coalesced")``.
+
+        Coalescing contract: the in-flight future is registered *before*
+        the first ``await`` of the miss path, so any request arriving
+        while a solve runs — no matter how narrow the window — attaches to
+        it instead of starting a second solve.
+        """
+        key = scenario.key()
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.add("serve.coalesced")
+            return await asyncio.shield(existing), "coalesced"
+        # Index lookup is synchronous (no await), so between the inflight
+        # check above and the registration below no other task can run.
+        hit = self.cache.lookup(scenario)
+        if hit is not None:
+            self.metrics.add("serve.cache.hits")
+            return hit, "hit"
+        self.metrics.add("serve.cache.misses")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[RunResult] = loop.create_future()
+        self._inflight[key] = future
+        self.metrics.gauge("serve.inflight", len(self._inflight))
+        started = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self._pool, self.cache.solver, scenario
+            )
+            self.cache.store(result)
+            future.set_result(result)
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # consider it retrieved: waiters re-raise theirs
+            raise
+        finally:
+            self._inflight.pop(key, None)
+            self.metrics.gauge("serve.inflight", len(self._inflight))
+            self.metrics.observe("span/serve/solve", time.perf_counter() - started)
+        return result, "miss"
+
+    # --- HTTP plumbing -----------------------------------------------------------
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.perf_counter()
+        self.metrics.add("serve.requests")
+        try:
+            status, payload, extra = await self._handle(reader)
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - the server must outlive any request
+            self.metrics.add("serve.errors")
+            status, payload, extra = 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        headers.extend(f"{k}: {v}" for k, v in extra.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+        self.metrics.observe("span/serve/request", time.perf_counter() - started)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}, {}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line: {request_line!r}"}, {}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("ascii", "replace").strip()
+            if not header:
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": f"bad Content-Length: {value.strip()!r}"}, {}
+        if content_length > _MAX_BODY:
+            return 413, {"error": f"body exceeds {_MAX_BODY} bytes"}, {}
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if method == "GET" and path == "/health":
+            return 200, {"ok": True, "registry": str(self.cache.registry.path)}, {}
+        if method == "GET" and path == "/stats":
+            return 200, self.metrics.snapshot(), {}
+        if path == "/solve":
+            if method != "POST":
+                return 405, {"error": "use POST /solve with a Scenario JSON body"}, {}
+            return await self._handle_solve(body)
+        return 404, {"error": f"no route {method} {path}"}, {}
+
+    async def _handle_solve(
+        self, body: bytes
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"body is not valid JSON: {exc}"}, {}
+        if not isinstance(data, dict):
+            return 400, {"error": "body must be a Scenario JSON object"}, {}
+        try:
+            scenario = Scenario.from_json(data)
+        except ConfigurationError as exc:
+            return 400, {"error": str(exc)}, {}
+        try:
+            result, how = await self.solve_scenario(scenario)
+        except (SaturatedError, PartitionedNetworkError, ConfigurationError) as exc:
+            # The scenario is well-formed but unanswerable as asked: the
+            # client's problem, reported as such (and not cached).
+            return 422, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        except ReproError as exc:
+            self.metrics.add("serve.errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        return 200, result.to_json(), {"X-Repro-Cache": how}

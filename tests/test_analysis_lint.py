@@ -1,4 +1,4 @@
-"""True/false-positive fixture tests for every code-lint rule (REP001-006)."""
+"""True/false-positive fixture tests for every code-lint rule (REP001-007)."""
 
 from __future__ import annotations
 
@@ -292,6 +292,51 @@ class TestREP006WallClock:
             Path("src/repro/obs/metrics.py"),
         )
         assert rules_of(fs) == ["REP006"]
+
+
+class TestREP007RegistryOpen:
+    def test_open_on_registry_file_name_flagged(self):
+        fs = lint_snippet('fh = open("runs.jsonl")\n')
+        assert rules_of(fs) == ["REP007"]
+
+    def test_registry_path_attribute_flagged(self):
+        fs = lint_snippet('line = registry.records_path.open("a")\n')
+        assert rules_of(fs) == ["REP007"]
+
+    def test_computed_receiver_flagged(self):
+        # The receiver being an expression (not a bare name chain) must not
+        # hide the access.
+        fs = lint_snippet(
+            "from pathlib import Path\n"
+            'blob = Path("runs.index.sqlite").read_bytes()\n'
+        )
+        assert rules_of(fs) == ["REP007"]
+
+    def test_joined_quarantine_path_flagged(self):
+        fs = lint_snippet(
+            "from pathlib import Path\n"
+            'root = Path("r")\n'
+            '(root / "runs.quarantine.jsonl").write_text("")\n'
+        )
+        assert rules_of(fs) == ["REP007"]
+
+    def test_unrelated_open_ok(self):
+        assert lint_snippet('fh = open("notes.txt")\n') == []
+
+    def test_unrelated_write_text_ok(self):
+        assert lint_snippet("report_path.write_text(data)\n") == []
+
+    def test_registry_and_index_modules_allowlisted(self):
+        snippet = 'fh = open("runs.jsonl")\n'
+        for module in ("registry", "index"):
+            fs = lint_source(snippet, Path(f"src/repro/runs/{module}.py"))
+            assert fs == []
+
+    def test_pragma_suppresses(self):
+        fs = lint_snippet(
+            'fh = open("runs.jsonl")  # lint: allow-registry-open\n'
+        )
+        assert fs == []
 
 
 class TestDrivers:

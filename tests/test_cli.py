@@ -428,3 +428,97 @@ class TestRunCommand:
         rc = main(["run", "-n", "16", "-f", "16", "--points", "1"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestIndexedRegistryCommands:
+    def seed_registry(self, registry_dir):
+        for argv in (
+            ["run", "--topology", "hypercube", "-n", "16"],
+            ["run", "--topology", "bft", "-n", "16"],
+        ):
+            assert main(argv + ["-f", "16", "--points", "0",
+                                "--save", "--registry", registry_dir]) == 0
+
+    def test_runs_reindex_reports_count(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        self.seed_registry(registry_dir)
+        capsys.readouterr()
+        assert main(["runs", "reindex", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "reindexed" in out
+        assert "2 record(s)" in out
+        assert "runs.index.sqlite" in out
+
+    def test_runs_reindex_json(self, capsys, tmp_path):
+        import json
+
+        registry_dir = str(tmp_path / "registry")
+        self.seed_registry(registry_dir)
+        capsys.readouterr()
+        assert main(["runs", "reindex", "--registry", registry_dir,
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["indexed"] == 2
+        assert data["skipped"] == 0
+
+    def test_runs_list_indexed_matches_scan(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        self.seed_registry(registry_dir)
+        capsys.readouterr()
+        assert main(["runs", "list", "--registry", registry_dir,
+                     "--indexed", "--topology", "hypercube"]) == 0
+        indexed_out = capsys.readouterr().out
+        assert "1 run(s)" in indexed_out and "hypercube" in indexed_out
+        assert main(["runs", "list", "--registry", registry_dir,
+                     "--topology", "hypercube"]) == 0
+        scanned_out = capsys.readouterr().out
+        # The indexed listing renders exactly what the full scan renders.
+        assert indexed_out == scanned_out
+
+
+class TestDesignSave:
+    def test_design_save_records_exploration(self, capsys, tmp_path):
+        registry_dir = str(tmp_path / "registry")
+        rc = main(
+            [
+                "design",
+                "--families", "bft",
+                "--sizes", "16",
+                "--flits", "16",
+                "--patterns", "uniform",
+                "--save", "--registry", registry_dir,
+                "--label", "cm5-sizing",
+            ]
+        )
+        assert rc == 0
+        assert "saved to" in capsys.readouterr().out
+
+        from repro.runs import RunRegistry
+
+        (record,) = RunRegistry(registry_dir).query(kind="exploration")
+        assert record.label == "cm5-sizing"
+        exploration = record.metrics["exploration"]
+        assert exploration["feasible_count"] >= 1
+        assert exploration["cheapest_feasible"] is not None
+        assert isinstance(exploration["pareto"], list)
+
+        capsys.readouterr()
+        assert main(["runs", "list", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "exploration" in out and "cm5-sizing" in out
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--solver-threads", "2", "--registry", "/tmp/r"]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 9000
+        assert args.solver_threads == 2
+
+    def test_serve_rejects_bad_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "not-a-port"])

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import json
 import math
+import multiprocessing
 import warnings
 
 import numpy as np
 import pytest
+
+from repro.obs.metrics import METRICS
 
 from repro.errors import ConfigurationError, RegistryError, SchemaVersionError
 from repro.runs import (
@@ -520,6 +523,20 @@ class TestFlatten:
         assert by_key["n"].rel == pytest.approx(-0.5)
         assert diff.max_abs_rel == pytest.approx(0.5)
 
+    def test_diff_reports_missing_leaves_of_any_type(self):
+        # Satellite regression: a boolean or label leaf present on only
+        # one side used to vanish from the report entirely (only numeric
+        # leaves were flattened); it must show up as added/removed.
+        diff = diff_metrics(
+            {"x": {"flag": True, "v": 1.0}, "note": "tuned"},
+            {"x": {"v": 2.0}, "extra": None},
+        )
+        assert "x.flag" in diff.only_a
+        assert "note" in diff.only_a
+        assert "extra" in diff.only_b
+        # The numeric comparison itself is untouched by the fix.
+        assert [d.key for d in diff.deltas] == ["x.v"]
+
     def test_diff_against_nan_is_undefined_not_infinite(self):
         # A censored simulate run can carry nan latencies; comparing a
         # finite baseline against nan must report "undefined", not ±inf.
@@ -583,3 +600,144 @@ class TestDeprecationShims:
             warnings.simplefilter("error", DeprecationWarning)
             saturation_injection_rate(model, 16)
         assert caught == []
+
+
+class TestRegistryScanMemo:
+    """The incremental-read contract: ``registry.records_read`` counts line
+    *parses*, so repeated reads of an unchanged registry parse nothing."""
+
+    def save_n(self, registry: RunRegistry, n: int, start: int = 0) -> None:
+        for i in range(start, start + n):
+            registry.save(
+                RunResult(
+                    metrics={"point": {"latency": 20.0 + i}},
+                    scenario=Scenario(num_processors=16, message_flits=16),
+                    created_at=float(i + 1),
+                )
+            )
+
+    def test_repeat_reads_parse_only_appended_lines(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.save_n(registry, 3)
+        with METRICS.collect() as first:
+            assert len(registry) == 3
+        assert first.data["counters"]["registry.records_read"] == 3
+        with METRICS.collect() as second:
+            assert len(registry) == 3
+            assert registry.latest() is not None
+        # Two full iterations, zero parses: both served from the memo.
+        assert "registry.records_read" not in second.data["counters"]
+        assert second.data["counters"]["registry.scans"] == 2
+        self.save_n(registry, 2, start=3)
+        with METRICS.collect() as third:
+            assert len(registry) == 5
+        assert third.data["counters"]["registry.records_read"] == 2
+
+    def test_fresh_instance_sees_everything(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.save_n(registry, 3)
+        assert len(registry) == 3
+        assert len(RunRegistry(tmp_path)) == 3
+
+    def test_file_shrink_invalidates_memo(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.save_n(registry, 3)
+        ids = registry.ids()
+        assert len(ids) == 3
+        # Rewrite the file keeping only the first record (a hand edit a
+        # memoized offset must not survive).
+        first_line = registry.records_path.read_text().splitlines()[0]
+        registry.records_path.write_text(first_line + "\n")
+        assert registry.ids() == ids[:1]
+
+    def test_incomplete_trailing_line_not_memoized(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.save_n(registry, 1)
+        in_flight = RunResult(
+            metrics={"point": {"latency": 30.0}},
+            scenario=Scenario(num_processors=16, message_flits=16),
+            created_at=99.0,
+        )
+        with registry.records_path.open("a") as fh:
+            fh.write(in_flight.to_json_str())  # no newline: append in flight
+        # The torn tail is readable (best effort) but never cached ...
+        assert len(registry) == 2
+        with registry.records_path.open("a") as fh:
+            fh.write("\n")
+        # ... so once the newline lands, the completed line is re-read.
+        with METRICS.collect() as telemetry:
+            assert registry.ids().count(in_flight.run_id) == 1
+        assert telemetry.data["counters"]["registry.records_read"] == 1
+
+    def test_nested_iteration_keeps_memo_consistent(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self.save_n(registry, 3)
+        # A predicate that re-enters the registry mid-iteration (the
+        # classic double-memoization hazard).
+        rows = registry.query(predicate=lambda r: registry.latest() is not None)
+        assert len(rows) == 3
+        assert registry.ids() == [r.run_id for r in rows]  # no duplicates
+
+
+def _stress_appender(path_str: str, worker: int, count: int) -> None:
+    """Child-process body for the concurrent-append stress test."""
+    registry = RunRegistry(path_str)
+    scenario = Scenario(num_processors=16, message_flits=16)
+    for i in range(count):
+        registry.save(
+            RunResult(
+                metrics={
+                    "worker": {"id": float(worker), "i": float(i)},
+                    # Bulk the line up so a non-atomic append would tear.
+                    "pad": {"blob": "x" * 2048},
+                },
+                scenario=scenario,
+                label=f"w{worker}",
+                created_at=float(worker * 1_000 + i + 1),
+            )
+        )
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_never_tear_lines(self, tmp_path):
+        """Four appender processes sharing one registry: every record is a
+        complete line (the O_APPEND single-write contract)."""
+        workers, per_worker = 4, 50
+        procs = [
+            multiprocessing.Process(
+                target=_stress_appender, args=(str(tmp_path), w, per_worker)
+            )
+            for w in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        registry = RunRegistry(tmp_path)
+        records = list(registry)
+        assert len(records) == workers * per_worker
+        assert registry.skipped_corrupt == 0
+        for w in range(workers):
+            mine = [r for r in records if r.label == f"w{w}"]
+            assert sorted(r.metrics["worker"]["i"] for r in mine) == [
+                float(i) for i in range(per_worker)
+            ]
+
+
+class TestExplorationRecords:
+    def test_exploration_kind_round_trips(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = RunResult(
+            metrics={"exploration": {"feasible_count": 3, "pareto": []}},
+            scenario=None,
+            kind="exploration",
+            label="frontier",
+        )
+        registry.save(record)
+        assert registry.load(record.run_id) == record
+        assert registry.query(kind="exploration") == [record]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunResult(metrics={}, scenario=None, kind="mystery")

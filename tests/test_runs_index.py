@@ -1,0 +1,242 @@
+"""Tests for the SQLite run index: a disposable cache over the JSONL truth."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.obs.metrics import METRICS
+from repro.runs import RunIndex, RunRegistry, RunResult, Scenario, scenario_key
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        num_processors=16,
+        message_flits=16,
+        flit_load=0.04,
+        sweep_points=4,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def synth_record(i: int, *, topology: str = "bft", label: str = "") -> RunResult:
+    """A registry record without a solve: construction never evaluates."""
+    scenario = tiny_scenario(
+        topology=topology,
+        num_processors={"bft": 16, "hypercube": 16, "kary-ncube": 27}.get(
+            topology, 16
+        ),
+        radix=3 if topology == "kary-ncube" else None,
+        label=label,
+    )
+    return RunResult(
+        metrics={"point": {"latency": float(i)}},
+        scenario=scenario,
+        kind="scenario",
+        provenance={"scenario_key": scenario_key(scenario)},
+        label=label,
+        created_at=float(i + 1),
+    )
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "registry")
+
+
+class TestRefresh:
+    def test_empty_registry_indexes_zero(self, registry):
+        with RunIndex(registry) as index:
+            assert index.count() == 0
+            assert index.latest() is None
+
+    def test_refresh_is_incremental(self, registry):
+        registry.save(synth_record(0))
+        with RunIndex(registry) as index:
+            assert index.refresh() == 1
+            assert index.refresh() == 0  # nothing appended
+            registry.save(synth_record(1))
+            registry.save(synth_record(2))
+            assert index.refresh() == 2  # only the tail
+
+    def test_corrupt_lines_not_indexed(self, registry):
+        registry.save(synth_record(0))
+        with registry.records_path.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn append\n')
+        registry.save(synth_record(1))
+        with RunIndex(registry) as index:
+            assert index.count() == 2
+            assert index.skipped == 1
+
+    def test_trailing_partial_line_deferred(self, registry):
+        registry.save(synth_record(0))
+        with registry.records_path.open("a", encoding="utf-8") as fh:
+            fh.write(synth_record(1).to_json_str())  # no newline: in flight
+        with RunIndex(registry) as index:
+            assert index.count() == 1
+            with registry.records_path.open("a", encoding="utf-8") as fh:
+                fh.write("\n")
+            assert index.refresh() == 1
+            assert index.count() == 2
+
+
+class TestRebuild:
+    def test_index_file_is_disposable(self, registry):
+        for i in range(3):
+            registry.save(synth_record(i))
+        index = RunIndex(registry)
+        assert index.count() == 3
+        index.close()
+        index.path.unlink()
+        with RunIndex(registry) as fresh:
+            assert fresh.count() == 3
+
+    def test_corrupt_sqlite_file_triggers_rebuild(self, registry):
+        registry.save(synth_record(0))
+        index = RunIndex(registry)
+        index.refresh()
+        index.close()
+        index.path.write_bytes(b"this is not a database")
+        with RunIndex(registry) as fresh:
+            assert fresh.count() == 1
+
+    def test_foreign_index_schema_triggers_rebuild(self, registry):
+        registry.save(synth_record(0))
+        index = RunIndex(registry)
+        index.refresh()
+        index.close()
+        conn = sqlite3.connect(index.path)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'index_schema'")
+        conn.commit()
+        conn.close()
+        with RunIndex(registry) as fresh:
+            assert fresh.count() == 1
+
+    def test_shrunk_records_file_triggers_rebuild(self, registry):
+        for i in range(3):
+            registry.save(synth_record(i))
+        with registry.records_path.open("a", encoding="utf-8") as fh:
+            fh.write("garbage line\n")
+        with RunIndex(registry) as index:
+            assert index.count() == 3
+            registry.doctor(quarantine=True)  # rewrites the file smaller
+            assert index.count() == 3
+            assert index.query(topology="bft")  # byte offsets still valid
+
+    def test_stale_offsets_reported_as_registry_error(self, registry):
+        registry.save(synth_record(0))
+        with RunIndex(registry) as index:
+            index.refresh()
+            # Rewrite the records file to the same total size but different
+            # line boundaries: the size check cannot catch this, the
+            # byte-range parse must fail loudly instead of misreading.
+            original = registry.records_path.read_text(encoding="utf-8")
+            run_id = json.loads(original)["run_id"]
+            registry.records_path.write_text(
+                "x" * (len(original) - 1) + "\n", encoding="utf-8"
+            )
+            with pytest.raises(RegistryError, match="reindex"):
+                index.load(run_id)
+
+
+class TestQueryEquivalence:
+    def test_indexed_query_equals_full_scan(self, registry):
+        topologies = ["bft", "hypercube", "kary-ncube"]
+        for i in range(60):
+            registry.save(
+                synth_record(
+                    i,
+                    topology=topologies[i % 3],
+                    label=f"batch-{i % 5}",
+                )
+            )
+        with RunIndex(registry) as index:
+            for topology in topologies:
+                assert index.query(topology=topology) == registry.query(
+                    topology=topology
+                )
+            assert index.query(label="batch-2") == registry.query(label="batch-2")
+            assert index.latest() == registry.latest()
+            some_id = registry.ids()[17]
+            assert index.load(some_id) == registry.load(some_id)
+            assert index.load("latest") == registry.load("latest")
+
+    def test_unknown_filter_rejected(self, registry):
+        with RunIndex(registry) as index:
+            with pytest.raises(RegistryError, match="unknown index filter"):
+                index.query(color="red")
+
+    def test_find_by_scenario_key(self, registry):
+        a = synth_record(0, topology="bft")
+        b = synth_record(1, topology="hypercube")
+        registry.save(a)
+        registry.save(b)
+        with RunIndex(registry) as index:
+            hit = index.find_by_scenario_key(a.provenance["scenario_key"])
+            assert hit == a
+            assert index.find_by_scenario_key("sk1-" + "0" * 64) is None
+
+    def test_missing_run_id_raises(self, registry):
+        registry.save(synth_record(0))
+        with RunIndex(registry) as index:
+            with pytest.raises(RegistryError, match="not found"):
+                index.load("run-000000000000")
+
+    def test_exploration_records_indexed_by_kind(self, registry):
+        registry.save(synth_record(0))
+        registry.save(
+            RunResult(
+                metrics={"exploration": {"feasible_count": 2}},
+                scenario=None,
+                kind="exploration",
+                label="frontier",
+                created_at=9.0,
+            )
+        )
+        with RunIndex(registry) as index:
+            records = index.query(kind="exploration")
+            assert len(records) == 1
+            assert records[0].metrics["exploration"]["feasible_count"] == 2
+
+
+class TestScale:
+    def test_rebuild_equivalence_on_10k_records(self, registry):
+        """Index answers == full-scan answers on a 10k-record registry."""
+        line_template = synth_record(0, topology="bft").to_json_str()
+        lines = []
+        for i in range(10_000):
+            record = json.loads(line_template)
+            record["run_id"] = f"run-{i:012d}"
+            record["created_at"] = float(i + 1)
+            record["label"] = f"shard-{i % 7}"
+            record["metrics"]["point"]["latency"] = float(i)
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        registry.path.mkdir(parents=True, exist_ok=True)
+        with registry.records_path.open("w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with RunIndex(registry) as index:
+            assert index.rebuild() == 10_000
+            scan = registry.query(label="shard-3")
+            indexed = index.query(label="shard-3")
+            assert [r.run_id for r in indexed] == [r.run_id for r in scan]
+            assert index.latest() == registry.latest()
+            run_id = f"run-{4999:012d}"
+            assert index.load(run_id) == registry.load(run_id)
+
+
+class TestObservability:
+    def test_index_counters(self, registry):
+        registry.save(synth_record(0))
+        with METRICS.collect() as telemetry:
+            with RunIndex(registry) as index:
+                index.refresh()
+                index.query(topology="bft")
+        counters = telemetry.data["counters"]
+        assert counters["index.refreshes"] >= 1
+        assert counters["index.records_indexed"] == 1
+        assert counters["index.queries"] == 1
