@@ -1,9 +1,15 @@
-"""Static-analysis layer: code-level lint + model-level pre-solve checks.
+"""Static-analysis layer: code lint, concurrency analysis, pre-solve checks.
 
-Two cooperating passes, both emitting typed :class:`Finding` records:
+Cooperating passes, all emitting typed :class:`Finding` records:
 
 * :mod:`repro.analysis.lint` — an AST-based invariant linter (rules
-  REP001..REP006) run as ``python -m repro.analysis.lint src/repro``.
+  REP001..REP007) and the combined driver
+  (``python -m repro.analysis.lint [--rules ...] [--json] src/repro``).
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.effects` /
+  :mod:`repro.analysis.concurrency` — the interprocedural effect
+  analyzer and its concurrency rules (REP201..REP204: blocking in
+  ``async def``, contended shared globals, await under a sync lock,
+  dropped coroutines).
 * :mod:`repro.analysis.model` — a pre-solve scenario analyzer
   (:func:`analyze_scenario`, rules REP101..REP104) wired into
   ``repro check`` and ``repro run --check``.
@@ -17,23 +23,35 @@ from __future__ import annotations
 
 from typing import Any
 
-from .findings import Finding, render_findings
+from .findings import RULE_CATALOG, Finding, render_findings
 
 __all__ = [
     "Finding",
+    "RULE_CATALOG",
     "render_findings",
     "analyze_scenario",
+    "analyze_concurrency",
+    "build_callgraph",
+    "infer_effects",
     "lint_paths",
+    "run_lint",
 ]
+
+_LAZY = {
+    "analyze_scenario": ("model", "analyze_scenario"),
+    "analyze_concurrency": ("concurrency", "analyze_concurrency"),
+    "build_callgraph": ("callgraph", "build_callgraph"),
+    "infer_effects": ("effects", "infer_effects"),
+    "lint_paths": ("lint", "lint_paths"),
+    "run_lint": ("lint", "run_lint"),
+}
 
 
 def __getattr__(name: str) -> Any:
-    if name == "analyze_scenario":
-        from .model import analyze_scenario
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None  # lint: allow-raise (getattr protocol)
+    import importlib
 
-        return analyze_scenario
-    if name == "lint_paths":
-        from .lint import lint_paths
-
-        return lint_paths
-    raise AttributeError(name)  # lint: allow-raise (getattr protocol)
+    return getattr(importlib.import_module(f".{module}", __name__), attr)

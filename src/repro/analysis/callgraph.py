@@ -1,0 +1,764 @@
+"""Project call graph from stdlib AST (the base layer of the REP2xx pass).
+
+Builds a conservative interprocedural call graph over a set of Python
+source trees without importing them: every ``.py`` file under each given
+root is parsed with :mod:`ast`, module/class/function namespaces are
+recorded, and call sites are resolved through
+
+* **import aliases** — ``import numpy as np``, ``from ..obs import
+  METRICS``, and package ``__init__`` re-export chains
+  (``from .runner import run`` inside ``runs/__init__.py``);
+* **attribute chains** — ``self.cache.lookup(...)`` resolves through the
+  receiving class's inferred attribute types (assignments like
+  ``self.cache = ScenarioCache(...)`` in any method, parameter
+  annotations, and module-global instances like
+  ``METRICS = MetricsRegistry(...)``);
+* **decorators** — a decorated ``def`` keeps its identity, so calls to
+  the decorated name resolve to the wrapped function;
+* **local variables** — single-types locals assigned a known constructor
+  (``pool = ThreadPoolExecutor(...)``) type their method calls.
+
+Anything dynamic — computed attributes, values flowing through
+containers, ``getattr`` — stays *unresolved*: the chain text is kept so
+effect inference can still tail-match known blocking APIs
+(:mod:`repro.analysis.effects`), but no edge is invented.  Conservatism
+here means "never fabricate a resolution", so downstream rules prefer
+false negatives on dynamic dispatch over false positives.
+
+Besides plain ``call`` edges the builder records **spawn** edges — the
+callable handed to ``loop.run_in_executor``, ``asyncio.to_thread``,
+``ThreadPoolExecutor.submit`` or ``threading.Thread(target=...)``.
+Spawned callables run on another thread: they are *excluded* from the
+"what does this async body execute inline" reachability of REP201 but
+*seed* the thread-pool-reachable set of REP202 (see
+:mod:`repro.analysis.concurrency`).  ``ProcessPoolExecutor``/
+``multiprocessing`` hand-offs are neither: a worker process has its own
+module state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Resolved",
+    "build_callgraph",
+]
+
+# Thread-backed executors: callables handed to these run on a thread that
+# shares this process's module state.  Process pools do not.
+_THREAD_EXECUTOR_CLASSES = frozenset({"ThreadPoolExecutor"})
+_PROCESS_EXECUTOR_CLASSES = frozenset({"ProcessPoolExecutor", "Pool"})
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving one dotted chain.
+
+    ``kind`` is one of ``"func"``, ``"class"``, ``"var"``, ``"module"``,
+    ``"external"``.  ``target`` is the project-qualified name for the
+    first four and the canonical absolute dotted path (``numpy.random.
+    default_rng``, ``time.sleep``) for externals — the form effect
+    inference matches against.
+    """
+
+    kind: str
+    target: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge (``kind="call"``) or thread hand-off
+    (``kind="spawn"``)."""
+
+    caller: str
+    callee: str
+    lineno: int
+    kind: str = "call"
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def``/``async def`` (module-level or method)."""
+
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    is_async: bool
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  # owning class qualname, if a method
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    # attr name -> candidate Resolved types (from self.X = ... assignments
+    # and annotated parameters feeding self.X = param).
+    attr_types: dict[str, list[Resolved]] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)  # unresolved base names
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    # binding name -> absolute dotted import target ("repro.obs.metrics.METRICS")
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    # module-global variable name -> candidate Resolved types of its value
+    global_types: dict[str, list[Resolved]] = field(default_factory=dict)
+    global_lines: dict[str, int] = field(default_factory=dict)
+
+
+class CallGraph:
+    """The project graph: modules, functions, classes, call/spawn edges."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges: dict[str, list[CallSite]] = {}
+        # caller qualname -> [(dotted chain text, lineno)] for calls that
+        # could not be resolved to a project function.
+        self.unresolved: dict[str, list[tuple[str, int]]] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    def callees(self, qualname: str, *, kinds: tuple[str, ...] = ("call",)) -> list[CallSite]:
+        return [s for s in self.edges.get(qualname, ()) if s.kind in kinds]
+
+    def spawn_targets(self) -> set[str]:
+        """Functions handed to a thread (executor submit / Thread target)."""
+        return {
+            s.callee
+            for sites in self.edges.values()
+            for s in sites
+            if s.kind == "spawn"
+        }
+
+    def reachable(
+        self, seeds: Iterable[str], *, kinds: tuple[str, ...] = ("call", "spawn")
+    ) -> set[str]:
+        """Transitive closure over ``kinds`` edges from ``seeds``."""
+        seen: set[str] = set()
+        frontier = [s for s in seeds if s in self.functions]
+        while frontier:
+            fn = frontier.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            for site in self.edges.get(fn, ()):
+                if site.kind in kinds and site.callee not in seen:
+                    frontier.append(site.callee)
+        return seen
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_dotted(self, dotted: str, _depth: int = 0) -> Resolved | None:
+        """Resolve an absolute dotted path against the project namespace."""
+        if _depth > 16:  # pathological re-export cycles
+            return None
+        parts = dotted.split(".")
+        # Longest known-module prefix; the remainder resolves componentwise.
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                current: Resolved | None = Resolved("module", prefix)
+                for comp in parts[cut:]:
+                    current = self._step(current, comp, _depth)
+                    if current is None:
+                        return None
+                return current
+        return Resolved("external", dotted)
+
+    def resolve_chain(
+        self, module: str, chain: Sequence[str], *, scope: "_FunctionScope | None" = None
+    ) -> Resolved | None:
+        """Resolve a ``Name``/``Attribute`` chain seen inside ``module``."""
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        current = self._resolve_head(module, head, scope)
+        if current is None:
+            return None
+        for comp in rest:
+            current = self._step(current, comp, 0)
+            if current is None:
+                return None
+        return current
+
+    def _resolve_head(
+        self, module: str, head: str, scope: "_FunctionScope | None"
+    ) -> Resolved | None:
+        if scope is not None:
+            if head == "self" and scope.cls is not None:
+                return Resolved("class-instance", scope.cls)
+            local = scope.local_types.get(head)
+            if local is not None:
+                return local
+            if head in scope.assigned:
+                return None  # locally rebound to something unknown
+        return self._lookup(module, head, 0)
+
+    def _lookup(self, module: str, name: str, depth: int) -> Resolved | None:
+        mod = self.modules.get(module)
+        if mod is None:
+            return Resolved("external", f"{module}.{name}")
+        if name in mod.functions:
+            return Resolved("func", mod.functions[name].qualname)
+        if name in mod.classes:
+            return Resolved("class", mod.classes[name].qualname)
+        if name in mod.global_types:
+            return Resolved("var", f"{mod.name}.{name}")
+        if name in mod.imports:
+            return self.resolve_dotted(mod.imports[name], depth + 1)
+        if f"{module}.{name}" in self.modules:
+            return Resolved("module", f"{module}.{name}")
+        return None
+
+    def _step(self, current: Resolved, comp: str, depth: int) -> Resolved | None:
+        if current.kind == "module":
+            return self._lookup(current.target, comp, depth)
+        if current.kind == "external":
+            return Resolved("external", f"{current.target}.{comp}")
+        if current.kind in ("class", "class-instance"):
+            method = self._method_of(current.target, comp)
+            if method is not None:
+                return Resolved("func", method.qualname)
+            # instance attribute with an inferred type
+            for resolved in self._attr_types(current.target, comp):
+                stepped = Resolved(
+                    "class-instance" if resolved.kind == "class" else resolved.kind,
+                    resolved.target,
+                )
+                return stepped
+            return None
+        if current.kind == "var":
+            for rtype in self.var_types(current.target):
+                if rtype.kind == "class":
+                    method = self._method_of(rtype.target, comp)
+                    if method is not None:
+                        return Resolved("func", method.qualname)
+                if rtype.kind == "external":
+                    return Resolved("external", f"{rtype.target}.{comp}")
+            return None
+        if current.kind == "func":
+            return None  # attributes of functions are dynamic
+        return None
+
+    def _method_of(self, class_qualname: str, name: str, _depth: int = 0) -> FunctionInfo | None:
+        cls = self.classes.get(class_qualname)
+        if cls is None or _depth > 8:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            resolved = self.resolve_chain(cls.module, tuple(base.split(".")))
+            if resolved is not None and resolved.kind == "class":
+                found = self._method_of(resolved.target, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _attr_types(self, class_qualname: str, attr: str) -> list[Resolved]:
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return []
+        return cls.attr_types.get(attr, [])
+
+    def var_types(self, var_qualname: str) -> list[Resolved]:
+        """Inferred value types of a module-global variable."""
+        module, _, name = var_qualname.rpartition(".")
+        mod = self.modules.get(module)
+        if mod is None:
+            return []
+        return mod.global_types.get(name, [])
+
+    def callables_of(self, resolved: Resolved | None) -> list[str]:
+        """Project function qualnames a resolved value may denote.
+
+        Used for spawn-target arguments: ``self.cache.solver`` resolves to
+        a ``var``/attr whose candidate types include function references.
+        """
+        if resolved is None:
+            return []
+        if resolved.kind == "func":
+            return [resolved.target]
+        if resolved.kind == "var":
+            return [r.target for r in self.var_types(resolved.target) if r.kind == "func"]
+        return []
+
+
+class _FunctionScope:
+    """Per-function context while extracting call sites."""
+
+    __slots__ = ("cls", "local_types", "assigned")
+
+    def __init__(self, cls: str | None) -> None:
+        self.cls = cls
+        self.local_types: dict[str, Resolved] = {}
+        self.assigned: set[str] = set()
+
+
+# ---------------------------------------------------------------------------
+# Building.
+
+
+def _iter_sources(paths: Sequence[Path | str]) -> Iterator[tuple[Path, str]]:
+    """Yield ``(file, module_name)`` pairs for every ``.py`` under ``paths``.
+
+    A directory root named ``pkg`` yields modules ``pkg``, ``pkg.sub``,
+    ``pkg.sub.mod`` — so ``src/repro`` produces the canonical
+    ``repro.*`` names that absolute imports use.  A bare file yields its
+    stem.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                rel = file.relative_to(root)
+                parts = [root.name, *rel.parts]
+                parts[-1] = parts[-1].removesuffix(".py")
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                yield file, ".".join(parts)
+        elif root.suffix == ".py":
+            yield root, root.stem
+
+
+def _attr_chain(node: ast.AST) -> tuple[str, ...]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _resolve_relative(module: str, is_package: bool, node: ast.ImportFrom) -> str:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    parts = module.split(".")
+    # level=1 is the current package: for pkg/__init__.py that is the
+    # module itself, for pkg/mod.py it is the parent.
+    hops = node.level - 1 if is_package else node.level
+    base = parts[: len(parts) - hops] if hops <= len(parts) else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _annotation_chain(annotation: ast.expr | None) -> tuple[str, ...]:
+    """First concrete class named by an annotation (``Tracer | None`` →
+    ``Tracer``), or ()."""
+    if annotation is None:
+        return ()
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_chain(annotation.left)
+        return left if left else _annotation_chain(annotation.right)
+    if isinstance(annotation, ast.Subscript):
+        chain = _attr_chain(annotation.value)
+        if chain and chain[-1] == "Optional":
+            inner = annotation.slice
+            return _annotation_chain(inner if isinstance(inner, ast.expr) else None)
+        return ()
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return ()
+    chain = _attr_chain(annotation)
+    if chain and chain[-1] in ("None", "Any"):
+        return ()
+    return chain
+
+
+class _ModuleCollector(ast.NodeVisitor):
+    """First pass: namespaces, imports, classes, functions, globals."""
+
+    def __init__(self, info: ModuleInfo, is_package: bool) -> None:
+        self.info = info
+        self.is_package = is_package
+
+    def collect(self) -> None:
+        for stmt in self.info.tree.body:
+            self._top_level(stmt)
+
+    def _top_level(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.info.imports[bound] = target
+        elif isinstance(stmt, ast.ImportFrom):
+            base = _resolve_relative(self.info.name, self.is_package, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.info.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.info.functions[stmt.name] = FunctionInfo(
+                qualname=f"{self.info.name}.{stmt.name}",
+                module=self.info.name,
+                name=stmt.name,
+                lineno=stmt.lineno,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                node=stmt,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            self._collect_class(stmt)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._collect_global(stmt)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING / fallback-import blocks: collect their bodies.
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._top_level(sub)
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        qualname = f"{self.info.name}.{node.name}"
+        cls = ClassInfo(
+            qualname=qualname,
+            module=self.info.name,
+            name=node.name,
+            bases=[".".join(_attr_chain(b)) for b in node.bases if _attr_chain(b)],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[stmt.name] = FunctionInfo(
+                    qualname=f"{qualname}.{stmt.name}",
+                    module=self.info.name,
+                    name=stmt.name,
+                    lineno=stmt.lineno,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    node=stmt,
+                    cls=qualname,
+                )
+        self.info.classes[node.name] = cls
+
+    def _collect_global(self, stmt: ast.Assign | ast.AnnAssign) -> None:
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            types: list[tuple[str, ...]] = []
+            value = stmt.value
+            if isinstance(value, ast.Call):
+                chain = _attr_chain(value.func)
+                if chain:
+                    types.append(chain)
+            elif isinstance(value, (ast.Dict, ast.DictComp)):
+                types.append(("dict",))
+            elif isinstance(value, (ast.List, ast.ListComp)):
+                types.append(("list",))
+            elif isinstance(value, (ast.Set, ast.SetComp)):
+                types.append(("set",))
+            if isinstance(stmt, ast.AnnAssign):
+                ann = _annotation_chain(stmt.annotation)
+                if ann:
+                    types.append(ann)
+            self.info.global_types.setdefault(target.id, []).extend(
+                Resolved("chain", ".".join(t)) for t in types
+            )
+            self.info.global_lines[target.id] = stmt.lineno
+
+
+def _value_candidates(value: ast.expr) -> list[tuple[str, ...]]:
+    """Chains a right-hand side may evaluate to (IfExp/BoolOp branches)."""
+    if isinstance(value, ast.IfExp):
+        return _value_candidates(value.body) + _value_candidates(value.orelse)
+    if isinstance(value, ast.BoolOp):
+        out: list[tuple[str, ...]] = []
+        for v in value.values:
+            out.extend(_value_candidates(v))
+        return out
+    chain = _attr_chain(value)
+    if chain:
+        return [chain]
+    if isinstance(value, ast.Call):
+        chain = _attr_chain(value.func)
+        if chain:
+            return [("CALL", *chain)]
+    return []
+
+
+class _EdgeExtractor(ast.NodeVisitor):
+    """Second pass: call sites, spawn sites, attribute types."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+
+    # Attribute-type inference must complete before chains through those
+    # attributes resolve, so building runs attr inference for every module
+    # first (phase 2a) and edge extraction after (phase 2b).
+
+    def infer_attr_types(self, mod: ModuleInfo) -> None:
+        for cls in mod.classes.values():
+            for method in cls.methods.values():
+                self._infer_from_method(mod, cls, method)
+        # Materialize module-global value types now that classes exist.
+        for name, raw in mod.global_types.items():
+            resolved: list[Resolved] = []
+            for r in raw:
+                if r.kind != "chain":
+                    resolved.append(r)
+                    continue
+                chain = tuple(r.target.split("."))
+                hit = self.graph.resolve_chain(mod.name, chain)
+                if hit is not None:
+                    resolved.append(hit)
+                else:
+                    resolved.append(Resolved("external", r.target))
+            mod.global_types[name] = resolved
+
+    def _infer_from_method(
+        self, mod: ModuleInfo, cls: ClassInfo, method: FunctionInfo
+    ) -> None:
+        params = {
+            a.arg: _annotation_chain(a.annotation)
+            for a in [
+                *method.node.args.posonlyargs,
+                *method.node.args.args,
+                *method.node.args.kwonlyargs,
+            ]
+        }
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                chain = _attr_chain(target)
+                if len(chain) != 2 or chain[0] != "self":
+                    continue
+                attr = chain[1]
+                for cand in _value_candidates(node.value):
+                    if cand and cand[0] == "CALL":
+                        hit = self.graph.resolve_chain(mod.name, cand[1:])
+                        if hit is not None and hit.kind == "class":
+                            cls.attr_types.setdefault(attr, []).append(hit)
+                        elif hit is not None and hit.kind == "external":
+                            cls.attr_types.setdefault(attr, []).append(hit)
+                    elif len(cand) == 1 and cand[0] in params and params[cand[0]]:
+                        hit = self.graph.resolve_chain(mod.name, params[cand[0]])
+                        if hit is not None and hit.kind == "class":
+                            cls.attr_types.setdefault(attr, []).append(hit)
+                    else:
+                        hit = self.graph.resolve_chain(mod.name, cand)
+                        if hit is not None and hit.kind in ("func", "class", "var"):
+                            cls.attr_types.setdefault(attr, []).append(hit)
+
+    # -- edge extraction ----------------------------------------------------
+
+    def extract(self, mod: ModuleInfo) -> None:
+        for fn in mod.functions.values():
+            self._extract_function(mod, fn, None)
+        for cls in mod.classes.values():
+            for method in cls.methods.values():
+                self._extract_function(mod, method, cls.qualname)
+
+    def _extract_function(
+        self, mod: ModuleInfo, fn: FunctionInfo, cls: str | None
+    ) -> None:
+        scope = _FunctionScope(cls)
+        args = fn.node.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = _annotation_chain(a.annotation)
+            if ann:
+                hit = self.graph.resolve_chain(mod.name, ann)
+                if hit is not None and hit.kind == "class":
+                    scope.local_types[a.arg] = Resolved("class-instance", hit.target)
+            scope.assigned.add(a.arg)
+        # Single-pass local typing: `x = KnownClass(...)` (incl. `with ... as x`).
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                chain = _attr_chain(node.value.func)
+                hit = self.graph.resolve_chain(mod.name, chain, scope=scope) if chain else None
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        scope.assigned.add(target.id)
+                        if hit is not None and hit.kind == "class":
+                            scope.local_types[target.id] = Resolved(
+                                "class-instance", hit.target
+                            )
+                        elif hit is not None and hit.kind == "external":
+                            scope.local_types[target.id] = hit
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        scope.assigned.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name) and isinstance(
+                        item.context_expr, ast.Call
+                    ):
+                        chain = _attr_chain(item.context_expr.func)
+                        hit = (
+                            self.graph.resolve_chain(mod.name, chain, scope=scope)
+                            if chain
+                            else None
+                        )
+                        scope.assigned.add(item.optional_vars.id)
+                        if hit is not None and hit.kind in ("class", "external"):
+                            scope.local_types[item.optional_vars.id] = Resolved(
+                                "class-instance" if hit.kind == "class" else "external",
+                                hit.target,
+                            )
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                self._record_call(mod, fn, scope, node)
+
+    def _record_call(
+        self, mod: ModuleInfo, fn: FunctionInfo, scope: _FunctionScope, node: ast.Call
+    ) -> None:
+        chain = _attr_chain(node.func)
+        if not chain and isinstance(node.func, ast.Attribute):
+            # Method call on a constructor result: `Runner(...).run(...)`.
+            # The inner Call is walked separately (yielding the __init__
+            # edge); here we resolve the method on the constructed class.
+            inner = node.func.value
+            if isinstance(inner, ast.Call):
+                inner_chain = _attr_chain(inner.func)
+                hit = (
+                    self.graph.resolve_chain(mod.name, inner_chain, scope=scope)
+                    if inner_chain
+                    else None
+                )
+                if hit is not None and hit.kind in ("class", "class-instance"):
+                    method = self.graph._method_of(hit.target, node.func.attr)
+                    if method is not None:
+                        self._add_edge(fn.qualname, method.qualname, node.lineno, "call")
+                        return
+        resolved = (
+            self.graph.resolve_chain(mod.name, chain, scope=scope) if chain else None
+        )
+        if resolved is not None and resolved.kind == "func":
+            self._add_edge(fn.qualname, resolved.target, node.lineno, "call")
+        elif resolved is not None and resolved.kind in ("class", "class-instance"):
+            # Constructor call: edge to __init__ when the project defines it.
+            init = self.graph._method_of(resolved.target, "__init__")
+            if init is not None:
+                self._add_edge(fn.qualname, init.qualname, node.lineno, "call")
+        else:
+            text = ".".join(chain) if chain else "<dynamic>"
+            if resolved is not None and resolved.kind == "external":
+                text = resolved.target
+            self.graph.unresolved.setdefault(fn.qualname, []).append(
+                (text, node.lineno)
+            )
+        self._record_spawns(mod, fn, scope, node, chain, resolved)
+
+    def _record_spawns(
+        self,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        scope: _FunctionScope,
+        node: ast.Call,
+        chain: tuple[str, ...],
+        resolved: Resolved | None,
+    ) -> None:
+        tail = chain[-1] if chain else ""
+        spawn_args: list[ast.expr] = []
+        if tail == "run_in_executor" and len(node.args) >= 2:
+            # loop.run_in_executor(executor, fn, *args): executor=None is
+            # the default *thread* pool, so any hand-off here is a thread.
+            spawn_args.append(node.args[1])
+        elif tail == "to_thread" and node.args:
+            spawn_args.append(node.args[0])
+        elif tail == "submit" and node.args:
+            if not self._is_process_pool(mod, scope, chain[:-1]):
+                spawn_args.append(node.args[0])
+        elif tail == "Thread" or (resolved is not None and resolved.target == "threading.Thread"):
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    spawn_args.append(kw.value)
+        for arg in spawn_args:
+            for target in self._callable_targets(mod, scope, arg):
+                self._add_edge(fn.qualname, target, node.lineno, "spawn")
+
+    def _is_process_pool(
+        self, mod: ModuleInfo, scope: _FunctionScope, receiver: tuple[str, ...]
+    ) -> bool:
+        if not receiver:
+            return False
+        hit = self.graph.resolve_chain(mod.name, receiver, scope=scope)
+        if hit is None:
+            return False
+        names: list[str] = []
+        if hit.kind in ("class-instance", "class", "external"):
+            names.append(hit.target.rsplit(".", 1)[-1])
+        elif hit.kind == "var":
+            names.extend(
+                r.target.rsplit(".", 1)[-1] for r in self.graph.var_types(hit.target)
+            )
+        return any(n in _PROCESS_EXECUTOR_CLASSES for n in names)
+
+    def _callable_targets(
+        self, mod: ModuleInfo, scope: _FunctionScope, arg: ast.expr
+    ) -> list[str]:
+        # functools.partial(f, ...) hands off f.
+        if isinstance(arg, ast.Call):
+            chain = _attr_chain(arg.func)
+            if chain and chain[-1] == "partial" and arg.args:
+                return self._callable_targets(mod, scope, arg.args[0])
+            return []
+        targets: list[str] = []
+        for cand in _value_candidates(arg):
+            if cand and cand[0] == "CALL":
+                continue
+            hit = self.graph.resolve_chain(mod.name, cand, scope=scope)
+            if hit is None:
+                continue
+            if hit.kind == "func":
+                targets.append(hit.target)
+            else:
+                targets.extend(self.graph.callables_of(hit))
+        return targets
+
+    def _add_edge(self, caller: str, callee: str, lineno: int, kind: str) -> None:
+        self.graph.edges.setdefault(caller, []).append(
+            CallSite(caller=caller, callee=callee, lineno=lineno, kind=kind)
+        )
+
+
+def build_callgraph(paths: Sequence[Path | str]) -> CallGraph:
+    """Parse every ``.py`` under ``paths`` and build the project graph."""
+    graph = CallGraph()
+    for file, name in _iter_sources(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (OSError, SyntaxError):
+            continue  # the per-file linter reports REP000 for these
+        info = ModuleInfo(name=name, path=file, source=source, tree=tree)
+        graph.modules[name] = info
+        _ModuleCollector(info, is_package=file.name == "__init__.py").collect()
+    extractor = _EdgeExtractor(graph)
+    for info in graph.modules.values():
+        for fn in info.functions.values():
+            graph.functions[fn.qualname] = fn
+        for cls in info.classes.values():
+            graph.classes[cls.qualname] = cls
+            for method in cls.methods.values():
+                graph.functions[method.qualname] = method
+    for info in graph.modules.values():
+        extractor.infer_attr_types(info)
+    for info in graph.modules.values():
+        extractor.extract(info)
+    return graph

@@ -1,0 +1,295 @@
+"""Concurrency lints (REP201..REP204) over the project effect facts.
+
+This is the rule layer of the analyzer stack — :mod:`.callgraph` builds
+the interprocedural graph, :mod:`.effects` infers per-function effect
+facts, and this module turns those facts into findings.  Where the
+paper's analytical model predicts contention on *physical channels*,
+this pass predicts contention on *shared in-process state*:
+
+**REP201** — no blocking effect (file/sqlite/socket I/O, ``time.sleep``,
+subprocess) may be reachable from an ``async def`` body through plain
+calls.  Hand-offs through ``loop.run_in_executor`` / ``asyncio.to_thread``
+are the sanctioned escape hatch: they appear as *spawn* edges in the call
+graph and are never flagged.  Suppress a justified site with
+``# lint: allow-blocking-async``.
+
+**REP202** — a module-global written both from a *thread-pool-reachable*
+function (the transitive closure of executor/thread spawn targets) and
+from main-path code is contended: every write site must hold a lock (a
+``with <lock>:`` at the site, or the mutating method's own locking
+discipline), be ``threading.local``, or carry
+``# lint: allow-shared-state``.
+
+**REP203** — no ``await`` inside a *sync* ``with <lock>:`` critical
+section; parking the coroutine while holding a thread lock stalls every
+other thread that wants it.  ``async with`` (asyncio locks) is fine.
+Suppress with ``# lint: allow-await-in-lock``.
+
+**REP204** — a bare coroutine call as an expression statement
+(``self.refresh()`` where ``refresh`` is ``async def``) never runs;
+award it an ``await`` or schedule it.  Suppress with
+``# lint: allow-bare-coroutine``.
+
+All four rules are conservative in the "no fabricated resolution"
+direction: dynamic dispatch the call graph cannot resolve produces no
+finding rather than a speculative one.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, build_callgraph, _FunctionScope
+from .effects import EffectTable, _attr_chain, _lock_like, infer_effects
+from .findings import ERROR, Finding, RULE_CATALOG, pragma_lines
+
+__all__ = ["REP2XX_RULES", "analyze_concurrency"]
+
+REP2XX_RULES = ("REP201", "REP202", "REP203", "REP204")
+
+
+def analyze_concurrency(
+    paths: Sequence[Path | str], *, rules: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the REP2xx pass over every ``.py`` under ``paths``."""
+    selected = frozenset(rules) if rules is not None else frozenset(REP2XX_RULES)
+    graph = build_callgraph(paths)
+    table = infer_effects(graph)
+    checker = _Checker(graph, table)
+    findings: list[Finding] = []
+    if "REP201" in selected:
+        findings.extend(checker.rep201())
+    if "REP202" in selected:
+        findings.extend(checker.rep202())
+    if "REP203" in selected:
+        findings.extend(checker.rep203())
+    if "REP204" in selected:
+        findings.extend(checker.rep204())
+    return sorted(findings, key=Finding.sort_key)
+
+
+class _Checker:
+    def __init__(self, graph: CallGraph, table: EffectTable) -> None:
+        self.graph = graph
+        self.table = table
+        self._pragmas: dict[str, dict[int, frozenset[str]]] = {
+            name: pragma_lines(mod.source) for name, mod in graph.modules.items()
+        }
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _mod(self, fn: FunctionInfo) -> ModuleInfo | None:
+        return self.graph.modules.get(fn.module)
+
+    def _suppressed(self, module: str, line: int, rule: str) -> bool:
+        tags = self._pragmas.get(module, {}).get(line)
+        return bool(tags) and RULE_CATALOG[rule].pragma in tags
+
+    def _finding(
+        self, rule: str, fn: FunctionInfo, line: int, message: str, hint: str
+    ) -> Finding | None:
+        if self._suppressed(fn.module, line, rule):
+            return None
+        mod = self._mod(fn)
+        path = str(mod.path) if mod is not None else fn.module
+        return Finding(
+            rule=rule, severity=ERROR, message=message, path=path, line=line, hint=hint
+        )
+
+    # -- REP201: blocking reachable from async def --------------------------
+
+    def rep201(self) -> list[Finding]:
+        hint = (
+            "hand off via await loop.run_in_executor(...)/asyncio.to_thread(...)"
+            " or pragma allow-blocking-async"
+        )
+        out: list[Finding] = []
+        for qualname, fn in self.graph.functions.items():
+            if not fn.is_async:
+                continue
+            effects = self.table.get(qualname)
+            if effects is not None:
+                for line, api in effects.blocking_sites:
+                    f = self._finding(
+                        "REP201",
+                        fn,
+                        line,
+                        f"async def '{fn.name}' performs blocking call {api}",
+                        hint,
+                    )
+                    if f is not None:
+                        out.append(f)
+            seen: set[tuple[int, str]] = set()
+            for site in self.graph.callees(qualname):  # spawn edges excluded
+                callee = self.graph.functions.get(site.callee)
+                ce = self.table.get(site.callee)
+                if callee is None or callee.is_async or ce is None or ce.blocks is None:
+                    continue
+                if (site.lineno, site.callee) in seen:
+                    continue
+                seen.add((site.lineno, site.callee))
+                witness = " -> ".join(
+                    part.rsplit(".", 1)[-1]
+                    for part in (site.callee, *ce.blocks_via)
+                )
+                f = self._finding(
+                    "REP201",
+                    fn,
+                    site.lineno,
+                    f"async def '{fn.name}' calls '{callee.name}' which blocks"
+                    f" ({ce.blocks} via {witness})",
+                    hint,
+                )
+                if f is not None:
+                    out.append(f)
+        return out
+
+    # -- REP202: contended module-global writes -----------------------------
+
+    def rep202(self) -> list[Finding]:
+        hint = (
+            "guard every write with one threading.Lock"
+            " or pragma allow-shared-state"
+        )
+        pool = self.graph.reachable(self.graph.spawn_targets())
+        writes: dict[str, list[tuple[str, object]]] = {}
+        for qualname, effects in self.table.items():
+            for w in effects.global_writes:
+                writes.setdefault(w.target, []).append((qualname, w))
+        out: list[Finding] = []
+        for target, sites in writes.items():
+            pool_writers = {q for q, _ in sites if q in pool}
+            main_writers = {q for q, _ in sites if q not in pool}
+            if not pool_writers or not main_writers:
+                continue
+            short = target.rsplit(".", 1)[-1]
+            for qualname, w in sites:
+                if w.guarded:  # type: ignore[attr-defined]
+                    continue
+                fn = self.graph.functions[qualname]
+                f = self._finding(
+                    "REP202",
+                    fn,
+                    w.lineno,  # type: ignore[attr-defined]
+                    f"unguarded write to shared module global '{short}'"
+                    f" ({w.how}); '{target}' is written from both"  # type: ignore[attr-defined]
+                    " thread-pool and main-path code",
+                    hint,
+                )
+                if f is not None:
+                    out.append(f)
+        return out
+
+    # -- REP203: await while holding a sync lock ----------------------------
+
+    def rep203(self) -> list[Finding]:
+        hint = (
+            "release the lock before awaiting, or switch to asyncio.Lock"
+            " with 'async with'; pragma allow-await-in-lock"
+        )
+        out: list[Finding] = []
+        for fn in self.graph.functions.values():
+            mod = self._mod(fn)
+            if mod is None:
+                continue
+            for line in _awaits_under_sync_lock(fn.node, self.graph, mod.name):
+                f = self._finding(
+                    "REP203",
+                    fn,
+                    line,
+                    f"'{fn.name}' awaits while holding a sync lock"
+                    " (parks the coroutine with the lock held)",
+                    hint,
+                )
+                if f is not None:
+                    out.append(f)
+        return out
+
+    # -- REP204: bare coroutine call ----------------------------------------
+
+    def rep204(self) -> list[Finding]:
+        hint = "await it, or schedule it with asyncio.create_task(...)"
+        out: list[Finding] = []
+        for fn in self.graph.functions.values():
+            mod = self._mod(fn)
+            if mod is None:
+                continue
+            scope = _FunctionScope(fn.cls)
+            for stmt in _statements(fn.node):
+                if not isinstance(stmt, ast.Expr) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    continue
+                chain = _attr_chain(stmt.value.func)
+                if not chain:
+                    continue
+                resolved = self.graph.resolve_chain(mod.name, chain, scope=scope)
+                if resolved is None or resolved.kind != "func":
+                    continue
+                callee = self.graph.functions.get(resolved.target)
+                if callee is None or not callee.is_async:
+                    continue
+                f = self._finding(
+                    "REP204",
+                    fn,
+                    stmt.lineno,
+                    f"coroutine '{callee.name}' is called but never awaited"
+                    " or scheduled (the call builds a coroutine object and"
+                    " drops it)",
+                    hint,
+                )
+                if f is not None:
+                    out.append(f)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# AST walkers (both skip nested defs — their bodies run on another schedule).
+
+
+def _statements(fn_node: ast.AST) -> list[ast.stmt]:
+    """Every statement in the function body, excluding nested defs."""
+    out: list[ast.stmt] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.stmt):
+                out.append(child)
+            walk(child)
+
+    walk(fn_node)
+    return out
+
+
+def _awaits_under_sync_lock(
+    fn_node: ast.AST, graph: CallGraph, module: str
+) -> list[int]:
+    """Line numbers of ``await`` expressions inside a sync ``with <lock>``."""
+    lines: list[int] = []
+
+    def walk(node: ast.AST, depth: int) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not fn_node:
+                return
+        if isinstance(node, ast.Await) and depth > 0:
+            lines.append(node.lineno)
+        if isinstance(node, ast.With):
+            holds = any(
+                _lock_like(item.context_expr, graph, module) for item in node.items
+            )
+            for item in node.items:
+                walk(item, depth)
+            for stmt in node.body:
+                walk(stmt, depth + 1 if holds else depth)
+            return
+        # ast.AsyncWith never increments depth: asyncio locks are awaited
+        # fairly and holding one across an await is their intended use.
+        for child in ast.iter_child_nodes(node):
+            walk(child, depth)
+
+    walk(fn_node, 0)
+    return lines

@@ -1,0 +1,617 @@
+"""Per-function effect inference over the project call graph.
+
+For every function in a :class:`~repro.analysis.callgraph.CallGraph` this
+pass infers a :class:`FunctionEffects` record:
+
+* **blocks** — the function (transitively) performs an operation that
+  parks the calling thread: file/sqlite/socket I/O, ``time.sleep``,
+  subprocess spawning.  Matching is two-tier: calls that resolve to a
+  canonical external dotted path are matched exactly
+  (``sqlite3.connect``, ``time.sleep``, ``os.write``), while unresolved
+  attribute calls fall back to a conservative method-tail list
+  (``.open``, ``.read_text``, ``.execute`` …) so a ``cursor.execute`` on
+  an untyped receiver is still caught.
+* **reads_clock** — reads wall-clock time (the REP006 tails).
+* **solves** — enters a NumPy/GIL-bound numeric kernel (any resolved
+  ``numpy.*`` call); GIL-holding CPU work is what multi-worker serving
+  must push into a pool, so the fact is propagated like blocking.
+* **mutates self** — writes instance state outside ``__init__``/
+  ``__post_init__``, with per-site *lock-guard* tracking: a mutation
+  inside ``with <lock>:`` (a name containing ``lock`` or a value typed
+  ``threading.Lock``/``RLock``/``Condition``/``Semaphore``) is guarded.
+  A method is *guarded* when every mutation path — direct sites and
+  transitive ``self.helper()`` calls — holds a lock.  Writes through a
+  ``threading.local``-typed attribute are exempt (thread-local state
+  cannot race).
+* **writes module-globals** — direct writes (``global X`` rebinding,
+  ``X.attr = ...``, ``X[k] = ...``, container-mutator calls) plus calls
+  to self-mutating methods *on* a module-global instance: with
+  ``METRICS = MetricsRegistry()`` at module level, ``METRICS.add(...)``
+  is a write to ``obs.metrics.METRICS`` whose guardedness is the called
+  method's guardedness (or an enclosing ``with lock:`` at the call site).
+
+Blocking/clock/solve facts propagate transitively over ``call`` edges to
+*sync* callees (calling an ``async def`` only creates a coroutine — its
+effects belong to whoever awaits it, and REP201 reports them there);
+``spawn`` edges never propagate — handing work to an executor is the
+sanctioned way to keep an effect off the event loop.  Each transitive
+``blocks`` carries a witness chain (``lookup -> find_by_scenario_key ->
+sqlite3.connect``) so findings explain themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, Resolved, _FunctionScope
+
+__all__ = [
+    "EffectTable",
+    "FunctionEffects",
+    "GlobalWrite",
+    "infer_effects",
+]
+
+# --- canonical external paths ------------------------------------------------
+
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "sqlite3.connect",
+        "os.open",
+        "os.write",
+        "os.read",
+        "os.fsync",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.system",
+        "os.popen",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "socket.socket",
+        "select.select",
+        "shutil.copy",
+        "shutil.copytree",
+        "shutil.rmtree",
+    }
+)
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+# Method tails that block on an *unresolved* receiver (conservative: a
+# typed receiver that resolved to a non-blocking external is exempt).
+_BLOCKING_METHOD_TAILS = frozenset(
+    {
+        "open",
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "mkdir",
+        "unlink",
+        "rename",
+        "replace",
+        "execute",
+        "executemany",
+        "executescript",
+        "commit",
+        "rollback",
+        "fetchone",
+        "fetchall",
+        "fetchmany",
+        "recv",
+        "sendall",
+        "accept",
+    }
+)
+
+_WALL_CLOCK_EXACT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_WALL_CLOCK_TAILS = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+)
+
+_SOLVE_PREFIXES = ("numpy.", "np.")
+
+# Container methods that mutate their receiver in place.
+_MUTATOR_TAILS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "__setitem__",
+    }
+)
+
+_LOCK_CLASS_TAILS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+_CONSTRUCTOR_EXEMPT = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """One write site against a module-global variable."""
+
+    target: str  # global qualname, e.g. "repro.obs.metrics.METRICS"
+    lineno: int
+    guarded: bool
+    how: str  # human description: "METRICS.add(...)", "global _ACTIVE", ...
+
+
+@dataclass
+class FunctionEffects:
+    """Inferred effect facts for one function (see module docstring)."""
+
+    qualname: str
+    # Direct in-body blocking sites: (lineno, api description).
+    blocking_sites: list[tuple[int, str]] = field(default_factory=list)
+    # Transitive verdicts.
+    blocks: str | None = None  # the blocking API at the end of the chain
+    blocks_via: tuple[str, ...] = ()  # witness: callee qualnames to the site
+    reads_clock: bool = False
+    solves: bool = False
+    # Instance-state mutation (outside constructors).
+    self_mutation_sites: list[tuple[int, bool]] = field(default_factory=list)
+    self_call_sites: list[tuple[str, int, bool]] = field(default_factory=list)
+    mutates_self: bool = False
+    self_guarded: bool = True  # meaningful only when mutates_self
+    # Module-global writes (direct + via mutating methods on global instances).
+    global_writes: list[GlobalWrite] = field(default_factory=list)
+    # Deferred: calls on module-global project-class instances whose
+    # guardedness depends on the callee's (resolved after propagation).
+    _pending_method_writes: list[tuple[str, str, int, bool, str]] = field(
+        default_factory=list
+    )
+
+
+class EffectTable(dict):
+    """``qualname -> FunctionEffects`` with graph context attached."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        super().__init__()
+        self.graph = graph
+
+
+# ---------------------------------------------------------------------------
+# Matching helpers.
+
+
+def _blocking_reason(canonical: str) -> str | None:
+    if canonical in _BLOCKING_EXACT:
+        return canonical
+    for prefix in _BLOCKING_PREFIXES:
+        if canonical.startswith(prefix):
+            return canonical
+    return None
+
+
+def _is_wall_clock(canonical: str, chain: tuple[str, ...]) -> bool:
+    if canonical in _WALL_CLOCK_EXACT:
+        return True
+    for tail in _WALL_CLOCK_TAILS:
+        if chain[-len(tail) :] == tail:
+            return True
+    return False
+
+
+def _is_solve(canonical: str) -> bool:
+    return any(canonical.startswith(p) for p in _SOLVE_PREFIXES)
+
+
+def _attr_chain(node: ast.AST) -> tuple[str, ...]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _lock_like(expr: ast.expr, graph: CallGraph, module: str) -> bool:
+    """Is this ``with`` context expression a thread lock?"""
+    if isinstance(expr, ast.Call):
+        chain = _attr_chain(expr.func)
+    else:
+        chain = _attr_chain(expr)
+    if not chain:
+        return False
+    if "lock" in chain[-1].lower():
+        return True
+    resolved = graph.resolve_chain(module, chain)
+    if resolved is not None and resolved.kind == "external":
+        return resolved.target.rsplit(".", 1)[-1] in _LOCK_CLASS_TAILS
+    if resolved is not None and resolved.kind == "var":
+        return any(
+            r.kind == "external"
+            and r.target.rsplit(".", 1)[-1] in _LOCK_CLASS_TAILS
+            for r in graph.var_types(resolved.target)
+        )
+    return False
+
+
+def _is_thread_local_attr(
+    graph: CallGraph, cls_qualname: str | None, attr: str
+) -> bool:
+    if cls_qualname is None:
+        return False
+    cls = graph.classes.get(cls_qualname)
+    if cls is None:
+        return False
+    return any(
+        r.kind == "external" and r.target.rsplit(".", 1)[-1] == "local"
+        for r in cls.attr_types.get(attr, [])
+    )
+
+
+# ---------------------------------------------------------------------------
+# The per-function direct pass.
+
+
+class _DirectEffects:
+    """Recursive body walk tracking lock depth and local shadowing."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        effects: FunctionEffects,
+    ) -> None:
+        self.graph = graph
+        self.mod = mod
+        self.fn = fn
+        self.e = effects
+        # A minimal scope so ``self.attr.method(...)`` chains resolve
+        # through the owning class's inferred attribute types.
+        self.scope = _FunctionScope(fn.cls)
+        self.locals: set[str] = set()
+        self.declared_globals: set[str] = set()
+        self._prescan(fn.node)
+
+    def _prescan(self, node: ast.AST) -> None:
+        """Locally-bound names (params, assignments) shadow module globals."""
+        args = self.fn.node.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self.locals.add(a.arg)
+        if args.vararg:
+            self.locals.add(args.vararg.arg)
+        if args.kwarg:
+            self.locals.add(args.kwarg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                self.declared_globals.update(sub.names)
+            elif isinstance(sub, ast.Assign):
+                for t in sub.targets:
+                    if isinstance(t, ast.Name):
+                        self.locals.add(t.id)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(sub.target, ast.Name):
+                    self.locals.add(sub.target.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                for t in ast.walk(sub.target):
+                    if isinstance(t, ast.Name):
+                        self.locals.add(t.id)
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.locals.add(item.optional_vars.id)
+        self.locals -= self.declared_globals
+
+    # -- the walk -----------------------------------------------------------
+
+    def run(self) -> None:
+        for stmt in self.fn.node.body:
+            self._visit(stmt, lock_depth=0)
+
+    def _visit(self, node: ast.AST, lock_depth: int) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested defs run on their own schedule (executor callables,
+            # callbacks): their bodies are not inline effects of the
+            # enclosing function.  The call graph cannot resolve them as
+            # spawn targets either, so they stay out of both sides —
+            # conservative in the "no false positives" direction.
+            return
+        if isinstance(node, ast.With):
+            holds = any(
+                _lock_like(item.context_expr, self.graph, self.mod.name)
+                for item in node.items
+            )
+            for item in node.items:
+                self._visit(item.context_expr, lock_depth)
+            for stmt in node.body:
+                self._visit(stmt, lock_depth + 1 if holds else lock_depth)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, lock_depth)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._assignment(node, lock_depth)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, lock_depth)
+
+    # -- calls --------------------------------------------------------------
+
+    def _call(self, node: ast.Call, lock_depth: int) -> None:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        is_self = chain[0] == "self" and self.fn.cls is not None
+        if not is_self and chain[0] in self.locals and len(chain) == 1:
+            return
+        if is_self:
+            resolved = self.graph.resolve_chain(self.mod.name, chain, scope=self.scope)
+        elif chain[0] in self.locals:
+            resolved = None
+        else:
+            resolved = self.graph.resolve_chain(self.mod.name, chain)
+        guarded = lock_depth > 0
+        if resolved is None:
+            # Unresolved receiver: conservative tail matching.
+            tail = chain[-1]
+            if chain[0] == "open" and len(chain) == 1:
+                self.e.blocking_sites.append((node.lineno, "open()"))
+            elif len(chain) > 1 and tail in _BLOCKING_METHOD_TAILS:
+                self.e.blocking_sites.append((node.lineno, ".".join(chain)))
+            if _is_wall_clock(".".join(chain), chain):
+                self.e.reads_clock = True
+            return
+        if resolved.kind == "external":
+            canonical = resolved.target
+            reason = _blocking_reason(canonical)
+            if reason is not None:
+                self.e.blocking_sites.append((node.lineno, reason))
+            if _is_wall_clock(canonical, chain):
+                self.e.reads_clock = True
+            if _is_solve(canonical):
+                self.e.solves = True
+            return
+        if resolved.kind == "func":
+            info = self.graph.functions.get(resolved.target)
+            if (
+                info is not None
+                and info.cls is not None
+                and chain[0] == "self"
+                and info.cls == (self.fn.cls or "")
+            ):
+                self.e.self_call_sites.append((resolved.target, node.lineno, guarded))
+            # Method call on a module-global instance: a deferred global
+            # write if the method turns out to mutate self.
+            if info is not None and info.cls is not None and len(chain) >= 2:
+                root = self.graph.resolve_chain(self.mod.name, chain[:1])
+                if (
+                    chain[0] not in self.locals
+                    and root is not None
+                    and root.kind == "var"
+                ):
+                    self.e._pending_method_writes.append(
+                        (
+                            root.target,
+                            resolved.target,
+                            node.lineno,
+                            guarded,
+                            ".".join(chain) + "(...)",
+                        )
+                    )
+            return
+        if resolved.kind == "var":
+            # Container-mutator call on a module-global: X.update(...).
+            if len(chain) >= 2 and chain[-1] in _MUTATOR_TAILS:
+                root = self.graph.resolve_chain(self.mod.name, chain[:1])
+                if root is not None and root.kind == "var":
+                    if not self._thread_local_global(root.target):
+                        self.e.global_writes.append(
+                            GlobalWrite(
+                                target=root.target,
+                                lineno=node.lineno,
+                                guarded=guarded,
+                                how=".".join(chain) + "(...)",
+                            )
+                        )
+
+    def _thread_local_global(self, var_qualname: str) -> bool:
+        return any(
+            r.kind == "external" and r.target.rsplit(".", 1)[-1] == "local"
+            for r in self.graph.var_types(var_qualname)
+        )
+
+    # -- assignments --------------------------------------------------------
+
+    def _assignment(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign, lock_depth: int
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        guarded = lock_depth > 0
+        for target in targets:
+            root, chain = self._target_root(target)
+            if root is None:
+                continue
+            if root == "self":
+                if self.fn.name in _CONSTRUCTOR_EXEMPT or self.fn.cls is None:
+                    continue
+                if len(chain) >= 2 and _is_thread_local_attr(
+                    self.graph, self.fn.cls, chain[1]
+                ):
+                    continue
+                if len(chain) >= 2:
+                    self.e.self_mutation_sites.append((node.lineno, guarded))
+                continue
+            if root in self.locals:
+                continue
+            if root in self.declared_globals and len(chain) == 1:
+                # `global X` rebinding of a module-global.
+                self.e.global_writes.append(
+                    GlobalWrite(
+                        target=f"{self.mod.name}.{root}",
+                        lineno=node.lineno,
+                        guarded=guarded,
+                        how=f"global {root} = ...",
+                    )
+                )
+                continue
+            if isinstance(target, ast.Subscript) and len(chain) == 1:
+                # Container write through a bare module-global name
+                # (``COUNTS[key] = ...``): no rebinding, so no ``global``
+                # statement is needed and the pre-pass never saw the name
+                # as a local — but it mutates shared state all the same.
+                resolved = self.graph.resolve_chain(self.mod.name, chain)
+                if resolved is not None and resolved.kind == "var":
+                    if not self._thread_local_global(resolved.target):
+                        self.e.global_writes.append(
+                            GlobalWrite(
+                                target=resolved.target,
+                                lineno=node.lineno,
+                                guarded=guarded,
+                                how=f"{root}[...] = ...",
+                            )
+                        )
+                continue
+            if len(chain) >= 2:
+                resolved = self.graph.resolve_chain(self.mod.name, chain[:1])
+                if resolved is not None and resolved.kind == "var":
+                    if not self._thread_local_global(resolved.target):
+                        self.e.global_writes.append(
+                            GlobalWrite(
+                                target=resolved.target,
+                                lineno=node.lineno,
+                                guarded=guarded,
+                                how=".".join(chain) + " = ...",
+                            )
+                        )
+
+    @staticmethod
+    def _target_root(target: ast.expr) -> tuple[str | None, tuple[str, ...]]:
+        """Root name and dotted chain of an assignment target.
+
+        ``self._counters[name]`` → ("self", ("self", "_counters")); plain
+        ``x`` → ("x", ("x",)); anything computed → (None, ()).
+        """
+        node: ast.expr = target
+        parts: list[str] = []
+        while True:
+            if isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            elif isinstance(node, ast.Name):
+                parts.append(node.id)
+                return parts[-1], tuple(reversed(parts))
+            else:
+                return None, ()
+
+
+# ---------------------------------------------------------------------------
+# Propagation.
+
+
+def infer_effects(graph: CallGraph) -> EffectTable:
+    """Direct pass over every function, then transitive propagation."""
+    table = EffectTable(graph)
+    for qualname, fn in graph.functions.items():
+        mod = graph.modules.get(fn.module)
+        effects = FunctionEffects(qualname=qualname)
+        if mod is not None:
+            _DirectEffects(graph, mod, fn, effects).run()
+        if effects.blocking_sites:
+            effects.blocks = effects.blocking_sites[0][1]
+        effects.mutates_self = bool(effects.self_mutation_sites)
+        effects.self_guarded = all(g for _, g in effects.self_mutation_sites)
+        table[qualname] = effects
+
+    _propagate_self_mutation(table, graph)
+    _propagate_transitive(table, graph)
+    _resolve_pending_global_writes(table)
+    return table
+
+
+def _propagate_self_mutation(table: EffectTable, graph: CallGraph) -> None:
+    """Fold ``self.helper()`` chains into mutates-self / guardedness."""
+    changed = True
+    while changed:
+        changed = False
+        for e in table.values():
+            for callee, _lineno, guarded_site in e.self_call_sites:
+                ce = table.get(callee)
+                if ce is None or not ce.mutates_self:
+                    continue
+                if not e.mutates_self:
+                    e.mutates_self = True
+                    e.self_guarded = guarded_site or ce.self_guarded
+                    changed = True
+                elif e.self_guarded and not (guarded_site or ce.self_guarded):
+                    e.self_guarded = False
+                    changed = True
+
+
+def _propagate_transitive(table: EffectTable, graph: CallGraph) -> None:
+    """Blocking / clock / solve facts flow caller-ward over sync calls."""
+    changed = True
+    while changed:
+        changed = False
+        for qualname, e in table.items():
+            for site in graph.edges.get(qualname, ()):
+                if site.kind != "call":
+                    continue
+                callee_info = graph.functions.get(site.callee)
+                if callee_info is None or callee_info.is_async:
+                    continue
+                ce = table.get(site.callee)
+                if ce is None:
+                    continue
+                if ce.blocks is not None and e.blocks is None:
+                    e.blocks = ce.blocks
+                    e.blocks_via = (site.callee, *ce.blocks_via)
+                    changed = True
+                if ce.reads_clock and not e.reads_clock:
+                    e.reads_clock = True
+                    changed = True
+                if ce.solves and not e.solves:
+                    e.solves = True
+                    changed = True
+
+
+def _resolve_pending_global_writes(table: EffectTable) -> None:
+    """Turn ``GLOBAL.method(...)`` calls into write sites when the method
+    mutates instance state; guardedness comes from the call-site lock or
+    the method's own locking discipline."""
+    for e in table.values():
+        for target, method, lineno, guarded_site, how in e._pending_method_writes:
+            me = table.get(method)
+            if me is None or not me.mutates_self:
+                continue
+            e.global_writes.append(
+                GlobalWrite(
+                    target=target,
+                    lineno=lineno,
+                    guarded=guarded_site or me.self_guarded,
+                    how=how,
+                )
+            )
+        e._pending_method_writes.clear()

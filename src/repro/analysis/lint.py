@@ -26,40 +26,55 @@ REP007  no direct ``open()``/``read_text``/``write_text`` on run-registry
         every append must go through the canonical O_APPEND writer and
         every read through the registry/index APIs.
         Pragma: ``# lint: allow-registry-open``.
+REP201-REP204  concurrency rules over the interprocedural effect
+        analysis (blocking-in-async, contended shared globals, await
+        under a sync lock, dropped coroutines) — see
+        :mod:`repro.analysis.concurrency` for the rule text and pragmas.
 
-The linter is stdlib-only (``ast`` + ``re``) so it can gate CI before any
-third-party dependency is importable.  Exit codes: 0 clean, 1 findings,
-2 usage error.
+Options: ``--rules REP001,REP2xx`` selects rules (exact ids or a
+``REPn*``/``REPnxx`` prefix wildcard), ``--json`` emits a machine-readable
+findings report, ``--list-rules`` prints the catalog with each rule's
+pragma.  The linter is stdlib-only (``ast`` + ``re``) so it can gate CI
+before any third-party dependency is importable.  Exit codes: 0 clean,
+1 findings, 2 usage error.
 """
 
 from __future__ import annotations
 
 import ast
 import builtins
+import json as _json
 import re
 import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..errors import ConfigurationError
 from ..errors import __all__ as _ERROR_EXPORTS
-from .findings import ERROR, Finding, render_findings
+from .findings import (
+    ERROR,
+    Finding,
+    RULE_CATALOG,
+    pragma_lines as _pragma_lines,
+    render_findings,
+)
 
-__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+__all__ = ["lint_file", "lint_paths", "lint_source", "main", "run_lint"]
 
 # ---------------------------------------------------------------------------
 # Pragmas: same-line ``# lint: tag1, tag2`` comments suppress specific rules.
-
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*([a-zA-Z0-9_,\- ]+)")
+# The grammar and the rule catalog live in .findings (shared with the
+# concurrency pass); this view keeps the per-file rules' lookups local.
 
 _PRAGMA_FOR_RULE = {
-    "REP001": "allow-rng",
-    "REP002": "allow-spec-field",
-    "REP003": "allow-raise",
-    "REP004": "allow-float-eq",
-    "REP005": "allow-shim-import",
-    "REP006": "allow-wall-clock",
-    "REP007": "allow-registry-open",
+    rule: entry.pragma
+    for rule, entry in RULE_CATALOG.items()
+    if rule.startswith("REP0") and entry.pragma != "-"
 }
+
+# The rules each pass can emit (REP000 surfaces regardless of selection).
+_FILE_RULES = frozenset(_PRAGMA_FOR_RULE)
+_CONCURRENCY_RULES = frozenset({"REP201", "REP202", "REP203", "REP204"})
 
 # ---------------------------------------------------------------------------
 # Rule data.
@@ -203,16 +218,6 @@ def _module_of(path: Path) -> str:
                 tail = tail[:-1]
             return ".".join(tail)
     return ""
-
-
-def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
-    out: dict[int, frozenset[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(line)
-        if m:
-            tags = frozenset(t.strip() for t in m.group(1).split(",") if t.strip())
-            out[lineno] = tags
-    return out
 
 
 def _attr_chain(node: ast.AST) -> tuple[str, ...]:
@@ -630,17 +635,132 @@ def lint_paths(paths: Sequence[Path | str]) -> list[Finding]:
     return sorted(findings, key=Finding.sort_key)
 
 
+# ---------------------------------------------------------------------------
+# Rule selection and the combined (file + concurrency) run.
+
+_PREFIX_TOKEN_RE = re.compile(r"(REP\d+)(?:XX|\*)?", re.IGNORECASE)
+
+
+def parse_rules(spec: str) -> frozenset[str]:
+    """Expand a ``--rules`` value into concrete rule ids.
+
+    Accepts exact ids (``REP001``) and prefix wildcards (``REP2xx`` or
+    ``REP2*`` select every catalog rule starting ``REP2``).  Raises
+    :class:`~repro.errors.ConfigurationError` on a token matching nothing.
+    """
+    selected: set[str] = set()
+    for raw in spec.split(","):
+        token = raw.strip().upper()
+        if not token:
+            continue
+        if token in RULE_CATALOG:
+            selected.add(token)
+            continue
+        m = _PREFIX_TOKEN_RE.fullmatch(token)
+        matches = (
+            {r for r in RULE_CATALOG if r.startswith(m.group(1))} if m else set()
+        )
+        if not matches:
+            known = ", ".join(sorted(RULE_CATALOG))
+            raise ConfigurationError(
+                f"unknown rule {raw.strip()!r} (known: {known})"
+            )
+        selected.update(matches)
+    if not selected:
+        raise ConfigurationError("--rules selected nothing")
+    return frozenset(selected)
+
+
+def run_lint(
+    paths: Sequence[Path | str], *, rules: frozenset[str] | None = None
+) -> list[Finding]:
+    """File-local rules plus the concurrency pass, filtered to ``rules``.
+
+    ``rules=None`` runs everything this driver owns (REP0xx + REP2xx;
+    the REP1xx model rules live in ``repro check``'s pre-solve analyzer).
+    A pass only runs when one of its rules is selected, so
+    ``--rules REP001`` skips the call-graph build entirely.
+    """
+    findings: list[Finding] = []
+    if rules is None or rules & _FILE_RULES or "REP000" in (rules or ()):
+        file_findings = lint_paths(paths)
+        if rules is not None:
+            file_findings = [
+                f for f in file_findings if f.rule in rules or f.rule == "REP000"
+            ]
+        findings.extend(file_findings)
+    if rules is None or rules & _CONCURRENCY_RULES:
+        from .concurrency import analyze_concurrency
+
+        conc_rules = sorted(
+            _CONCURRENCY_RULES if rules is None else rules & _CONCURRENCY_RULES
+        )
+        findings.extend(analyze_concurrency(paths, rules=conc_rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def report_json(paths: Sequence[str], rules: frozenset[str] | None, findings: list[Finding]) -> str:
+    """The ``--json`` findings report (one stable, machine-readable object)."""
+    checked = sorted(
+        (_FILE_RULES | _CONCURRENCY_RULES | {"REP000"}) if rules is None else rules
+    )
+    return _json.dumps(
+        {
+            "paths": list(paths),
+            "rules": checked,
+            "count": len(findings),
+            "findings": [f.to_json() for f in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def list_rules() -> str:
+    """The ``--list-rules`` table: id, pragma, one-line description."""
+    lines = [f"{'RULE':8} {'PRAGMA':22} DESCRIPTION"]
+    for rule, entry in RULE_CATALOG.items():
+        lines.append(f"{rule:8} {entry.pragma:22} {entry.summary}")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if "--list-rules" in args:
+        print(list_rules())
+        return 0
     if not args or any(a in ("-h", "--help") for a in args):
         print(__doc__)
-        print("usage: python -m repro.analysis.lint PATH [PATH ...]")
+        print(
+            "usage: python -m repro.analysis.lint"
+            " [--rules REP001,REP2xx] [--json] [--list-rules] PATH [PATH ...]"
+        )
         return 0 if args else 2
+    json_out = "--json" in args
+    args = [a for a in args if a != "--json"]
+    rules: frozenset[str] | None = None
+    if "--rules" in args:
+        at = args.index("--rules")
+        if at + 1 >= len(args):
+            print("error: --rules needs a value", file=sys.stderr)
+            return 2
+        try:
+            rules = parse_rules(args[at + 1])
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    if not args:
+        print("error: no paths given", file=sys.stderr)
+        return 2
     missing = [a for a in args if not Path(a).exists()]
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    findings = lint_paths(args)
+    findings = run_lint(args, rules=rules)
+    if json_out:
+        print(report_json(args, rules, findings))
+        return 1 if findings else 0
     if findings:
         print(render_findings(findings))
         print(f"{len(findings)} finding(s)", file=sys.stderr)

@@ -14,6 +14,10 @@ Gives downstream users the main entry points without writing Python:
 * ``runs``        — registry operations: ``runs list`` (``--indexed`` for
   SQLite-backed queries), ``runs diff``, ``runs doctor`` (corruption
   audit / quarantine) and ``runs reindex`` (rebuild the query index);
+* ``lint``        — static analysis of the source tree itself: the
+  file-local invariant rules (REP001-007) plus the call-graph
+  concurrency rules (REP201-204); ``--rules`` selects families
+  (``REP2xx``), ``--list-rules`` prints the catalog, exit 1 on findings;
 * ``model``       — one analytical evaluation (latency breakdown);
 * ``sweep``       — model latency-vs-load table up to saturation;
 * ``saturation``  — Eq. 26 saturation loads for one or more message lengths;
@@ -280,6 +284,32 @@ def build_parser() -> argparse.ArgumentParser:
         "conservation, stage-graph structure, entry weights, stability",
     )
     add_scenario_shape(p_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis of the source tree: invariant rules "
+        "(REP001-007) plus call-graph concurrency rules (REP201-204)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated rule selection; a family prefix like REP2xx "
+        "or REP2* selects every rule in it (default: all rules)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (rule, pragma, description) and exit",
+    )
+    add_json(p_lint)
 
     p_serve = sub.add_parser(
         "serve",
@@ -590,6 +620,34 @@ def _cmd_check(args):
 
     report = analyze_scenario(_scenario_from_args(args))
     return report.render(), report.to_json(), 0 if report.ok else 2
+
+
+def _cmd_lint(args):
+    from pathlib import Path
+
+    from .analysis import lint as linter
+
+    if args.list_rules:
+        payload = {
+            "rules": [
+                {"rule": rule, "pragma": entry.pragma, "summary": entry.summary}
+                for rule, entry in linter.RULE_CATALOG.items()
+            ]
+        }
+        return linter.list_rules(), payload, 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise ConfigurationError(f"no such path: {missing[0]}")
+    rules = linter.parse_rules(args.rules) if args.rules else None
+    findings = linter.run_lint(args.paths, rules=rules)
+    payload = json.loads(linter.report_json(args.paths, rules, findings))
+    if findings:
+        from .analysis.findings import render_findings
+
+        text = "{}\n\n{} finding(s)".format(render_findings(findings), len(findings))
+        return text, payload, 1
+    checked = ", ".join(payload["rules"])
+    return f"clean: {len(args.paths)} path(s), rules {checked}", payload, 0
 
 
 def _cmd_run(args):
@@ -1056,6 +1114,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "check": _cmd_check,
+        "lint": _cmd_lint,
         "serve": _cmd_serve,
         "runs": _cmd_runs,
         "model": _cmd_model,

@@ -15,6 +15,20 @@ Enable it three ways:
   an ``observability`` block to every :class:`~repro.runs.RunResult`);
 * setting :attr:`MetricsRegistry.enabled` directly (tests).
 
+The registry is **thread-safe when enabled**: every enabled-path write
+holds one ``threading.Lock``, and :meth:`collect` is thread-identity
+aware — each thread records into *its own* innermost open scope (a
+``threading.local`` stack), so a solve running on a ``ThreadPoolExecutor``
+worker — ``repro serve`` runs every solve there — cannot tear a scope
+another thread holds open.  Events from a thread with no scope of its
+own land in the most recently opened scope anywhere (the pre-lock
+behavior, made race-free), or in the shared base state when no scope is
+open.  A closing scope folds its totals into the nearest still-open
+scope (or the base state when the registry is ambiently enabled), so
+totals are conserved no matter which thread recorded them.  The
+disabled fast path takes no lock — the ≤5% overhead gate in CI
+(obs-smoke) pins that.
+
 Histograms are four running moments per name — count, total, min, max —
 never samples, so memory stays O(distinct names) no matter how many
 fixed-point solves a sweep performs.  Span durations recorded through
@@ -25,6 +39,7 @@ fixed-point solves a sweep performs.  Span durations recorded through
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -46,15 +61,110 @@ class Collection:
         self.data: dict = {}
 
 
+class _Scope:
+    """One open :meth:`~MetricsRegistry.collect` scope."""
+
+    __slots__ = ("counters", "gauges", "hist")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.hist: dict[str, list[float]] = {}
+
+
+def _merge(
+    counters: dict[str, float],
+    gauges: dict[str, float],
+    hist: dict[str, list[float]],
+    scope: _Scope,
+) -> None:
+    """Fold a finished scope's events into target dicts."""
+    for k, v in scope.counters.items():
+        counters[k] = counters.get(k, 0.0) + v
+    gauges.update(scope.gauges)
+    for k, h in scope.hist.items():
+        outer = hist.get(k)
+        if outer is None:
+            hist[k] = list(h)
+        else:
+            outer[0] += h[0]
+            outer[1] += h[1]
+            if h[2] < outer[2]:
+                outer[2] = h[2]
+            if h[3] > outer[3]:
+                outer[3] = h[3]
+
+
+def _observe_into(hist: dict[str, list[float]], name: str, value: float) -> None:
+    h = hist.get(name)
+    v = float(value)
+    if h is None:
+        hist[name] = [1.0, v, v, v]
+    else:
+        h[0] += 1.0
+        h[1] += v
+        if v < h[2]:
+            h[2] = v
+        if v > h[3]:
+            h[3] = v
+
+
+def _tidy(value: float) -> float | int:
+    """Present integral floats as ints (counter JSON stays readable)."""
+    return int(value) if value == int(value) else value
+
+
+def _render(
+    counters: dict[str, float],
+    gauges: dict[str, float],
+    hist: dict[str, list[float]],
+) -> dict:
+    """The JSON-able snapshot shape shared by base state and scopes."""
+    histograms: dict[str, dict] = {}
+    spans: dict[str, dict] = {}
+    for name in sorted(hist):
+        count, total, lo, hi = hist[name]
+        if name.startswith(_SPAN_PREFIX):
+            spans[name[len(_SPAN_PREFIX):]] = {
+                "count": int(count),
+                "total_s": total,
+                "mean_s": total / count,
+                "max_s": hi,
+            }
+        else:
+            histograms[name] = {
+                "count": int(count),
+                "total": _tidy(total),
+                "mean": total / count,
+                "min": _tidy(lo),
+                "max": _tidy(hi),
+            }
+    return {
+        "counters": {k: _tidy(counters[k]) for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
 class MetricsRegistry:
     """Counters, gauges and histograms with cheap no-op defaults.
 
-    Not thread-safe by design: the library's parallelism is process-based
-    (:mod:`repro.util.parallel`), and each worker process gets its own
-    registry.
+    Thread-safe when enabled: every enabled-path write holds
+    :attr:`_lock`, and collect scopes are attributed per thread (see the
+    module docstring).  The disabled path stays lock-free.
     """
 
-    __slots__ = ("enabled", "_counters", "_gauges", "_hist")
+    __slots__ = (
+        "enabled",
+        "_counters",
+        "_gauges",
+        "_hist",
+        "_lock",
+        "_local",
+        "_open",
+        "_ambient",
+    )
 
     def __init__(self, *, enabled: bool = False) -> None:
         self.enabled = enabled
@@ -62,50 +172,78 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         # name -> [count, total, min, max] (running moments, never samples).
         self._hist: dict[str, list[float]] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # Open collect() scopes across all threads, in open order, and
+        # whether recording was ambiently on before the first forced it.
+        self._open = []  # list[_Scope]
+        self._ambient = False
+
+    def _scope_stack(self) -> list[_Scope]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # --- recording (no-ops while disabled) ---------------------------------------
+
+    # The recording bodies check `self._open` before touching the
+    # thread-local stack: a non-empty per-thread stack implies a
+    # non-empty `_open`, and skipping the threading.local getattr keeps
+    # the common no-scope enabled path (env-enabled sweeps) cheap — the
+    # design_explore benchmark sits inside the obs-smoke ±5% window.
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment counter ``name`` by ``value``."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0.0) + value
+        with self._lock:
+            if not self._open:
+                if self.enabled:  # the last open scope may have closed under us
+                    self._counters[name] = self._counters.get(name, 0.0) + value
+                return
+            stack = getattr(self._local, "stack", None)
+            scope = stack[-1] if stack else self._open[-1]
+            scope.counters[name] = scope.counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to its latest ``value``."""
         if not self.enabled:
             return
-        self._gauges[name] = float(value)
+        with self._lock:
+            if not self._open:
+                if self.enabled:
+                    self._gauges[name] = float(value)
+                return
+            stack = getattr(self._local, "stack", None)
+            scope = stack[-1] if stack else self._open[-1]
+            scope.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Fold ``value`` into histogram ``name``."""
         if not self.enabled:
             return
-        h = self._hist.get(name)
-        if h is None:
-            v = float(value)
-            self._hist[name] = [1.0, v, v, v]
-        else:
-            v = float(value)
-            h[0] += 1.0
-            h[1] += v
-            if v < h[2]:
-                h[2] = v
-            if v > h[3]:
-                h[3] = v
+        with self._lock:
+            if not self._open:
+                if self.enabled:
+                    _observe_into(self._hist, name, value)
+                return
+            stack = getattr(self._local, "stack", None)
+            scope = stack[-1] if stack else self._open[-1]
+            _observe_into(scope.hist, name, value)
 
     def reset(self) -> None:
-        """Drop every recorded value (keeps the enabled flag)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._hist.clear()
+        """Drop every recorded base value (keeps the enabled flag)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hist.clear()
 
     # --- reading -----------------------------------------------------------------
 
     @staticmethod
     def _tidy(value: float) -> float | int:
-        """Present integral floats as ints (counter JSON stays readable)."""
-        return int(value) if value == int(value) else value
+        return _tidy(value)
 
     def snapshot(self) -> dict:
         """JSON-able view: counters, gauges, histograms and span aggregates.
@@ -115,33 +253,8 @@ class MetricsRegistry:
         ``{count, total_s, mean_s, max_s}``; everything else keeps the raw
         ``{count, total, mean, min, max}`` moments.
         """
-        histograms: dict[str, dict] = {}
-        spans: dict[str, dict] = {}
-        for name in sorted(self._hist):
-            count, total, lo, hi = self._hist[name]
-            if name.startswith(_SPAN_PREFIX):
-                spans[name[len(_SPAN_PREFIX):]] = {
-                    "count": int(count),
-                    "total_s": total,
-                    "mean_s": total / count,
-                    "max_s": hi,
-                }
-            else:
-                histograms[name] = {
-                    "count": int(count),
-                    "total": self._tidy(total),
-                    "mean": total / count,
-                    "min": self._tidy(lo),
-                    "max": self._tidy(hi),
-                }
-        return {
-            "counters": {
-                k: self._tidy(self._counters[k]) for k in sorted(self._counters)
-            },
-            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
-            "histograms": histograms,
-            "spans": spans,
-        }
+        with self._lock:
+            return _render(self._counters, self._gauges, self._hist)
 
     # --- scoped collection ---------------------------------------------------------
 
@@ -149,44 +262,40 @@ class MetricsRegistry:
     def collect(self) -> Iterator[Collection]:
         """Force-enable for a scope and capture that scope's own telemetry.
 
-        The scope starts from empty dicts, so the returned snapshot holds
-        exactly the events of the ``with`` block.  On exit the previous
-        state (including the enabled flag) is restored, and — when the
-        registry was already recording — the scope's activity is merged
-        back so an outer :meth:`collect` or the env-enabled global view
-        still sees the totals.  Nests cleanly.
+        The scope starts empty, so the returned snapshot holds exactly
+        the events recorded while it was the innermost scope — for this
+        thread always its own (scopes stack per thread), plus events from
+        threads with no scope of their own while it was the newest open
+        anywhere.  On exit the enabled flag is restored once the last
+        open scope closes, and the scope's activity folds into the
+        nearest still-open scope (or the base state when the registry was
+        ambiently recording), so an outer :meth:`collect` — even one held
+        by another thread — or the env-enabled global view still sees the
+        totals.  Nests cleanly.
         """
-        saved_enabled = self.enabled
-        saved = (self._counters, self._gauges, self._hist)
-        self.enabled = True
-        self._counters, self._gauges, self._hist = {}, {}, {}
+        scope = _Scope()
+        stack = self._scope_stack()
+        with self._lock:
+            if not self._open:
+                self._ambient = self.enabled
+            self._open.append(scope)
+            self.enabled = True
+        stack.append(scope)
         handle = Collection()
         try:
             yield handle
         finally:
-            handle.data = self.snapshot()
-            scope_counters, scope_gauges, scope_hist = (
-                self._counters,
-                self._gauges,
-                self._hist,
-            )
-            self.enabled = saved_enabled
-            self._counters, self._gauges, self._hist = saved
-            if self.enabled:
-                for k, v in scope_counters.items():
-                    self._counters[k] = self._counters.get(k, 0.0) + v
-                self._gauges.update(scope_gauges)
-                for k, h in scope_hist.items():
-                    outer = self._hist.get(k)
-                    if outer is None:
-                        self._hist[k] = list(h)
-                    else:
-                        outer[0] += h[0]
-                        outer[1] += h[1]
-                        if h[2] < outer[2]:
-                            outer[2] = h[2]
-                        if h[3] > outer[3]:
-                            outer[3] = h[3]
+            stack.pop()
+            with self._lock:
+                self._open.remove(scope)
+                if not self._open:
+                    self.enabled = self._ambient
+                handle.data = _render(scope.counters, scope.gauges, scope.hist)
+                if self._open:
+                    target = self._open[-1]
+                    _merge(target.counters, target.gauges, target.hist, scope)
+                elif self._ambient:
+                    _merge(self._counters, self._gauges, self._hist, scope)
 
 
 def _env_enabled() -> bool:

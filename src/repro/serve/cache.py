@@ -13,6 +13,16 @@ The cache layer is deliberately synchronous and transport-free so it can
 be exercised directly by tests and ``benchmarks/bench_serve.py``; the
 asyncio service in :mod:`repro.serve.service` adds concurrency and
 request coalescing on top.
+
+Concurrency audit (REP201): :meth:`ScenarioCache.lookup` and
+:meth:`ScenarioCache.store` *do* block (indexed SQLite point read;
+registry append + index upsert) and are called from the service's event
+loop on purpose — the SQLite connection must stay on one thread
+(``check_same_thread``), the no-await lookup is what makes request
+coalescing atomic, and the store must complete before waiters wake so
+the cache stays write-through.  The two call sites in
+``service.solve_scenario`` carry ``# lint: allow-blocking-async``
+pragmas citing this contract; only ``solver`` runs on the worker pool.
 """
 
 from __future__ import annotations

@@ -148,7 +148,10 @@ class ScenarioService:
             return await asyncio.shield(existing), "coalesced"
         # Index lookup is synchronous (no await), so between the inflight
         # check above and the registration below no other task can run.
-        hit = self.cache.lookup(scenario)
+        # That atomicity is what makes coalescing airtight, and the SQLite
+        # connection must stay on this thread (check_same_thread) — a
+        # sub-millisecond indexed point read is the price of both.
+        hit = self.cache.lookup(scenario)  # lint: allow-blocking-async
         if hit is not None:
             self.metrics.add("serve.cache.hits")
             return hit, "hit"
@@ -162,7 +165,11 @@ class ScenarioService:
             result = await loop.run_in_executor(
                 self._pool, self.cache.solver, scenario
             )
-            self.cache.store(result)
+            # The store (registry append + index upsert) shares the
+            # lookup's SQLite thread affinity, and running it before
+            # future.set_result keeps the cache write-through: a waiter
+            # can never observe a result the index does not yet serve.
+            self.cache.store(result)  # lint: allow-blocking-async
             future.set_result(result)
         except BaseException as exc:
             if not future.cancelled():

@@ -1,0 +1,348 @@
+"""Unit suite for the project call-graph builder.
+
+Each fixture is a tiny package written to ``tmp_path`` and fed to
+:func:`build_callgraph`, pinning the resolution rules the concurrency
+analyzer depends on: import aliases (including package ``__init__``
+re-exports), method resolution through inferred attribute types and
+base classes, decorator-wrapped functions, thread hand-off ("spawn")
+edges, and — just as load-bearing — conservatism on dynamic calls the
+graph cannot resolve.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.callgraph import build_callgraph
+
+
+def make_pkg(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write a package named ``pkg`` under ``tmp_path`` and return its root."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    if "__init__.py" not in files:
+        (root / "__init__.py").write_text("")
+    for rel, src in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(src))
+    return root
+
+
+def callee_names(graph, caller: str, kinds: tuple[str, ...] = ("call",)) -> list[str]:
+    return sorted({s.callee for s in graph.callees(caller, kinds=kinds)})
+
+
+UTIL = """
+    def helper():
+        return 1
+    """
+
+
+class TestImportResolution:
+    def test_module_alias_import(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "util.py": UTIL,
+                "main.py": """
+                    import pkg.util as u
+
+                    def caller():
+                        return u.helper()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.main.caller") == ["pkg.util.helper"]
+
+    def test_from_import_alias(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "util.py": UTIL,
+                "main.py": """
+                    from pkg.util import helper as h
+
+                    def caller():
+                        return h()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.main.caller") == ["pkg.util.helper"]
+
+    def test_package_init_reexport(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "__init__.py": "from .util import helper\n",
+                "util.py": UTIL,
+                "main.py": """
+                    from pkg import helper
+
+                    def caller():
+                        return helper()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.main.caller") == ["pkg.util.helper"]
+
+
+class TestMethodResolution:
+    def test_self_method_call(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Runner:
+                        def run(self):
+                            return self.step()
+
+                        def step(self):
+                            return 1
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.mod.Runner.run") == ["pkg.mod.Runner.step"]
+
+    def test_attribute_type_inference(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Cache:
+                        def get(self, key):
+                            return key
+
+                    class Service:
+                        def __init__(self):
+                            self.cache = Cache()
+
+                        def lookup(self, key):
+                            return self.cache.get(key)
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.mod.Service.lookup") == ["pkg.mod.Cache.get"]
+
+    def test_inherited_method_resolution(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Base:
+                        def ping(self):
+                            return 1
+
+                    class Child(Base):
+                        def go(self):
+                            return self.ping()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert callee_names(graph, "pkg.mod.Child.go") == ["pkg.mod.Base.ping"]
+
+    def test_constructor_result_method_call(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Runner:
+                        def run(self):
+                            return 1
+
+                    def drive():
+                        return Runner().run()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert "pkg.mod.Runner.run" in callee_names(graph, "pkg.mod.drive")
+
+
+class TestDecoratorsAndConservatism:
+    def test_decorated_function_still_resolves(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    import functools
+
+                    def logged(fn):
+                        @functools.wraps(fn)
+                        def inner(*a, **k):
+                            return fn(*a, **k)
+                        return inner
+
+                    @logged
+                    def helper():
+                        return 1
+
+                    def caller():
+                        return helper()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert "pkg.mod.helper" in callee_names(graph, "pkg.mod.caller")
+
+    def test_dynamic_call_not_fabricated(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    def helper():
+                        return 1
+
+                    TABLE = {"h": helper}
+
+                    def caller(key):
+                        fn = TABLE[key]
+                        return fn()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        # `fn` came from a subscript the graph cannot see through: no
+        # edge may be invented, and the miss is recorded as unresolved.
+        assert callee_names(graph, "pkg.mod.caller") == []
+        assert "pkg.mod.caller" in graph.unresolved
+
+    def test_shadowed_import_not_resolved(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "util.py": UTIL,
+                "main.py": """
+                    from pkg.util import helper
+
+                    def caller(helper):
+                        return helper()
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        # The parameter shadows the import; resolving through it would
+        # attribute arbitrary callables to pkg.util.helper.
+        assert callee_names(graph, "pkg.main.caller") == []
+
+
+class TestSpawnEdges:
+    def test_executor_submit_is_spawn(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def worker(n):
+                        return n
+
+                    def launch():
+                        with ThreadPoolExecutor() as pool:
+                            pool.submit(worker, 1)
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert graph.spawn_targets() == {"pkg.mod.worker"}
+        # spawn edges never count as plain calls
+        assert callee_names(graph, "pkg.mod.launch", kinds=("call",)) == []
+
+    def test_thread_target_and_partial(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    import functools
+                    import threading
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def worker_a():
+                        return 1
+
+                    def worker_b(n):
+                        return n
+
+                    def launch():
+                        threading.Thread(target=worker_a).start()
+                        pool = ThreadPoolExecutor()
+                        pool.submit(functools.partial(worker_b, 2))
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert graph.spawn_targets() == {"pkg.mod.worker_a", "pkg.mod.worker_b"}
+
+    def test_async_handoffs_are_spawns(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    import asyncio
+
+                    def worker():
+                        return 1
+
+                    async def via_to_thread():
+                        return await asyncio.to_thread(worker)
+
+                    async def via_executor():
+                        loop = asyncio.get_running_loop()
+                        return await loop.run_in_executor(None, worker)
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        assert graph.spawn_targets() == {"pkg.mod.worker"}
+
+    def test_process_pool_submit_is_not_a_thread_spawn(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def worker():
+                        return 1
+
+                    def launch():
+                        pool = ProcessPoolExecutor()
+                        pool.submit(worker)
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        # A process pool gives the child its own interpreter: no shared
+        # memory, so no thread-race surface.
+        assert graph.spawn_targets() == set()
+
+    def test_reachable_closure_spans_spawned_work(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "mod.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def deep():
+                        return 1
+
+                    def worker():
+                        return deep()
+
+                    def launch():
+                        pool = ThreadPoolExecutor()
+                        pool.submit(worker)
+                    """,
+            },
+        )
+        graph = build_callgraph([root])
+        pool = graph.reachable(graph.spawn_targets())
+        assert {"pkg.mod.worker", "pkg.mod.deep"} <= pool
+        assert "pkg.mod.launch" not in pool

@@ -1,0 +1,425 @@
+"""True/false-positive fixtures for the concurrency rules (REP201-204).
+
+Every rule gets at least one fixture that must fire (TP) and at least
+one that must stay silent (FP): the to_thread/run_in_executor hand-off,
+the lock-guarded shared global, and same-line pragma suppression are
+exactly the idioms the ``src/repro`` sweep relies on staying quiet.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.concurrency import analyze_concurrency
+
+
+def make_pkg(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "pkg"
+    root.mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    for rel, src in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(src))
+    return root
+
+
+def check(tmp_path, source: str, rules=None):
+    root = make_pkg(tmp_path, {"mod.py": source})
+    return analyze_concurrency([root], rules=rules)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestREP201BlockingInAsync:
+    def test_direct_blocking_call_flagged(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """,
+        )
+        assert rules_of(fs) == ["REP201"]
+        assert "time.sleep" in fs[0].message
+
+    def test_transitive_blocking_flagged_with_witness(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import time
+
+            def slow():
+                time.sleep(0.1)
+
+            async def handler():
+                slow()
+            """,
+        )
+        assert rules_of(fs) == ["REP201"]
+        assert "slow" in fs[0].message
+
+    def test_to_thread_handoff_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import asyncio
+            import time
+
+            def slow():
+                time.sleep(0.1)
+
+            async def handler():
+                await asyncio.to_thread(slow)
+            """,
+        )
+        assert fs == []
+
+    def test_run_in_executor_handoff_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import asyncio
+            import time
+
+            def slow():
+                time.sleep(0.1)
+
+            async def handler():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, slow)
+            """,
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # lint: allow-blocking-async
+            """,
+        )
+        assert fs == []
+
+
+REP202_CONTENDED = """
+    from concurrent.futures import ThreadPoolExecutor
+
+    COUNTS = {}
+
+    def worker(n):
+        COUNTS[n] = 1
+
+    def main_path():
+        COUNTS["main"] = 2
+
+    def launch():
+        pool = ThreadPoolExecutor()
+        pool.submit(worker, 1)
+    """
+
+
+class TestREP202SharedGlobalWrites:
+    def test_contended_unguarded_writes_flagged(self, tmp_path):
+        fs = check(tmp_path, REP202_CONTENDED)
+        assert rules_of(fs) == ["REP202"]
+        assert len(fs) == 2  # one finding per unguarded write site
+        assert all("COUNTS" in f.message for f in fs)
+
+    def test_lock_guarded_writes_are_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            COUNTS = {}
+            LOCK = threading.Lock()
+
+            def worker(n):
+                with LOCK:
+                    COUNTS[n] = 1
+
+            def main_path():
+                with LOCK:
+                    COUNTS["main"] = 2
+
+            def launch():
+                pool = ThreadPoolExecutor()
+                pool.submit(worker, 1)
+            """,
+        )
+        assert fs == []
+
+    def test_pool_only_writer_is_clean(self, tmp_path):
+        # Only pool code writes: the pool serializes nothing, but there
+        # is no main-path contender, so REP202 stays quiet.
+        fs = check(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            COUNTS = {}
+
+            def worker(n):
+                COUNTS[n] = 1
+
+            def launch():
+                pool = ThreadPoolExecutor()
+                pool.submit(worker, 1)
+            """,
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            COUNTS = {}
+
+            def worker(n):
+                COUNTS[n] = 1  # lint: allow-shared-state
+
+            def main_path():
+                COUNTS["main"] = 2  # lint: allow-shared-state
+
+            def launch():
+                pool = ThreadPoolExecutor()
+                pool.submit(worker, 1)
+            """,
+        )
+        assert fs == []
+
+    def test_method_mutation_of_global_instance_flagged(self, tmp_path):
+        # The shape of the metrics race this PR fixed: a module-global
+        # registry whose method mutates self, called from pool and main.
+        fs = check(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Registry:
+                def __init__(self):
+                    self.n = 0
+
+                def add(self):
+                    self.n = self.n + 1
+
+            REG = Registry()
+
+            def worker():
+                REG.add()
+
+            def main_path():
+                REG.add()
+
+            def launch():
+                pool = ThreadPoolExecutor()
+                pool.submit(worker)
+            """,
+        )
+        assert rules_of(fs) == ["REP202"]
+        assert len(fs) == 2
+
+    def test_internally_locked_method_is_clean(self, tmp_path):
+        # ...and the fix: the method guards its own mutation, so every
+        # call site inherits the guard.
+        fs = check(
+            tmp_path,
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Registry:
+                def __init__(self):
+                    self.n = 0
+                    self._lock = threading.Lock()
+
+                def add(self):
+                    with self._lock:
+                        self.n = self.n + 1
+
+            REG = Registry()
+
+            def worker():
+                REG.add()
+
+            def main_path():
+                REG.add()
+
+            def launch():
+                pool = ThreadPoolExecutor()
+                pool.submit(worker)
+            """,
+        )
+        assert fs == []
+
+
+class TestREP203AwaitUnderSyncLock:
+    def test_await_inside_sync_lock_flagged(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import threading
+
+            LOCK = threading.Lock()
+
+            async def other():
+                return 1
+
+            async def handler():
+                with LOCK:
+                    await other()
+            """,
+        )
+        assert rules_of(fs) == ["REP203"]
+
+    def test_async_lock_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import asyncio
+
+            LOCK = asyncio.Lock()
+
+            async def other():
+                return 1
+
+            async def handler():
+                async with LOCK:
+                    await other()
+            """,
+        )
+        assert fs == []
+
+    def test_non_lock_context_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import contextlib
+
+            @contextlib.contextmanager
+            def tracker():
+                yield
+
+            async def other():
+                return 1
+
+            async def handler():
+                with tracker():
+                    await other()
+            """,
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import threading
+
+            LOCK = threading.Lock()
+
+            async def other():
+                return 1
+
+            async def handler():
+                with LOCK:
+                    await other()  # lint: allow-await-in-lock
+            """,
+        )
+        assert fs == []
+
+
+class TestREP204DroppedCoroutine:
+    def test_bare_coroutine_call_flagged(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            async def job():
+                return 1
+
+            def kick():
+                job()
+            """,
+        )
+        assert rules_of(fs) == ["REP204"]
+        assert "job" in fs[0].message
+
+    def test_bare_self_coroutine_method_flagged(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            class Service:
+                async def job(self):
+                    return 1
+
+                def kick(self):
+                    self.job()
+            """,
+        )
+        assert rules_of(fs) == ["REP204"]
+
+    def test_awaited_coroutine_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            async def job():
+                return 1
+
+            async def kick():
+                await job()
+            """,
+        )
+        assert fs == []
+
+    def test_create_task_is_clean(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            import asyncio
+
+            async def job():
+                return 1
+
+            async def kick():
+                asyncio.create_task(job())
+            """,
+        )
+        assert fs == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        fs = check(
+            tmp_path,
+            """
+            async def job():
+                return 1
+
+            def kick():
+                job()  # lint: allow-bare-coroutine
+            """,
+        )
+        assert fs == []
+
+
+class TestRuleSelection:
+    def test_rules_filter_restricts_output(self, tmp_path):
+        fs = check(tmp_path / "a", REP202_CONTENDED, rules=["REP201"])
+        assert fs == []
+        fs = check(tmp_path / "b", REP202_CONTENDED, rules=["REP202"])
+        assert rules_of(fs) == ["REP202"]
+
+    def test_findings_carry_path_and_line(self, tmp_path):
+        fs = check(tmp_path, REP202_CONTENDED)
+        assert all(f.path and f.path.endswith("mod.py") for f in fs)
+        assert all(isinstance(f.line, int) and f.line > 0 for f in fs)

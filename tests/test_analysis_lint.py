@@ -370,3 +370,50 @@ class TestDrivers:
     def test_repo_source_tree_is_finding_free(self):
         findings = lint_paths([SRC])
         assert findings == [], render_findings(findings)
+
+
+class TestRuleSelectionDriver:
+    def test_parse_rules_exact_and_family(self):
+        from repro.analysis.lint import parse_rules
+
+        assert parse_rules("REP001,REP004") == {"REP001", "REP004"}
+        assert parse_rules("REP2xx") == {"REP201", "REP202", "REP203", "REP204"}
+        assert parse_rules("rep2*") == {"REP201", "REP202", "REP203", "REP204"}
+        assert parse_rules("REP001, REP2XX") == {
+            "REP001", "REP201", "REP202", "REP203", "REP204",
+        }
+
+    def test_parse_rules_rejects_unknown(self):
+        from repro.errors import ConfigurationError
+        from repro.analysis.lint import parse_rules
+
+        with pytest.raises(ConfigurationError):
+            parse_rules("REP999")
+        with pytest.raises(ConfigurationError):
+            parse_rules("")
+
+    def test_run_lint_selection_skips_passes(self, tmp_path):
+        from repro.analysis.lint import run_lint
+
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert rules_of(run_lint([tmp_path])) == ["REP001"]
+        assert run_lint([tmp_path], rules=frozenset({"REP202"})) == []
+
+    def test_main_json_and_list_rules(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 1
+        assert report["findings"][0]["rule"] == "REP001"
+        assert "REP201" in report["rules"]
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP204" in out and "allow-bare-coroutine" in out
+
+    def test_main_unknown_rules_exit_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--rules", "NOPE", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err

@@ -522,3 +522,49 @@ class TestServeParser:
     def test_serve_rejects_bad_port(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--port", "not-a-port"])
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("REP001", "REP201", "REP202", "REP203", "REP204"):
+            assert rule in out
+        assert "allow-shared-state" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\nasync def h():\n    time.sleep(1)\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REP201" in capsys.readouterr().out
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "bad.py").write_text(
+            "import time\n\nasync def h():\n    time.sleep(1)\n"
+        )
+        assert main(["lint", "--json", "--rules", "REP2xx", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules"] == ["REP201", "REP202", "REP203", "REP204"]
+        assert report["count"] == 1
+        assert report["findings"][0]["rule"] == "REP201"
+
+    def test_rule_family_selection_skips_other_pass(self, tmp_path, capsys):
+        # REP001 material only; a REP2xx-only run must not report it.
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["lint", "--rules", "REP2xx", str(tmp_path)]) == 0
+        assert main(["lint", "--rules", "REP001", str(tmp_path)]) == 1
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rules", "REP999", "src/repro"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2

@@ -109,6 +109,80 @@ class TestMetricsRegistry:
         assert reg.snapshot()["counters"] == {}
 
 
+class TestMetricsThreadSafety:
+    """The REP202 fix: concurrent recording must never lose an event.
+
+    Before the lock, eight threads doing read-modify-write on the same
+    counter dict dropped increments, and a pool-thread ``collect()`` could
+    tear a scope another thread held open (the registry swapped the shared
+    dicts).  These tests pin exact totals under both shapes.
+    """
+
+    THREADS = 8
+    PER_THREAD = 4000
+
+    def test_eight_threads_exact_counter_totals(self):
+        import threading
+
+        reg = MetricsRegistry(enabled=True)
+        start = threading.Barrier(self.THREADS)
+
+        def hammer():
+            start.wait()
+            for i in range(self.PER_THREAD):
+                reg.add("c")
+                reg.add("weighted", 0.5)
+                reg.observe("h", float(i % 7))
+
+        workers = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        snap = reg.snapshot()
+        total = self.THREADS * self.PER_THREAD
+        assert snap["counters"]["c"] == total
+        assert snap["counters"]["weighted"] == pytest.approx(0.5 * total)
+        assert snap["histograms"]["h"]["count"] == total
+        assert snap["histograms"]["h"]["min"] == 0
+        assert snap["histograms"]["h"]["max"] == 6
+
+    def test_pool_thread_collect_scopes_conserve_totals(self):
+        """Concurrent per-thread scopes inside one outer scope: every event
+        lands somewhere, and everything folds into the outer scope."""
+        import threading
+
+        reg = MetricsRegistry()  # disabled: only scopes force it on
+        start = threading.Barrier(self.THREADS)
+        own_counts: list[float] = []
+        lock = threading.Lock()
+
+        def solve_like():
+            start.wait()
+            with reg.collect() as mine:
+                for _ in range(self.PER_THREAD):
+                    reg.add("solve.step")
+            with lock:
+                own_counts.append(mine.data["counters"]["solve.step"])
+
+        with reg.collect() as outer:
+            workers = [
+                threading.Thread(target=solve_like) for _ in range(self.THREADS)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        total = self.THREADS * self.PER_THREAD
+        assert outer.data["counters"]["solve.step"] == total
+        # Each scope saw at least its own events (a sibling closing while
+        # it was the newest open scope may fold extras in, never out).
+        assert len(own_counts) == self.THREADS
+        assert all(c >= self.PER_THREAD for c in own_counts)
+        assert not reg.enabled
+        assert reg.snapshot()["counters"] == {}
+
+
 class TestTracer:
     def test_deterministic_clock_gives_exact_timestamps(self):
         ticks = iter([10.0, 11.0, 12.5])
